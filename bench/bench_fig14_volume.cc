@@ -1,0 +1,151 @@
+// Figure 14: ratio of GIR volume to query-space volume (the LIK
+// sensitivity measure).
+//   (a) log10(volume) vs dimensionality, synthetic data (k = 20)
+//   (b) log10(volume) vs k, real datasets (HOUSE / HOTEL stand-ins)
+// Extra table (beyond the paper): the STB baseline of Soliman et al.
+// (SIGMOD 2011) vs the GIR — how much of the immutable locus the
+// largest-preserving-ball measure misses.
+#include <cmath>
+
+#include "bench_util.h"
+#include "gir/sensitivity.h"
+
+using namespace gir;
+using namespace gir::bench;
+
+namespace {
+
+double AvgLog10Volume(const GirEngine& engine, size_t k, int queries,
+                      Rng& rng) {
+  double sum = 0.0;
+  int done = 0;
+  for (int q = 0; q < queries; ++q) {
+    Vec w = RandomQuery(rng, engine.dataset().dim());
+    Result<GirComputation> gir =
+        engine.ComputeGir(w, k, Phase2Method::kFP);
+    if (!gir.ok()) continue;
+    Rng mc(q);
+    double ratio = VolumeRatioAuto(gir->region, mc);
+    if (ratio <= 0) ratio = 1e-300;
+    sum += std::log10(ratio);
+    ++done;
+  }
+  return done ? sum / done : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params params;
+  FlagSet flags;
+  params.Register(&flags);
+  int64_t dmax = 6;
+  flags.AddInt("dmax", &dmax, "largest dimensionality for panel (a)");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) return s.code() == StatusCode::kNotFound ? 0 : 1;
+  params.ApplyFullDefaults();
+  if (params.full) dmax = 8;
+
+  std::printf("Figure 14: GIR volume / query-space volume "
+              "(n=%lld, %lld queries)\n",
+              static_cast<long long>(params.n),
+              static_cast<long long>(params.queries));
+
+  // (a) synthetic, varying d, k = 20.
+  const std::vector<std::string> dists = {"IND", "ANTI", "COR"};
+  std::vector<std::vector<double>> panel_a(dists.size());
+  for (size_t di = 0; di < dists.size(); ++di) {
+    for (int64_t d = 2; d <= dmax; ++d) {
+      if (!params.full && dists[di] == "ANTI" && d > 5) {
+        panel_a[di].push_back(1.0);  // sentinel: skipped
+        continue;
+      }
+      Dataset data =
+          MakeNamedDataset(dists[di], params.n, d, params.seed + d);
+      DiskManager disk;
+      GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+      Rng rng(params.seed + 5 * d);
+      panel_a[di].push_back(AvgLog10Volume(
+          engine, params.k, static_cast<int>(params.queries), rng));
+    }
+  }
+  PrintTitle("Figure 14(a): log10(volume ratio) vs d (synthetic, k=20)");
+  PrintHeader("d", {"Independent", "Anti-corr", "Correlated"});
+  for (int64_t d = 2; d <= dmax; ++d) {
+    std::vector<double> row;
+    for (size_t di = 0; di < dists.size(); ++di) {
+      double v = panel_a[di][d - 2];
+      row.push_back(v);
+    }
+    std::printf("%-10lld", static_cast<long long>(d));
+    for (double v : row) {
+      if (v > 0) {
+        std::printf("%14s", "-");
+      } else {
+        std::printf("%14.2f", v);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // (b) real-data stand-ins, varying k.
+  const std::vector<int64_t> ks = {5, 10, 20, 50, 100};
+  size_t real_n = params.full ? 0 : 60000;  // 0 = dataset's native size
+  Dataset house = MakeNamedDataset("HOUSE", real_n ? real_n : 315265, 6,
+                                   params.seed);
+  Dataset hotel = MakeNamedDataset("HOTEL", real_n ? real_n : 418843, 4,
+                                   params.seed);
+  DiskManager disk_house;
+  DiskManager disk_hotel;
+  GirEngine eng_house(&house, &disk_house, MakeScoring("Linear", 6));
+  GirEngine eng_hotel(&hotel, &disk_hotel, MakeScoring("Linear", 4));
+  PrintTitle("Figure 14(b): log10(volume ratio) vs k (real-data sims)");
+  PrintHeader("k", {"HOUSE", "HOTEL"});
+  for (int64_t k : ks) {
+    Rng r1(params.seed + k);
+    Rng r2(params.seed + k);
+    double vh = AvgLog10Volume(eng_house, k,
+                               static_cast<int>(params.queries), r1);
+    double vo = AvgLog10Volume(eng_hotel, k,
+                               static_cast<int>(params.queries), r2);
+    std::printf("%-10lld%14.2f%14.2f\n", static_cast<long long>(k), vh, vo);
+  }
+  std::printf("\nExpected shape: volume ratio decays ~exponentially in d "
+              "(COR largest, ANTI smallest) and decreases with k.\n");
+
+  // --- STB baseline comparison (IND, k=20): ball vs region volume ---
+  PrintTitle("Extra: STB ball volume vs GIR volume (IND, k=20)");
+  PrintHeader("d", {"log10(STB)", "log10(GIR)", "GIR/STB"});
+  for (int64_t d = 2; d <= std::min<int64_t>(dmax, 5); ++d) {
+    Dataset data = MakeNamedDataset("IND", params.n, d, params.seed + d);
+    DiskManager disk;
+    GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+    Rng rng(params.seed + 9 * d);
+    double sum_stb = 0.0;
+    double sum_gir = 0.0;
+    int done = 0;
+    for (int64_t q = 0; q < params.queries; ++q) {
+      Vec w = RandomQuery(rng, d);
+      Result<GirComputation> gir =
+          engine.ComputeGir(w, params.k, Phase2Method::kFP);
+      if (!gir.ok()) continue;
+      Rng mc(q);
+      double gv = VolumeRatioAuto(gir->region, mc);
+      double sv = BallVolume(d, StbRadius(gir->region));
+      if (gv <= 0 || sv <= 0) continue;
+      sum_gir += std::log10(gv);
+      sum_stb += std::log10(sv);
+      ++done;
+    }
+    if (done) {
+      double lg = sum_gir / done;
+      double ls = sum_stb / done;
+      std::printf("%-10lld%14.2f%14.2f%14.1fx\n", static_cast<long long>(d),
+                  ls, lg, std::pow(10.0, lg - ls));
+    }
+  }
+  std::printf("\nThe GIR captures the full immutable locus; the STB ball "
+              "(which is always enclosed in it) understates robustness by "
+              "orders of magnitude as d grows.\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Micro-benchmarks (google-benchmark): throughput of the geometric and
+// index substrates, plus the ablations DESIGN.md calls out
+// (FP max-coordinate seeding on/off, STR vs R* construction).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "geom/convex_hull.h"
+#include "geom/halfspace_intersection.h"
+#include "geom/lp.h"
+#include "gir/engine.h"
+#include "gir/fpnd.h"
+#include "index/rtree.h"
+#include "topk/brs.h"
+
+namespace {
+
+using namespace gir;
+
+std::vector<Vec> RandomCloud(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec p(d);
+    for (size_t j = 0; j < d; ++j) p[j] = rng.Uniform();
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+void BM_ConvexHull(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const size_t n = state.range(1);
+  std::vector<Vec> pts = RandomCloud(n, d, 7);
+  for (auto _ : state) {
+    Result<ConvexHull> hull = ConvexHull::Build(pts);
+    benchmark::DoNotOptimize(hull.ok());
+  }
+}
+BENCHMARK(BM_ConvexHull)
+    ->Args({2, 2000})
+    ->Args({3, 2000})
+    ->Args({4, 2000})
+    ->Args({5, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HalfspaceIntersection(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const size_t m = state.range(1);
+  Rng rng(11);
+  Vec q(d, 0.5);
+  std::vector<Halfspace> ge;
+  for (size_t i = 0; i < m; ++i) {
+    Vec n(d);
+    for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+    if (Dot(n, q) < 0) {
+      for (double& x : n) x = -x;
+    }
+    ge.push_back(Halfspace{std::move(n), 0.0});
+  }
+  for (auto _ : state) {
+    Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_HalfspaceIntersection)
+    ->Args({3, 64})
+    ->Args({4, 256})
+    ->Args({5, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChebyshevLp(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(13);
+  std::vector<Halfspace> ge;
+  for (int i = 0; i < 200; ++i) {
+    Vec n(d);
+    for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-0.3, 1.0);
+    ge.push_back(Halfspace{std::move(n), 0.0});
+  }
+  for (auto _ : state) {
+    Result<ChebyshevResult> c = ChebyshevCenter(ge);
+    benchmark::DoNotOptimize(c.ok());
+  }
+}
+BENCHMARK(BM_ChebyshevLp)->Arg(3)->Arg(5)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RtreeBulkLoad(benchmark::State& state) {
+  Rng rng(17);
+  Dataset data = GenerateIndependent(state.range(0), 4, rng);
+  for (auto _ : state) {
+    DiskManager disk;
+    RTree tree = RTree::BulkLoad(&data, &disk);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_RtreeBulkLoad)->Arg(50000)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RtreeInsertBuild(benchmark::State& state) {
+  Rng rng(19);
+  Dataset data = GenerateIndependent(state.range(0), 4, rng);
+  for (auto _ : state) {
+    DiskManager disk;
+    RTree tree(&data, &disk);
+    for (size_t i = 0; i < data.size(); ++i) {
+      tree.Insert(static_cast<RecordId>(i));
+    }
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_RtreeInsertBuild)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_BrsTopK(benchmark::State& state) {
+  Rng rng(23);
+  Dataset data = GenerateIndependent(200000, 4, rng);
+  DiskManager disk;
+  RTree tree = RTree::BulkLoad(&data, &disk);
+  LinearScoring scoring(4);
+  size_t i = 0;
+  for (auto _ : state) {
+    Rng qrng(i++);
+    Vec w(4);
+    for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+    Result<TopKResult> r = RunBrs(tree, scoring, w, state.range(0));
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_BrsTopK)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_IncidentStarInsert(benchmark::State& state) {
+  const size_t d = state.range(0);
+  std::vector<Vec> pts = RandomCloud(4000, d, 29);
+  Vec apex(d, 0.98);  // near the top corner, like a real p_k
+  for (auto _ : state) {
+    IncidentStar star(apex);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      Result<bool> r = star.Insert(pts[i], static_cast<int>(i));
+      benchmark::DoNotOptimize(r.ok());
+    }
+    benchmark::DoNotOptimize(star.live_facet_count());
+  }
+}
+BENCHMARK(BM_IncidentStarInsert)->Arg(3)->Arg(4)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+// --- Ablation: FP with and without max-coordinate seeding (§6.3.1) ---
+void BM_FpSeedingAblation(benchmark::State& state) {
+  const bool seeding = state.range(0) != 0;
+  Rng rng(31);
+  Dataset data = GenerateAnticorrelated(50000, 4, rng);
+  DiskManager disk;
+  GirEngineOptions opt;
+  opt.fp.max_coordinate_seeding = seeding;
+  opt.materialize_polytope = false;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 4), opt);
+  size_t i = 0;
+  for (auto _ : state) {
+    Rng qrng(100 + i++);
+    Vec w(4);
+    for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+    Result<GirComputation> gir = engine.ComputeGir(w, 20, Phase2Method::kFP);
+    benchmark::DoNotOptimize(gir.ok());
+  }
+}
+BENCHMARK(BM_FpSeedingAblation)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Ablation: query I/O on STR-bulk-loaded vs insert-built trees ---
+void BM_TopKIoByBuildMethod(benchmark::State& state) {
+  const bool bulk = state.range(0) != 0;
+  Rng rng(37);
+  Dataset data = GenerateIndependent(50000, 4, rng);
+  DiskManager disk;
+  RTree tree = bulk ? RTree::BulkLoad(&data, &disk) : RTree(&data, &disk);
+  if (!bulk) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      tree.Insert(static_cast<RecordId>(i));
+    }
+  }
+  LinearScoring scoring(4);
+  size_t i = 0;
+  uint64_t reads = 0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    Rng qrng(i++);
+    Vec w(4);
+    for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+    Result<TopKResult> r = RunBrs(tree, scoring, w, 20);
+    if (r.ok()) {
+      reads += r->io.reads;
+      ++runs;
+    }
+  }
+  if (runs) {
+    state.counters["reads/query"] =
+        static_cast<double>(reads) / static_cast<double>(runs);
+  }
+}
+BENCHMARK(BM_TopKIoByBuildMethod)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

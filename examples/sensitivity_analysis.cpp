@@ -1,0 +1,73 @@
+// Sensitivity analysis with the GIR (paper §1 + Figure 14): the ratio
+// of GIR volume to query-space volume is the probability that a random
+// preference vector reproduces the result — a robustness score for the
+// recommendation. This example contrasts robust and fragile queries on
+// datasets with different correlation structure, and shows the MAH
+// (maximum axis-parallel box) as a conservative "safe zone".
+#include <cstdio>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/engine.h"
+#include "gir/sensitivity.h"
+#include "gir/visualization.h"
+
+int main() {
+  using namespace gir;
+  const size_t n = 30000;
+  const size_t d = 4;
+  const size_t k = 10;
+  Rng rng(7);
+
+  struct Entry {
+    const char* name;
+    Dataset data;
+  };
+  std::vector<Entry> datasets;
+  datasets.push_back({"correlated (easy)", GenerateCorrelated(n, d, rng)});
+  datasets.push_back({"independent", GenerateIndependent(n, d, rng)});
+  datasets.push_back(
+      {"anti-correlated (hard)", GenerateAnticorrelated(n, d, rng)});
+
+  std::printf("robustness of a top-%zu result under weight perturbation\n",
+              k);
+  std::printf("%-24s %-12s %-12s %-10s\n", "dataset", "GIR volume",
+              "MAH volume", "facets");
+  for (Entry& e : datasets) {
+    DiskManager disk;
+    GirEngine engine(&e.data, &disk, MakeScoring("Linear", d));
+    Vec w = {0.6, 0.5, 0.6, 0.7};
+    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    if (!gir.ok()) {
+      std::fprintf(stderr, "%s\n", gir.status().ToString().c_str());
+      return 1;
+    }
+    Rng mc(11);
+    double ratio = VolumeRatioAuto(gir->region, mc);
+    MahBox mah = ComputeMah(gir->region);
+    std::printf("%-24s %-12.3e %-12.3e %-10zu\n", e.name, ratio,
+                mah.Volume(), gir->region.nonredundant_indices().size());
+  }
+
+  // A per-query view: the same dataset, several random users. Queries
+  // whose top results are score-separated are robust; photo-finish
+  // queries are fragile and would warrant a "results are sensitive to
+  // your weights" warning in a UI.
+  std::printf("\nper-user robustness on the independent dataset:\n");
+  std::printf("%-8s %-14s %-18s %s\n", "user", "volume ratio",
+              "top-1/2 score gap", "verdict");
+  DiskManager disk;
+  GirEngine engine(&datasets[1].data, &disk, MakeScoring("Linear", d));
+  for (int user = 0; user < 6; ++user) {
+    Vec w(d);
+    for (size_t j = 0; j < d; ++j) w[j] = rng.Uniform(0.1, 1.0);
+    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    if (!gir.ok()) continue;
+    Rng mc(user);
+    double ratio = VolumeRatioAuto(gir->region, mc);
+    double gap = gir->topk.scores[0] - gir->topk.scores[1];
+    std::printf("%-8d %-14.3e %-18.5f %s\n", user + 1, ratio, gap,
+                ratio > 1e-4 ? "robust" : "sensitive — deliberate!");
+  }
+  return 0;
+}

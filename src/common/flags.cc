@@ -1,0 +1,132 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gir {
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, target, help};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, target, help};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kString, target, help};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, target, help};
+}
+
+Status FlagSet::Assign(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  char* end = nullptr;
+  switch (it->second.kind) {
+    case Kind::kInt: {
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int for --" + name + ": " + value);
+      }
+      *static_cast<int64_t*>(it->second.target) = v;
+      break;
+    }
+    case Kind::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       value);
+      }
+      *static_cast<double*>(it->second.target) = v;
+      break;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(it->second.target) = value;
+      break;
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(it->second.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(it->second.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       value);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
+      return Status::NotFound("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("positional arguments unsupported: " +
+                                     arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        value = "true";
+      } else if (name.rfind("no-", 0) == 0 &&
+                 flags_.count(name.substr(3)) > 0) {
+        name = name.substr(3);
+        value = "false";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    Status s = Assign(name, value);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.kind) {
+      case Kind::kInt:
+        out += "=<int>";
+        break;
+      case Kind::kDouble:
+        out += "=<float>";
+        break;
+      case Kind::kString:
+        out += "=<string>";
+        break;
+      case Kind::kBool:
+        out += "[=<bool>]";
+        break;
+    }
+    out += "  " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,48 @@
+#ifndef GIR_COMMON_FLAGS_H_
+#define GIR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gir {
+
+// Minimal command-line flag parser for the benchmark and example
+// binaries. Supports `--name=value`, `--name value`, and boolean
+// `--name` / `--no-name`. Unknown flags are an error so typos in sweep
+// scripts fail loudly.
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  // Parses argv (skipping argv[0]). On `--help`, prints usage and returns
+  // a NotFound status the caller can treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Status Assign(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_COMMON_FLAGS_H_

@@ -1,0 +1,53 @@
+#ifndef GIR_COMMON_RESULT_H_
+#define GIR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gir {
+
+// Result<T> carries either a value or a non-OK Status, mirroring
+// absl::StatusOr. Accessing value() on an error aborts in debug builds;
+// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return Status::...` and `return value;`
+  // both work at call sites (same convention as absl::StatusOr).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_COMMON_RESULT_H_

@@ -1,0 +1,68 @@
+#ifndef GIR_COMMON_STATUS_H_
+#define GIR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gir {
+
+// Error-code taxonomy for the library. The project does not use
+// exceptions; fallible operations return Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+// A Status holds a code and, for non-OK codes, a human-readable message.
+// Modeled on the RocksDB / Abseil idiom: cheap to copy when OK, explicit
+// at every call site that can fail.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, std::string(msg));
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, std::string(msg));
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, std::string(msg));
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, std::string(msg));
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, std::string(msg));
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, std::string(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Returns a short upper-case name for a status code ("INVALID_ARGUMENT").
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace gir
+
+#endif  // GIR_COMMON_STATUS_H_

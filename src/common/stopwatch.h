@@ -1,0 +1,30 @@
+#ifndef GIR_COMMON_STOPWATCH_H_
+#define GIR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gir {
+
+// Wall-clock stopwatch used to report CPU-side costs in the benchmark
+// harness (the simulated-disk layer accounts I/O separately).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_COMMON_STOPWATCH_H_

@@ -1,0 +1,89 @@
+#include "dataset/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gir {
+
+namespace {
+
+// Splits a CSV line; no quoting support (the datasets this library
+// targets are plain numeric tables).
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, delim)) cells.push_back(cell);
+  if (!line.empty() && line.back() == delim) cells.push_back("");
+  return cells;
+}
+
+bool ParseRow(const std::vector<std::string>& cells, Vec* row) {
+  row->clear();
+  row->reserve(cells.size());
+  for (const std::string& c : cells) {
+    char* end = nullptr;
+    double v = std::strtod(c.c_str(), &end);
+    if (end == c.c_str()) return false;
+    while (*end == ' ' || *end == '\r' || *end == '\t') ++end;
+    if (*end != '\0') return false;
+    row->push_back(v);
+  }
+  return !row->empty();
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  size_t dim = 0;
+  size_t line_no = 0;
+  std::vector<Vec> rows;
+  Vec row;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitLine(line, options.delimiter);
+    if (!ParseRow(cells, &row)) {
+      if (line_no == 1 && options.auto_header) continue;  // header line
+      return Status::InvalidArgument("non-numeric cell at line " +
+                                     std::to_string(line_no));
+    }
+    if (dim == 0) {
+      dim = row.size();
+    } else if (row.size() != dim) {
+      return Status::InvalidArgument("ragged row at line " +
+                                     std::to_string(line_no));
+    }
+    rows.push_back(row);
+  }
+  if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
+  Dataset data(dim);
+  data.Reserve(rows.size());
+  for (const Vec& r : rows) data.Append(r);
+  if (options.normalize) data.NormalizeToUnitCube();
+  return data;
+}
+
+Status WriteCsvDataset(const Dataset& data, const std::string& path,
+                       char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot create " + path);
+  for (size_t i = 0; i < data.size(); ++i) {
+    VecView r = data.Get(static_cast<RecordId>(i));
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (j > 0) out << delimiter;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", r[j]);
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out ? Status::Ok() : Status::Internal("write failed");
+}
+
+}  // namespace gir

@@ -1,0 +1,34 @@
+#ifndef GIR_DATASET_CSV_H_
+#define GIR_DATASET_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace gir {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // Skip the first line when it does not parse as numbers.
+  bool auto_header = true;
+  // Min-max normalize every column into [0,1] after loading (the
+  // library's algorithms assume the unit cube).
+  bool normalize = true;
+};
+
+// Loads a numeric CSV file into a Dataset. Every row must have the same
+// number of columns; blank lines are skipped. Fails with
+// InvalidArgument on ragged rows or non-numeric cells (after the
+// optional header) and NotFound when the file cannot be opened.
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options = {});
+
+// Writes a dataset as CSV (no header). Returns NotFound when the file
+// cannot be created.
+Status WriteCsvDataset(const Dataset& data, const std::string& path,
+                       char delimiter = ',');
+
+}  // namespace gir
+
+#endif  // GIR_DATASET_CSV_H_

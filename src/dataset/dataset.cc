@@ -1,0 +1,41 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gir {
+
+Dataset Dataset::FromRows(const std::vector<Vec>& rows) {
+  assert(!rows.empty());
+  Dataset d(rows[0].size());
+  d.Reserve(rows.size());
+  for (const Vec& r : rows) d.Append(r);
+  return d;
+}
+
+void Dataset::Append(VecView record) {
+  assert(record.size() == dim_);
+  flat_.insert(flat_.end(), record.begin(), record.end());
+}
+
+void Dataset::NormalizeToUnitCube() {
+  const size_t n = size();
+  if (n == 0) return;
+  for (size_t j = 0; j < dim_; ++j) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (size_t i = 0; i < n; ++i) {
+      double x = flat_[i * dim_ + j];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    double range = hi - lo;
+    if (range <= 0.0) range = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double& x = flat_[i * dim_ + j];
+      x = (x - lo) / range;
+    }
+  }
+}
+
+}  // namespace gir

@@ -1,0 +1,48 @@
+#ifndef GIR_DATASET_DATASET_H_
+#define GIR_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace gir {
+
+using RecordId = int32_t;
+
+// Flat column-major-free record store: n records of d doubles each,
+// normalized to [0,1]^d. Records are addressed by dense RecordId; the
+// memory layout is one contiguous row-major array so record views are
+// zero-copy spans.
+class Dataset {
+ public:
+  explicit Dataset(size_t dim) : dim_(dim) {}
+
+  static Dataset FromRows(const std::vector<Vec>& rows);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : flat_.size() / dim_; }
+
+  void Append(VecView record);
+  void Reserve(size_t n) { flat_.reserve(n * dim_); }
+
+  VecView Get(RecordId id) const {
+    return VecView(flat_.data() + static_cast<size_t>(id) * dim_, dim_);
+  }
+  Vec GetVec(RecordId id) const {
+    VecView v = Get(id);
+    return Vec(v.begin(), v.end());
+  }
+
+  // Min-max normalizes every dimension to [0,1] in place (used by the
+  // real-data simulators whose raw attributes have arbitrary scales).
+  void NormalizeToUnitCube();
+
+ private:
+  size_t dim_;
+  std::vector<double> flat_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_DATASET_DATASET_H_

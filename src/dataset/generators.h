@@ -1,0 +1,34 @@
+#ifndef GIR_DATASET_GENERATORS_H_
+#define GIR_DATASET_GENERATORS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dataset/dataset.h"
+
+namespace gir {
+
+// The three standard synthetic benchmarks for preference queries
+// (Börzsönyi et al., "The Skyline Operator", ICDE 2001), as used in the
+// paper's Section 8.
+
+// IND: every attribute uniform and independent in [0,1].
+Dataset GenerateIndependent(size_t n, size_t dim, Rng& rng);
+
+// COR: records with a large value in one dimension tend to have large
+// values in the others (points concentrated around the main diagonal).
+Dataset GenerateCorrelated(size_t n, size_t dim, Rng& rng);
+
+// ANTI: records with a large value in one dimension tend to have small
+// values in the rest (points concentrated around a hyperplane
+// perpendicular to the diagonal) — the worst case for skyline size.
+Dataset GenerateAnticorrelated(size_t n, size_t dim, Rng& rng);
+
+// Dispatch by dataset name: "IND", "COR", "ANTI".
+Result<Dataset> GenerateByName(const std::string& name, size_t n, size_t dim,
+                               Rng& rng);
+
+}  // namespace gir
+
+#endif  // GIR_DATASET_GENERATORS_H_

@@ -1,0 +1,80 @@
+#include "dataset/real_data_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gir {
+
+Dataset MakeHouseLike(Rng& rng, size_t n) {
+  const size_t kDim = 6;
+  // Per-attribute elasticity w.r.t. the latent wealth factor, loosely:
+  // gas, electricity, water, heating, insurance, property tax.
+  const double kElasticity[6] = {0.35, 0.45, 0.30, 0.40, 0.75, 0.90};
+  const double kNoise[6] = {0.45, 0.35, 0.50, 0.45, 0.30, 0.25};
+  Dataset data(kDim);
+  data.Reserve(n);
+  Vec p(kDim);
+  for (size_t i = 0; i < n; ++i) {
+    // Heavy-tailed wealth: lognormal.
+    double wealth = std::exp(rng.Gaussian(0.0, 0.6));
+    for (size_t j = 0; j < kDim; ++j) {
+      double base = std::pow(wealth, kElasticity[j]);
+      double noise = std::exp(rng.Gaussian(0.0, kNoise[j]));
+      p[j] = base * noise;
+    }
+    // A small fraction of households report zero for a utility (e.g.
+    // no gas heating), producing the attribute-value spikes real
+    // expenditure data shows.
+    if (rng.Uniform() < 0.04) p[rng.UniformInt(kDim)] = 0.0;
+    data.Append(p);
+  }
+  // Compress the heavy tail like the paper's min-max normalization of
+  // skewed expenditures: log1p before normalizing keeps interior
+  // structure visible.
+  Dataset out(kDim);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    VecView row = data.Get(static_cast<RecordId>(i));
+    Vec t(kDim);
+    for (size_t j = 0; j < kDim; ++j) t[j] = std::log1p(row[j]);
+    out.Append(t);
+  }
+  out.NormalizeToUnitCube();
+  return out;
+}
+
+Dataset MakeHotelLike(Rng& rng, size_t n) {
+  const size_t kDim = 4;
+  Dataset data(kDim);
+  data.Reserve(n);
+  // Star-level marginal roughly matching large hotel aggregators:
+  // 1*..5* shares.
+  const double kStarCdf[5] = {0.08, 0.30, 0.68, 0.92, 1.0};
+  Vec p(kDim);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    int stars = 0;
+    while (stars < 4 && u > kStarCdf[stars]) ++stars;
+    double star_value = (stars + 1) / 5.0;  // discrete, duplicate-heavy
+    // Price grows with stars but with wide lognormal spread; the
+    // negative sign of "expensive is bad" is folded away by the paper's
+    // normalization, so we keep raw price and let correlation structure
+    // carry the signal (stars vs price mildly anti-correlated once
+    // price is capped: budget 5* hotels are rare, cheap ones common).
+    double price = std::exp(rng.Gaussian(3.2 + 0.45 * stars, 0.5));
+    // Rooms: heavy-tailed, weakly tied to stars.
+    double rooms = std::exp(rng.Gaussian(3.0 + 0.25 * stars, 0.9));
+    // Facility count: increases with stars, saturates near 40.
+    double facilities =
+        std::min(40.0, 4.0 + 6.0 * stars + std::fabs(rng.Gaussian(0.0, 4.0)));
+    p[0] = star_value;
+    p[1] = 1.0 / price;  // value-for-money orientation: larger is better
+    p[2] = std::log1p(rooms);
+    p[3] = facilities;
+    data.Append(p);
+  }
+  data.NormalizeToUnitCube();
+  return data;
+}
+
+}  // namespace gir

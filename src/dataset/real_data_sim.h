@@ -1,0 +1,29 @@
+#ifndef GIR_DATASET_REAL_DATA_SIM_H_
+#define GIR_DATASET_REAL_DATA_SIM_H_
+
+#include "common/rng.h"
+#include "dataset/dataset.h"
+
+namespace gir {
+
+// Synthetic stand-ins for the paper's two real datasets, which are not
+// redistributable (see DESIGN.md §5 for the substitution rationale).
+//
+// HOUSE (ipums.org): 315,265 records x 6 attributes — an American
+// family's expenditure in gas, electricity, water, heating, insurance
+// and property tax. Modeled as a latent-wealth mixture: each attribute
+// scales with a shared heavy-tailed wealth factor (mild positive
+// correlation) modulated by per-attribute elasticity and noise, then
+// min-max normalized to [0,1].
+Dataset MakeHouseLike(Rng& rng, size_t n = 315265);
+
+// HOTEL (hotelsbase.org): 418,843 records x 4 attributes — stars,
+// price, number of rooms, number of facilities. Stars are discrete
+// (five levels), price/facilities correlate positively with stars,
+// rooms are heavy-tailed and nearly independent, and a price-vs-value
+// tension injects a mildly anti-correlated pair.
+Dataset MakeHotelLike(Rng& rng, size_t n = 418843);
+
+}  // namespace gir
+
+#endif  // GIR_DATASET_REAL_DATA_SIM_H_

@@ -1,0 +1,437 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+namespace gir {
+
+namespace {
+
+// Working facet record; `alive` facets are compacted on completion.
+struct WorkFacet {
+  std::vector<int> vertices;
+  Hyperplane plane;
+  std::vector<int> neighbors;
+  std::vector<int> outside;  // conflict list: points above this facet
+  bool alive = true;
+  bool visible = false;  // scratch flag for the current insertion
+};
+
+// d! for simplex volume normalization.
+double Factorial(size_t d) {
+  double f = 1.0;
+  for (size_t i = 2; i <= d; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+// |det| of the d x d matrix whose columns are (v_i - base).
+double SimplexDet(const std::vector<Vec>& points,
+                  const std::vector<int>& vertex_ids, VecView base) {
+  const size_t d = base.size();
+  std::vector<Vec> m;
+  m.reserve(d);
+  for (size_t i = 0; i < d; ++i) {
+    m.push_back(Sub(points[vertex_ids[i]], base));
+  }
+  // Gaussian elimination with partial pivoting; determinant magnitude.
+  double det = 1.0;
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < d; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) pivot = row;
+    }
+    if (m[pivot][col] == 0.0) return 0.0;
+    if (pivot != col) std::swap(m[col], m[pivot]);
+    det *= m[col][col];
+    for (size_t row = col + 1; row < d; ++row) {
+      double f = m[row][col] / m[col][col];
+      for (size_t j = col; j < d; ++j) m[row][j] -= f * m[col][j];
+    }
+  }
+  return std::fabs(det);
+}
+
+class Builder {
+ public:
+  Builder(const std::vector<Vec>& points, const ConvexHullOptions& options)
+      : points_(points), options_(options), dim_(points.empty() ? 0 : points[0].size()) {}
+
+  Status Run() {
+    if (points_.size() < dim_ + 1) {
+      return Status::FailedPrecondition("too few points for full-dim hull");
+    }
+    Result<std::vector<int>> simplex = FindInitialSimplex(points_, dim_);
+    if (!simplex.ok()) return simplex.status();
+    Status s = BuildInitialSimplex(simplex.value());
+    if (!s.ok()) return s;
+    s = AssignInitialOutsideSets(simplex.value());
+    if (!s.ok()) return s;
+    return ProcessOutsidePoints();
+  }
+
+  std::vector<WorkFacet>& facets() { return facets_; }
+  const Vec& interior() const { return interior_; }
+
+ private:
+  Status BuildInitialSimplex(const std::vector<int>& simplex) {
+    const size_t d = dim_;
+    interior_.assign(d, 0.0);
+    for (int id : simplex) {
+      for (size_t j = 0; j < d; ++j) interior_[j] += points_[id][j];
+    }
+    for (size_t j = 0; j < d; ++j) interior_[j] /= (d + 1);
+
+    // One facet per omitted simplex vertex.
+    for (size_t omit = 0; omit <= d; ++omit) {
+      WorkFacet f;
+      for (size_t i = 0; i <= d; ++i) {
+        if (i != omit) f.vertices.push_back(simplex[i]);
+      }
+      Result<Hyperplane> plane =
+          FitHyperplane(points_, f.vertices, interior_);
+      if (!plane.ok()) return plane.status();
+      f.plane = std::move(plane).value();
+      f.neighbors.assign(d, -1);
+      facets_.push_back(std::move(f));
+    }
+    // Wire neighbors: facet `omit` and facet `other` share the ridge
+    // missing both simplex vertices. In facet `omit`, the position of
+    // simplex vertex `other` is the slot whose neighbor is facet `other`.
+    for (size_t omit = 0; omit <= d; ++omit) {
+      WorkFacet& f = facets_[omit];
+      for (size_t pos = 0; pos < d; ++pos) {
+        int v = f.vertices[pos];
+        // Find which simplex slot v occupies.
+        for (size_t other = 0; other <= d; ++other) {
+          if (simplex[other] == v) {
+            f.neighbors[pos] = static_cast<int>(other);
+            break;
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status AssignInitialOutsideSets(const std::vector<int>& simplex) {
+    std::set<int> in_simplex(simplex.begin(), simplex.end());
+    for (int p = 0; p < static_cast<int>(points_.size()); ++p) {
+      if (in_simplex.count(p)) continue;
+      AssignPoint(p, 0, facets_.size());
+    }
+    return Status::Ok();
+  }
+
+  // Assigns point p to the facet (among [first, last)) it is furthest
+  // above, if any.
+  void AssignPoint(int p, size_t first, size_t last) {
+    double best = options_.eps;
+    int best_facet = -1;
+    for (size_t f = first; f < last; ++f) {
+      if (!facets_[f].alive) continue;
+      double h = facets_[f].plane.Evaluate(points_[p]);
+      if (h > best) {
+        best = h;
+        best_facet = static_cast<int>(f);
+      }
+    }
+    if (best_facet >= 0) facets_[best_facet].outside.push_back(p);
+  }
+
+  Status ProcessOutsidePoints() {
+    // Work queue of facets that may have outside points.
+    std::vector<int> queue;
+    for (size_t f = 0; f < facets_.size(); ++f) {
+      if (!facets_[f].outside.empty()) queue.push_back(static_cast<int>(f));
+    }
+    size_t iterations = 0;
+    const size_t max_iterations = 64 * points_.size() + 1024;
+    while (!queue.empty()) {
+      if (++iterations > max_iterations) {
+        return Status::Internal("convex hull failed to converge");
+      }
+      int fid = queue.back();
+      queue.pop_back();
+      WorkFacet& f = facets_[fid];
+      if (!f.alive || f.outside.empty()) continue;
+
+      // Furthest outside point of this facet.
+      int apex = -1;
+      double best = -1.0;
+      for (int p : f.outside) {
+        double h = f.plane.Evaluate(points_[p]);
+        if (h > best) {
+          best = h;
+          apex = p;
+        }
+      }
+      if (best <= options_.eps) {
+        f.outside.clear();
+        continue;
+      }
+
+      Status s = InsertPoint(apex, fid, &queue);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  Status InsertPoint(int apex, int seed_facet, std::vector<int>* queue) {
+    // 1. Visible set: BFS over neighbors from the seed facet.
+    std::vector<int> visible;
+    std::vector<int> stack = {seed_facet};
+    facets_[seed_facet].visible = true;
+    while (!stack.empty()) {
+      int fid = stack.back();
+      stack.pop_back();
+      visible.push_back(fid);
+      for (int nb : facets_[fid].neighbors) {
+        WorkFacet& g = facets_[nb];
+        if (g.visible || !g.alive) continue;
+        if (g.plane.Evaluate(points_[apex]) > options_.eps) {
+          g.visible = true;
+          stack.push_back(nb);
+        }
+      }
+    }
+
+    // 2. Horizon ridges: (visible facet, slot) whose neighbor is hidden.
+    struct Horizon {
+      std::vector<int> ridge;  // d-1 vertices
+      int outer;               // the non-visible facet across the ridge
+      int outer_slot;          // slot in `outer` pointing back
+    };
+    std::vector<Horizon> horizon;
+    for (int fid : visible) {
+      WorkFacet& f = facets_[fid];
+      for (size_t pos = 0; pos < dim_; ++pos) {
+        int nb = f.neighbors[pos];
+        if (facets_[nb].visible) continue;
+        Horizon h;
+        for (size_t i = 0; i < dim_; ++i) {
+          if (i != pos) h.ridge.push_back(f.vertices[i]);
+        }
+        h.outer = nb;
+        h.outer_slot = -1;
+        for (size_t i = 0; i < dim_; ++i) {
+          if (facets_[nb].neighbors[i] == fid) {
+            h.outer_slot = static_cast<int>(i);
+            break;
+          }
+        }
+        if (h.outer_slot < 0) {
+          return Status::Internal("hull adjacency corrupted");
+        }
+        horizon.push_back(std::move(h));
+      }
+    }
+    if (horizon.empty()) {
+      return Status::Internal("empty horizon for outside point");
+    }
+
+    // 3. Build one new facet per horizon ridge.
+    size_t first_new = facets_.size();
+    for (Horizon& h : horizon) {
+      WorkFacet nf;
+      nf.vertices = h.ridge;
+      nf.vertices.push_back(apex);
+      Result<Hyperplane> plane =
+          FitHyperplane(points_, nf.vertices, interior_);
+      if (!plane.ok()) return plane.status();
+      nf.plane = std::move(plane).value();
+      nf.neighbors.assign(dim_, -1);
+      // Slot `dim_-1` holds the apex, so the ridge opposite the apex is
+      // the horizon ridge itself: its neighbor is the outer facet.
+      nf.neighbors[dim_ - 1] = h.outer;
+      int nf_id = static_cast<int>(facets_.size());
+      facets_.push_back(std::move(nf));
+      facets_[h.outer].neighbors[h.outer_slot] = nf_id;
+    }
+
+    // 4. Wire the ridges shared between pairs of new facets. Two new
+    // facets share the ridge {apex} + (ridge \ {v}); key on the sorted
+    // ridge vertices excluding the apex.
+    std::map<std::vector<int>, std::pair<int, int>> half_ridges;
+    for (size_t nf_id = first_new; nf_id < facets_.size(); ++nf_id) {
+      WorkFacet& nf = facets_[nf_id];
+      for (size_t pos = 0; pos + 1 < dim_; ++pos) {  // skip apex slot
+        std::vector<int> key;
+        for (size_t i = 0; i + 1 < dim_; ++i) {
+          if (i != pos) key.push_back(nf.vertices[i]);
+        }
+        std::sort(key.begin(), key.end());
+        auto it = half_ridges.find(key);
+        if (it == half_ridges.end()) {
+          half_ridges.emplace(std::move(key),
+                              std::make_pair(static_cast<int>(nf_id),
+                                             static_cast<int>(pos)));
+        } else {
+          auto [other_id, other_pos] = it->second;
+          nf.neighbors[pos] = other_id;
+          facets_[other_id].neighbors[other_pos] = static_cast<int>(nf_id);
+          half_ridges.erase(it);
+        }
+      }
+    }
+    if (!half_ridges.empty()) {
+      return Status::Internal("unmatched new-facet ridges");
+    }
+
+    // 5. Redistribute the outside points of the visible facets.
+    std::vector<int> orphans;
+    for (int fid : visible) {
+      WorkFacet& f = facets_[fid];
+      for (int p : f.outside) {
+        if (p != apex) orphans.push_back(p);
+      }
+      f.outside.clear();
+      f.alive = false;
+      f.visible = false;
+    }
+    for (int p : orphans) {
+      AssignPoint(p, first_new, facets_.size());
+    }
+    for (size_t nf_id = first_new; nf_id < facets_.size(); ++nf_id) {
+      if (!facets_[nf_id].outside.empty()) {
+        queue->push_back(static_cast<int>(nf_id));
+      }
+    }
+    return Status::Ok();
+  }
+
+  const std::vector<Vec>& points_;
+  const ConvexHullOptions& options_;
+  size_t dim_;
+  std::vector<WorkFacet> facets_;
+  Vec interior_;
+};
+
+}  // namespace
+
+Result<std::vector<int>> FindInitialSimplex(const std::vector<Vec>& points,
+                                            size_t dim, double tol) {
+  const int n = static_cast<int>(points.size());
+  if (n < static_cast<int>(dim) + 1) {
+    return Status::FailedPrecondition("too few points");
+  }
+  std::vector<int> chosen;
+  // Seed with the lexicographically smallest point for determinism.
+  int first = 0;
+  for (int i = 1; i < n; ++i) {
+    if (points[i] < points[first]) first = i;
+  }
+  chosen.push_back(first);
+  // Orthonormal basis of span{p - points[first]} built incrementally.
+  std::vector<Vec> basis;
+  while (chosen.size() < dim + 1) {
+    int best = -1;
+    double best_dist = tol;
+    Vec best_residual;
+    for (int i = 0; i < n; ++i) {
+      Vec r = Sub(points[i], points[first]);
+      for (const Vec& b : basis) {
+        double c = Dot(r, b);
+        for (size_t j = 0; j < r.size(); ++j) r[j] -= c * b[j];
+      }
+      double dist = Norm(r);
+      if (dist > best_dist) {
+        best_dist = dist;
+        best = i;
+        best_residual = std::move(r);
+      }
+    }
+    if (best < 0) {
+      return Status::FailedPrecondition(
+          "points are affinely dependent (lower-dimensional input)");
+    }
+    chosen.push_back(best);
+    NormalizeInPlace(best_residual);
+    basis.push_back(std::move(best_residual));
+  }
+  return chosen;
+}
+
+Result<ConvexHull> ConvexHull::Build(const std::vector<Vec>& points,
+                                     const ConvexHullOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("empty point set");
+  }
+  const size_t d = points[0].size();
+  if (d < 2) return Status::InvalidArgument("dimension must be >= 2");
+
+  Rng joggle_rng(options.joggle_seed);
+  double magnitude = options.joggle_magnitude;
+  std::vector<Vec> working = points;
+  Status last = Status::Ok();
+  int attempts = options.enable_joggle ? options.max_joggle_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Joggle: re-perturb the ORIGINAL coordinates so magnitudes don't
+      // accumulate across retries.
+      working = points;
+      for (Vec& p : working) {
+        for (double& x : p) x += joggle_rng.Uniform(-magnitude, magnitude);
+      }
+      magnitude *= 10.0;
+    }
+    Builder builder(working, options);
+    last = builder.Run();
+    if (last.ok()) {
+      ConvexHull hull;
+      hull.dim_ = d;
+      hull.interior_ = builder.interior();
+      hull.joggled_ = attempt > 0;
+      // Compute the compaction remap before moving facet contents.
+      std::vector<int> remap(builder.facets().size(), -1);
+      int live = 0;
+      for (size_t i = 0; i < builder.facets().size(); ++i) {
+        if (builder.facets()[i].alive) remap[i] = live++;
+      }
+      std::set<int> vertex_set;
+      for (WorkFacet& f : builder.facets()) {
+        if (!f.alive) continue;
+        HullFacet out;
+        out.vertices = std::move(f.vertices);
+        out.plane = std::move(f.plane);
+        out.neighbors = std::move(f.neighbors);
+        for (int& nb : out.neighbors) nb = remap[nb];
+        for (int v : out.vertices) vertex_set.insert(v);
+        hull.facets_.push_back(std::move(out));
+      }
+      hull.vertex_indices_.assign(vertex_set.begin(), vertex_set.end());
+      hull.points_ = std::move(working);
+      return hull;
+    }
+    if (last.code() != StatusCode::kFailedPrecondition &&
+        last.code() != StatusCode::kInternal) {
+      return last;  // non-degeneracy error: do not retry
+    }
+  }
+  return last;
+}
+
+bool ConvexHull::Contains(VecView x, double eps) const {
+  for (const HullFacet& f : facets_) {
+    if (f.plane.Evaluate(x) > eps) return false;
+  }
+  return true;
+}
+
+double ConvexHull::Volume() const {
+  // The facets are simplices; the hull volume is the fan decomposition
+  // around the interior point. This is exact for the coordinates the
+  // hull was built on.
+  double total = 0.0;
+  const double dfact = Factorial(dim_);
+  for (const HullFacet& f : facets_) {
+    total += SimplexDet(points_, f.vertices, interior_) / dfact;
+  }
+  return total;
+}
+
+}  // namespace gir

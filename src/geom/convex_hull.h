@@ -1,0 +1,95 @@
+#ifndef GIR_GEOM_CONVEX_HULL_H_
+#define GIR_GEOM_CONVEX_HULL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace gir {
+
+// A simplicial facet of a d-dimensional convex hull.
+struct HullFacet {
+  // Exactly d point indices (into the input point array).
+  std::vector<int> vertices;
+  // Supporting hyperplane, oriented with the normal pointing outward
+  // (Evaluate(x) <= 0 for points inside the hull, up to epsilon).
+  Hyperplane plane;
+  // neighbors[i] is the id of the facet sharing the ridge opposite
+  // vertices[i] (i.e. vertices \ {vertices[i]}).
+  std::vector<int> neighbors;
+};
+
+struct ConvexHullOptions {
+  // Distance threshold for the "point above facet" test.
+  double eps = 1e-10;
+  // When the input is degenerate (affinely dependent), the build is
+  // retried with joggled coordinates; each retry multiplies the joggle
+  // magnitude by 10. Mirrors Qhull's QJ option.
+  bool enable_joggle = true;
+  double joggle_magnitude = 1e-9;
+  int max_joggle_attempts = 6;
+  uint64_t joggle_seed = 2014;
+};
+
+// Full-dimensional convex hull in d >= 2 dimensions, built with the
+// quickhull / Clarkson incremental strategy (outside sets, furthest-
+// point insertion, horizon-ridge patching). This is the library's
+// substitute for Qhull, used by the CP pruning method and by half-space
+// intersection (via duality).
+class ConvexHull {
+ public:
+  // Requires points.size() >= d + 1 spanning full dimension (possibly
+  // after joggling). Fails with FailedPrecondition otherwise.
+  static Result<ConvexHull> Build(const std::vector<Vec>& points,
+                                  const ConvexHullOptions& options = {});
+
+  size_t dim() const { return dim_; }
+
+  // Simplicial facets of the hull.
+  const std::vector<HullFacet>& facets() const { return facets_; }
+
+  // Sorted unique indices of input points that are hull vertices.
+  const std::vector<int>& vertex_indices() const { return vertex_indices_; }
+
+  // A point strictly inside the hull (centroid of the initial simplex).
+  const Vec& interior_point() const { return interior_; }
+
+  // True when x is inside or on the hull (within eps of every facet).
+  bool Contains(VecView x, double eps = 1e-9) const;
+
+  // Exact volume of the (joggled, if applicable) hull: fan decomposition
+  // of the simplicial facets around interior_point().
+  double Volume() const;
+
+  // True if the build had to joggle the input (degenerate data).
+  bool joggled() const { return joggled_; }
+
+  // The coordinates the hull was actually built on (joggled copies of
+  // the input when joggling kicked in). Facet vertex indices refer to
+  // this array, which is index-aligned with the input.
+  const std::vector<Vec>& points() const { return points_; }
+
+ private:
+  ConvexHull() = default;
+
+  size_t dim_ = 0;
+  std::vector<Vec> points_;
+  std::vector<HullFacet> facets_;
+  std::vector<int> vertex_indices_;
+  Vec interior_;
+  bool joggled_ = false;
+};
+
+// Greedily selects d+1 affinely independent points (indices) via
+// Gram-Schmidt distance-to-subspace maximization. Fails when the point
+// set is (numerically) lower-dimensional. Exposed for reuse by the FP
+// star builder and for tests.
+Result<std::vector<int>> FindInitialSimplex(const std::vector<Vec>& points,
+                                            size_t dim, double tol = 1e-9);
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_CONVEX_HULL_H_

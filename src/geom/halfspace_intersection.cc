@@ -1,0 +1,164 @@
+#include "geom/halfspace_intersection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geom/convex_hull.h"
+#include "geom/lp.h"
+
+namespace gir {
+
+namespace {
+
+// Rounds a normalized constraint for exact-duplicate detection. Two
+// constraints that agree to ~1e-12 after normalization describe the
+// same half-space for our purposes.
+std::vector<int64_t> DedupKey(const Vec& normal, double offset) {
+  std::vector<int64_t> key;
+  key.reserve(normal.size() + 1);
+  for (double x : normal) {
+    key.push_back(static_cast<int64_t>(std::llround(x * 1e12)));
+  }
+  key.push_back(static_cast<int64_t>(std::llround(offset * 1e12)));
+  return key;
+}
+
+}  // namespace
+
+Result<IntersectionResult> IntersectHalfspaces(
+    const std::vector<Halfspace>& ge, VecView interior_hint,
+    const IntersectionOptions& options) {
+  if (ge.empty() && !options.clip_to_unit_cube) {
+    return Status::InvalidArgument("no half-spaces and no cube");
+  }
+  const size_t d = ge.empty() ? interior_hint.size() : ge[0].normal.size();
+  if (d < 2) return Status::InvalidArgument("dimension must be >= 2");
+
+  // 1. Assemble the working set: normalized unique constraints, with a
+  // map back to input indices (cube constraints map to -1).
+  std::vector<Halfspace> work;
+  std::vector<int> source;
+  std::map<std::vector<int64_t>, size_t> seen;
+  auto add = [&](Vec normal, double offset, int source_index) {
+    double n = Norm(normal);
+    if (n < 1e-300) return;  // vacuous or infeasible-constant: skip
+    for (double& x : normal) x /= n;
+    offset /= n;
+    auto key = DedupKey(normal, offset);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      // Keep the first provenance; duplicates are interchangeable.
+      return;
+    }
+    seen.emplace(std::move(key), work.size());
+    work.push_back(Halfspace{std::move(normal), offset});
+    source.push_back(source_index);
+  };
+  for (size_t i = 0; i < ge.size(); ++i) {
+    add(ge[i].normal, ge[i].offset, static_cast<int>(i));
+  }
+  if (options.clip_to_unit_cube) {
+    for (size_t j = 0; j < d; ++j) {
+      Vec up(d, 0.0);
+      up[j] = 1.0;
+      add(up, 0.0, -1);  // x_j >= 0
+      Vec down(d, 0.0);
+      down[j] = -1.0;
+      add(down, -1.0, -1);  // -x_j >= -1  <=>  x_j <= 1
+    }
+  }
+
+  IntersectionResult out;
+  out.polytope = Polytope::Empty(d);
+
+  // 2. Interior point: hint if strictly feasible, else Chebyshev centre.
+  Vec center;
+  bool hint_ok = false;
+  if (interior_hint.size() == d) {
+    hint_ok = true;
+    for (const Halfspace& h : work) {
+      if (Dot(h.normal, interior_hint) - h.offset <= options.hint_margin) {
+        hint_ok = false;
+        break;
+      }
+    }
+    if (hint_ok) center.assign(interior_hint.begin(), interior_hint.end());
+  }
+  if (!hint_ok) {
+    Result<ChebyshevResult> cheb =
+        ChebyshevCenter(work, options.clip_to_unit_cube ? 0.0 : -1e9,
+                        options.clip_to_unit_cube ? 1.0 : 1e9);
+    if (!cheb.ok()) return cheb.status();
+    if (cheb->radius <= 1e-12) {
+      return out;  // empty (or measure-zero) intersection
+    }
+    center = cheb->center;
+  }
+
+  // 3. Dual points: constraint n·x >= c  ==  a·x <= b with a=-n, b=-c;
+  // after translating by the centre, b' = b - a·center > 0 and the dual
+  // point is a / b'.
+  std::vector<Vec> duals;
+  duals.reserve(work.size());
+  for (const Halfspace& h : work) {
+    double margin = Dot(h.normal, center) - h.offset;  // == b'
+    if (margin <= 1e-13) {
+      // The centre is (numerically) on this constraint: treat the
+      // region as lower-dimensional.
+      return out;
+    }
+    Vec dual(d);
+    for (size_t j = 0; j < d; ++j) dual[j] = -h.normal[j] / margin;
+    duals.push_back(std::move(dual));
+  }
+
+  // 4. Convex hull of the dual points.
+  Result<ConvexHull> hull = ConvexHull::Build(duals);
+  if (!hull.ok()) {
+    // Lower-dimensional dual point set means the primal region is
+    // unbounded or degenerate; with the cube clip this is numerical
+    // degeneracy — report an empty polytope rather than failing.
+    if (hull.status().code() == StatusCode::kFailedPrecondition) return out;
+    return hull.status();
+  }
+
+  // 5. Primal vertices from dual facets: facet {y : m·y = o} with o > 0
+  // maps to vertex m/o + center.
+  std::vector<Vec> vertices;
+  for (const HullFacet& f : hull->facets()) {
+    double o = f.plane.offset;
+    if (o <= 1e-13) {
+      // Origin on a dual facet: unbounded primal direction. Cannot
+      // happen with the cube clip except through numerics.
+      continue;
+    }
+    Vec v(d);
+    for (size_t j = 0; j < d; ++j) v[j] = f.plane.normal[j] / o + center[j];
+    bool duplicate = false;
+    for (const Vec& u : vertices) {
+      if (LInfDistance(u, v) < 1e-9) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) vertices.push_back(std::move(v));
+  }
+
+  // 6. Facets of the primal polytope = non-redundant constraints =
+  // constraints whose dual point is a hull vertex.
+  std::vector<Hyperplane> facets;
+  for (int dual_id : hull->vertex_indices()) {
+    const Halfspace& h = work[dual_id];
+    Hyperplane plane;
+    plane.normal = Scale(h.normal, -1.0);
+    plane.offset = -h.offset;
+    facets.push_back(std::move(plane));
+    if (source[dual_id] >= 0) out.nonredundant.push_back(source[dual_id]);
+  }
+  std::sort(out.nonredundant.begin(), out.nonredundant.end());
+  out.polytope = Polytope::FromData(d, std::move(vertices), std::move(facets));
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,45 @@
+#ifndef GIR_GEOM_HALFSPACE_INTERSECTION_H_
+#define GIR_GEOM_HALFSPACE_INTERSECTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+#include "geom/vec.h"
+
+namespace gir {
+
+struct IntersectionOptions {
+  // When true (the default for GIR work) the unit cube [0,1]^d is added
+  // to the constraint set, which also guarantees boundedness.
+  bool clip_to_unit_cube = true;
+  // Margin (relative to the normal's length) required for the interior
+  // hint before the Chebyshev-LP fallback kicks in.
+  double hint_margin = 1e-9;
+};
+
+struct IntersectionResult {
+  Polytope polytope;
+  // Indices of input half-spaces that support a facet of the result
+  // (i.e. are non-redundant). Cube constraints are not reported.
+  std::vector<int> nonredundant;
+};
+
+// Intersects half-spaces given in `normal·x >= offset` form via point
+// duality: translate an interior point to the origin, dualize each
+// half-space a·x <= b (b > 0) to the point a/b, build the convex hull of
+// the dual points, and read primal vertices off dual facets. This is the
+// library's replacement for Qhull's halfspace-intersection mode
+// (qhalf). An empty intersection yields an empty polytope, not an error.
+//
+// `interior_hint` may be empty; if given and strictly feasible it avoids
+// the Chebyshev LP entirely (the GIR engine passes the query vector,
+// which is interior by construction).
+Result<IntersectionResult> IntersectHalfspaces(
+    const std::vector<Halfspace>& ge, VecView interior_hint,
+    const IntersectionOptions& options = {});
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_HALFSPACE_INTERSECTION_H_

@@ -1,0 +1,55 @@
+#include "geom/hull2d.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gir {
+
+double Cross2D(VecView a, VecView b, VecView c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+std::vector<int> ConvexHull2D(const std::vector<Vec>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return points[a][1] < points[b][1];
+  });
+  // Drop exact duplicates so they cannot create zero-length hull edges.
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](int a, int b) {
+                            return points[a][0] == points[b][0] &&
+                                   points[a][1] == points[b][1];
+                          }),
+              order.end());
+  const int m = static_cast<int>(order.size());
+  if (m <= 2) return order;
+
+  std::vector<int> hull(2 * m);
+  int h = 0;
+  // Lower chain.
+  for (int idx = 0; idx < m; ++idx) {
+    int i = order[idx];
+    while (h >= 2 &&
+           Cross2D(points[hull[h - 2]], points[hull[h - 1]], points[i]) <= 0) {
+      --h;
+    }
+    hull[h++] = i;
+  }
+  // Upper chain.
+  const int lower_size = h + 1;
+  for (int idx = m - 2; idx >= 0; --idx) {
+    int i = order[idx];
+    while (h >= lower_size &&
+           Cross2D(points[hull[h - 2]], points[hull[h - 1]], points[i]) <= 0) {
+      --h;
+    }
+    hull[h++] = i;
+  }
+  hull.resize(h - 1);  // Last point equals the first.
+  return hull;
+}
+
+}  // namespace gir

@@ -1,0 +1,23 @@
+#ifndef GIR_GEOM_HULL2D_H_
+#define GIR_GEOM_HULL2D_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace gir {
+
+// Returns the indices of the convex hull of 2-D `points` in
+// counter-clockwise order, starting from the lexicographically smallest
+// point (Andrew's monotone chain). Collinear points on the boundary are
+// excluded. Duplicates are tolerated. Returns all distinct points when
+// there are fewer than three of them.
+std::vector<int> ConvexHull2D(const std::vector<Vec>& points);
+
+// Twice the signed area of triangle (a, b, c); positive when the turn
+// a->b->c is counter-clockwise.
+double Cross2D(VecView a, VecView b, VecView c);
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_HULL2D_H_

@@ -1,0 +1,132 @@
+#include "geom/hyperplane.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gir {
+
+Result<Vec> SolveLinearSystem(std::vector<Vec> a, Vec b, double pivot_floor) {
+  const size_t d = b.size();
+  assert(a.size() == d);
+  for (size_t col = 0; col < d; ++col) {
+    // Partial pivoting: bring the largest remaining entry into place.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < d; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < pivot_floor) {
+      return Status::FailedPrecondition("singular linear system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < d; ++row) {
+      double f = a[row][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t j = col; j < d; ++j) a[row][j] -= f * a[col][j];
+      b[row] -= f * b[col];
+    }
+  }
+  Vec x(d, 0.0);
+  for (size_t row = d; row-- > 0;) {
+    double sum = b[row];
+    for (size_t j = row + 1; j < d; ++j) sum -= a[row][j] * x[j];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+namespace {
+
+// Computes a (numerical) null vector of the (d-1) x d matrix whose rows
+// are `rows`, via Gaussian elimination with full column bookkeeping. The
+// matrix must have rank d-1; the free column determines the normal.
+Result<Vec> NullVector(std::vector<Vec> rows, size_t d) {
+  const size_t m = rows.size();  // == d - 1
+  std::vector<int> pivot_col_of_row(m, -1);
+  std::vector<bool> col_used(d, false);
+  size_t row = 0;
+  for (; row < m; ++row) {
+    // Choose the largest-magnitude unused column in this row block.
+    size_t best_row = row;
+    size_t best_col = 0;
+    double best_val = 0.0;
+    for (size_t r = row; r < m; ++r) {
+      for (size_t c = 0; c < d; ++c) {
+        if (col_used[c]) continue;
+        if (std::fabs(rows[r][c]) > best_val) {
+          best_val = std::fabs(rows[r][c]);
+          best_row = r;
+          best_col = c;
+        }
+      }
+    }
+    if (best_val < 1e-12) {
+      return Status::FailedPrecondition(
+          "affinely dependent points (rank-deficient facet basis)");
+    }
+    std::swap(rows[row], rows[best_row]);
+    col_used[best_col] = true;
+    pivot_col_of_row[row] = static_cast<int>(best_col);
+    for (size_t r = row + 1; r < m; ++r) {
+      double f = rows[r][best_col] / rows[row][best_col];
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < d; ++c) rows[r][c] -= f * rows[row][c];
+    }
+  }
+  // Exactly one column is pivot-free; it parameterizes the null space.
+  size_t free_col = d;
+  for (size_t c = 0; c < d; ++c) {
+    if (!col_used[c]) {
+      free_col = c;
+      break;
+    }
+  }
+  assert(free_col < d);
+  Vec normal(d, 0.0);
+  normal[free_col] = 1.0;
+  // Back-substitute pivot coordinates.
+  for (size_t r = m; r-- > 0;) {
+    int pc = pivot_col_of_row[r];
+    double sum = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      if (static_cast<int>(c) != pc) sum += rows[r][c] * normal[c];
+    }
+    normal[pc] = -sum / rows[r][pc];
+  }
+  return normal;
+}
+
+}  // namespace
+
+Result<Hyperplane> FitHyperplane(const std::vector<Vec>& points,
+                                 const std::vector<int>& indices,
+                                 VecView interior) {
+  const size_t d = interior.size();
+  assert(indices.size() == d);
+  const Vec& base = points[indices[0]];
+  std::vector<Vec> rows;
+  rows.reserve(d - 1);
+  for (size_t i = 1; i < d; ++i) {
+    rows.push_back(Sub(points[indices[i]], base));
+  }
+  Result<Vec> normal = NullVector(std::move(rows), d);
+  if (!normal.ok()) return normal.status();
+  Vec n = std::move(normal).value();
+  if (!NormalizeInPlace(n)) {
+    return Status::FailedPrecondition("degenerate facet normal");
+  }
+  Hyperplane plane;
+  plane.offset = Dot(n, base);
+  plane.normal = std::move(n);
+  double side = plane.Evaluate(interior);
+  if (std::fabs(side) < 1e-14) {
+    return Status::FailedPrecondition("interior point lies on facet plane");
+  }
+  if (side > 0.0) {
+    for (double& x : plane.normal) x = -x;
+    plane.offset = -plane.offset;
+  }
+  return plane;
+}
+
+}  // namespace gir

@@ -1,0 +1,255 @@
+#include "geom/lp.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gir {
+
+namespace {
+
+constexpr double kPivotEps = 1e-11;
+
+// Dense tableau for the standard-form program
+//   maximize c'·y  s.t.  T y = rhs, y >= 0
+// produced from the caller's free-variable <= form by variable splitting
+// (x = u - v) and slack insertion.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double& Rhs(size_t r) { return data_[r * (cols_ + 1) + cols_]; }
+
+  // Pivot on (row, col): make column `col` the basic column of `row`.
+  void Pivot(size_t row, size_t col) {
+    double p = At(row, col);
+    assert(std::fabs(p) > 0);
+    for (size_t c = 0; c <= cols_; ++c) data_[row * (cols_ + 1) + c] /= p;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == row) continue;
+      double f = At(r, col);
+      if (f == 0.0) continue;
+      for (size_t c = 0; c <= cols_; ++c) {
+        data_[r * (cols_ + 1) + c] -= f * data_[row * (cols_ + 1) + c];
+      }
+    }
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Runs simplex iterations on `t` maximizing the objective in
+// `objective` (reduced-cost row maintained by the caller as row-vector
+// `z`), with Bland's rule. Returns kOptimal/kUnbounded/kIterationLimit.
+// `basis[r]` tracks the basic column of each row.
+LpStatus RunSimplex(Tableau& t, std::vector<double>& z, double& z_rhs,
+                    std::vector<size_t>& basis, int max_iterations,
+                    size_t usable_cols) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Bland: entering column = smallest index with positive reduced cost.
+    size_t enter = usable_cols;
+    for (size_t c = 0; c < usable_cols; ++c) {
+      if (z[c] > kPivotEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == usable_cols) return LpStatus::kOptimal;
+    // Ratio test; Bland ties broken by smallest basic column index.
+    size_t leave = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < t.rows(); ++r) {
+      double a = t.At(r, enter);
+      if (a > kPivotEps) {
+        double ratio = t.Rhs(r) / a;
+        if (ratio < best_ratio - 1e-15 ||
+            (std::fabs(ratio - best_ratio) <= 1e-15 &&
+             (leave == t.rows() || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == t.rows()) return LpStatus::kUnbounded;
+    t.Pivot(leave, enter);
+    // Update the reduced-cost row.
+    double f = z[enter];
+    for (size_t c = 0; c < z.size(); ++c) z[c] -= f * t.At(leave, c);
+    z_rhs -= f * t.Rhs(leave);
+    basis[leave] = enter;
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
+  const size_t m = problem.a.size();
+  const size_t n = problem.c.size();
+  LpSolution out;
+
+  // Columns: u (n), v (n), slack (m), artificial (m at most).
+  // Row i:  a_i·u - a_i·v + s_i = b_i  (row negated when b_i < 0, which
+  // turns s_i's coefficient to -1 and requires an artificial).
+  std::vector<bool> negated(m, false);
+  size_t num_art = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (problem.b[i] < 0) {
+      negated[i] = true;
+      ++num_art;
+    }
+  }
+  const size_t cols = 2 * n + m + num_art;
+  Tableau t(m, cols);
+  std::vector<size_t> basis(m);
+  size_t art_next = 2 * n + m;
+  for (size_t i = 0; i < m; ++i) {
+    double sign = negated[i] ? -1.0 : 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      t.At(i, j) = sign * problem.a[i][j];
+      t.At(i, n + j) = -sign * problem.a[i][j];
+    }
+    t.At(i, 2 * n + i) = sign;  // slack
+    t.Rhs(i) = sign * problem.b[i];
+    if (negated[i]) {
+      t.At(i, art_next) = 1.0;
+      basis[i] = art_next;
+      ++art_next;
+    } else {
+      basis[i] = 2 * n + i;
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials). Reduced costs start as the
+  // sum of the artificial rows (since artificials are basic).
+  if (num_art > 0) {
+    std::vector<double> z(cols, 0.0);
+    double z_rhs = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= 2 * n + m) {
+        for (size_t c = 0; c < cols; ++c) z[c] += t.At(i, c);
+        z_rhs += t.Rhs(i);
+      }
+    }
+    // Artificial columns must not re-enter.
+    for (size_t c = 2 * n + m; c < cols; ++c) z[c] = 0.0;
+    LpStatus s =
+        RunSimplex(t, z, z_rhs, basis, max_iterations, 2 * n + m);
+    if (s == LpStatus::kIterationLimit) {
+      out.status = s;
+      return out;
+    }
+    if (z_rhs > 1e-7) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Drive any degenerate artificial out of the basis if possible.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= 2 * n + m) {
+        for (size_t c = 0; c < 2 * n + m; ++c) {
+          if (std::fabs(t.At(r, c)) > kPivotEps) {
+            t.Pivot(r, c);
+            basis[r] = c;
+            break;
+          }
+        }
+        // A row that stays artificial-basic with zero rhs is redundant;
+        // it simply never pivots again.
+      }
+    }
+  }
+
+  // Phase 2: maximize c·x = c·u - c·v. Build reduced costs relative to
+  // the current basis: z = c_col - c_B * B^{-1} A (computed by
+  // eliminating basic columns).
+  std::vector<double> z(cols, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    z[j] = problem.c[j];
+    z[n + j] = -problem.c[j];
+  }
+  double z_rhs = 0.0;
+  for (size_t r = 0; r < m; ++r) {
+    size_t bcol = basis[r];
+    double f = z[bcol];
+    if (f == 0.0) continue;
+    for (size_t c = 0; c < cols; ++c) z[c] -= f * t.At(r, c);
+    z_rhs -= f * t.Rhs(r);
+  }
+  for (size_t c = 2 * n + m; c < cols; ++c) z[c] = -1.0;  // keep art out
+  LpStatus s = RunSimplex(t, z, z_rhs, basis, max_iterations, 2 * n + m);
+  out.status = s;
+  if (s != LpStatus::kOptimal) return out;
+
+  Vec u(n, 0.0);
+  Vec v(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) {
+      u[basis[r]] = t.Rhs(r);
+    } else if (basis[r] < 2 * n) {
+      v[basis[r] - n] = t.Rhs(r);
+    }
+  }
+  out.x.resize(n);
+  for (size_t j = 0; j < n; ++j) out.x[j] = u[j] - v[j];
+  out.objective = Dot(problem.c, out.x);
+  return out;
+}
+
+Result<ChebyshevResult> ChebyshevCenter(const std::vector<Halfspace>& ge,
+                                        double lo, double hi) {
+  if (ge.empty()) return Status::InvalidArgument("no half-spaces");
+  const size_t d = ge[0].normal.size();
+  // Variables: (x_1..x_d, r). maximize r subject to
+  //   -n_i·x + ||n_i|| r <= -offset_i   (from n_i·x - ||n_i|| r >= offset_i)
+  //    x_j + r <= hi,  -x_j + r <= -lo  (ball inside the box)
+  LpProblem lp;
+  lp.c.assign(d + 1, 0.0);
+  lp.c[d] = 1.0;
+  for (const Halfspace& h : ge) {
+    Vec row(d + 1, 0.0);
+    for (size_t j = 0; j < d; ++j) row[j] = -h.normal[j];
+    row[d] = Norm(h.normal);
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(-h.offset);
+  }
+  for (size_t j = 0; j < d; ++j) {
+    Vec row1(d + 1, 0.0);
+    row1[j] = 1.0;
+    row1[d] = 1.0;
+    lp.a.push_back(std::move(row1));
+    lp.b.push_back(hi);
+    Vec row2(d + 1, 0.0);
+    row2[j] = -1.0;
+    row2[d] = 1.0;
+    lp.a.push_back(std::move(row2));
+    lp.b.push_back(-lo);
+  }
+  // r >= 0 is not enforced: a negative optimum signals emptiness.
+  LpSolution sol = SolveLp(lp);
+  if (sol.status == LpStatus::kInfeasible) {
+    return ChebyshevResult{Vec(d, 0.0), -1.0};
+  }
+  if (sol.status != LpStatus::kOptimal) {
+    return Status::Internal("Chebyshev LP did not converge");
+  }
+  ChebyshevResult r;
+  r.center.assign(sol.x.begin(), sol.x.begin() + d);
+  r.radius = sol.x[d];
+  return r;
+}
+
+bool IsStrictlyFeasible(const std::vector<Halfspace>& ge, double lo,
+                        double hi, double margin) {
+  Result<ChebyshevResult> c = ChebyshevCenter(ge, lo, hi);
+  return c.ok() && c->radius > margin;
+}
+
+}  // namespace gir

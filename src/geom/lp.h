@@ -1,0 +1,58 @@
+#ifndef GIR_GEOM_LP_H_
+#define GIR_GEOM_LP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace gir {
+
+// Outcome of a linear program.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  Vec x;                   // optimal point (valid when kOptimal)
+  double objective = 0.0;  // c·x at the optimum
+};
+
+// maximize c·x  subject to  a[i]·x <= b[i], x free.
+//
+// Dense two-phase primal simplex with Bland's anti-cycling rule. The
+// library only ever solves low-dimensional instances (d <= ~10
+// variables); constraint counts are modest because callers pre-reduce
+// constraint sets. Intended for Chebyshev centres, feasibility probes
+// and constraint-redundancy cross-checks — not a general-purpose solver.
+struct LpProblem {
+  std::vector<Vec> a;
+  Vec b;
+  Vec c;
+};
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations = 20000);
+
+// Largest ball inside the intersection of half-spaces `normal·x >= offset`
+// plus the bounding box [lo, hi]^d. Returns (center, radius); radius <= 0
+// means the region is empty or lower-dimensional.
+struct ChebyshevResult {
+  Vec center;
+  double radius = -1.0;
+};
+Result<ChebyshevResult> ChebyshevCenter(const std::vector<Halfspace>& ge,
+                                        double lo = 0.0, double hi = 1.0);
+
+// True when the intersection of the half-spaces (>= form) and the box
+// has a point with margin >= `margin` to every constraint.
+bool IsStrictlyFeasible(const std::vector<Halfspace>& ge, double lo,
+                        double hi, double margin);
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_LP_H_

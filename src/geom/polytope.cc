@@ -1,0 +1,32 @@
+#include "geom/polytope.h"
+
+#include "geom/convex_hull.h"
+
+namespace gir {
+
+bool Polytope::Contains(VecView x, double eps) const {
+  if (empty()) return false;
+  for (const Hyperplane& f : facets_) {
+    if (f.Evaluate(x) > eps) return false;
+  }
+  return true;
+}
+
+double Polytope::Volume() const {
+  if (vertices_.size() < dim_ + 1) return 0.0;
+  Result<ConvexHull> hull = ConvexHull::Build(vertices_);
+  if (!hull.ok()) return 0.0;  // lower-dimensional: zero d-volume
+  return hull->Volume();
+}
+
+Vec Polytope::Centroid() const {
+  Vec c(dim_, 0.0);
+  if (vertices_.empty()) return c;
+  for (const Vec& v : vertices_) {
+    for (size_t j = 0; j < dim_; ++j) c[j] += v[j];
+  }
+  for (double& x : c) x /= static_cast<double>(vertices_.size());
+  return c;
+}
+
+}  // namespace gir

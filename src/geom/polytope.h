@@ -1,0 +1,53 @@
+#ifndef GIR_GEOM_POLYTOPE_H_
+#define GIR_GEOM_POLYTOPE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/hyperplane.h"
+#include "geom/vec.h"
+
+namespace gir {
+
+// A bounded convex polytope in vertex + facet representation.
+// Facet hyperplanes are oriented outward: x is inside iff
+// Evaluate(x) <= eps for every facet.
+class Polytope {
+ public:
+  static Polytope Empty(size_t dim) {
+    Polytope p;
+    p.dim_ = dim;
+    return p;
+  }
+  static Polytope FromData(size_t dim, std::vector<Vec> vertices,
+                           std::vector<Hyperplane> facets) {
+    Polytope p;
+    p.dim_ = dim;
+    p.vertices_ = std::move(vertices);
+    p.facets_ = std::move(facets);
+    return p;
+  }
+
+  size_t dim() const { return dim_; }
+  bool empty() const { return vertices_.empty(); }
+  const std::vector<Vec>& vertices() const { return vertices_; }
+  const std::vector<Hyperplane>& facets() const { return facets_; }
+
+  bool Contains(VecView x, double eps = 1e-9) const;
+
+  // Exact d-volume by convex-hull fan decomposition of the vertices.
+  // Returns 0 for empty or lower-dimensional polytopes.
+  double Volume() const;
+
+  // Vertex centroid (undefined for empty polytopes).
+  Vec Centroid() const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<Vec> vertices_;
+  std::vector<Hyperplane> facets_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_POLYTOPE_H_

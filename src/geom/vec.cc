@@ -1,0 +1,75 @@
+#include "geom/vec.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gir {
+
+double Dot(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Vec Sub(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Add(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Scale(VecView a, double s) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Vec AddScaled(VecView a, VecView b, double s) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double NormSquared(VecView a) { return Dot(a, a); }
+
+double Norm(VecView a) { return std::sqrt(NormSquared(a)); }
+
+bool NormalizeInPlace(Vec& a, double min_norm) {
+  double n = Norm(a);
+  if (n < min_norm) return false;
+  for (double& x : a) x /= n;
+  return true;
+}
+
+double LInfDistance(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+std::string ToString(VecView a) {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", a[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,48 @@
+#ifndef GIR_GEOM_VEC_H_
+#define GIR_GEOM_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gir {
+
+// Dense d-dimensional point/vector. Dimensionality in this library is a
+// runtime parameter (the paper evaluates d in [2, 8]), so points are
+// heap vectors; hot loops take std::span views to avoid copies.
+using Vec = std::vector<double>;
+using VecView = std::span<const double>;
+
+// Dot product. Spans must have equal length.
+double Dot(VecView a, VecView b);
+
+// Elementwise a - b.
+Vec Sub(VecView a, VecView b);
+
+// Elementwise a + b.
+Vec Add(VecView a, VecView b);
+
+// s * a.
+Vec Scale(VecView a, double s);
+
+// a + s * b, the fused update used by hull/LP pivoting.
+Vec AddScaled(VecView a, VecView b, double s);
+
+// Euclidean norm and squared norm.
+double Norm(VecView a);
+double NormSquared(VecView a);
+
+// Normalizes in place; returns false (leaving `a` untouched) when the
+// norm underflows the given floor.
+bool NormalizeInPlace(Vec& a, double min_norm = 1e-300);
+
+// L-infinity distance between two points.
+double LInfDistance(VecView a, VecView b);
+
+// "(x1, x2, ..)" with %.6g formatting, for logs and test messages.
+std::string ToString(VecView a);
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_VEC_H_

@@ -1,0 +1,63 @@
+#include "geom/volume.h"
+
+#include <algorithm>
+
+namespace gir {
+
+namespace {
+
+bool SatisfiesAll(const std::vector<Halfspace>& ge, VecView x) {
+  for (const Halfspace& h : ge) {
+    if (Dot(h.normal, x) < h.offset) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double MonteCarloCubeFraction(const std::vector<Halfspace>& ge, size_t dim,
+                              uint64_t samples, Rng& rng) {
+  uint64_t hits = 0;
+  Vec x(dim);
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < dim; ++j) x[j] = rng.Uniform();
+    if (SatisfiesAll(ge, x)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double MonteCarloVolumeInBox(const std::vector<Halfspace>& ge, VecView box_lo,
+                             VecView box_hi, uint64_t samples, Rng& rng) {
+  const size_t dim = box_lo.size();
+  double box_volume = 1.0;
+  for (size_t j = 0; j < dim; ++j) {
+    box_volume *= std::max(0.0, box_hi[j] - box_lo[j]);
+  }
+  if (box_volume <= 0.0) return 0.0;
+  uint64_t hits = 0;
+  Vec x(dim);
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < dim; ++j) {
+      x[j] = rng.Uniform(box_lo[j], box_hi[j]);
+    }
+    if (SatisfiesAll(ge, x)) ++hits;
+  }
+  return box_volume * static_cast<double>(hits) /
+         static_cast<double>(samples);
+}
+
+bool BoundingBox(const Polytope& polytope, Vec* lo, Vec* hi) {
+  if (polytope.empty()) return false;
+  const size_t d = polytope.dim();
+  lo->assign(d, 1e300);
+  hi->assign(d, -1e300);
+  for (const Vec& v : polytope.vertices()) {
+    for (size_t j = 0; j < d; ++j) {
+      (*lo)[j] = std::min((*lo)[j], v[j]);
+      (*hi)[j] = std::max((*hi)[j], v[j]);
+    }
+  }
+  return true;
+}
+
+}  // namespace gir

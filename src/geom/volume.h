@@ -1,0 +1,32 @@
+#ifndef GIR_GEOM_VOLUME_H_
+#define GIR_GEOM_VOLUME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+
+namespace gir {
+
+// Fraction of the unit cube [0,1]^d satisfying all half-spaces
+// (normal·x >= offset), by uniform Monte-Carlo sampling. This is the
+// paper's LIK sensitivity measure estimated directly; use the exact
+// polytope volume for small-volume / high-precision cases.
+double MonteCarloCubeFraction(const std::vector<Halfspace>& ge, size_t dim,
+                              uint64_t samples, Rng& rng);
+
+// Monte-Carlo volume of the region inside `box_lo/box_hi` satisfying the
+// half-spaces; returns the absolute volume (box volume * hit fraction).
+double MonteCarloVolumeInBox(const std::vector<Halfspace>& ge,
+                             VecView box_lo, VecView box_hi,
+                             uint64_t samples, Rng& rng);
+
+// Axis-aligned bounding box of a polytope's vertices. Returns false for
+// empty polytopes.
+bool BoundingBox(const Polytope& polytope, Vec* lo, Vec* hi);
+
+}  // namespace gir
+
+#endif  // GIR_GEOM_VOLUME_H_

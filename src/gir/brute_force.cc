@@ -1,0 +1,37 @@
+#include "gir/brute_force.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gir/phase1.h"
+
+namespace gir {
+
+Result<GirRegion> ComputeGirBruteForce(const Dataset& data,
+                                       const ScoringFunction& scoring,
+                                       VecView weights, size_t k) {
+  if (k == 0 || k > data.size()) {
+    return Status::InvalidArgument("k out of range for dataset");
+  }
+  std::vector<RecordId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](RecordId a, RecordId b) {
+    return scoring.Score(data.Get(a), weights) >
+           scoring.Score(data.Get(b), weights);
+  });
+  std::vector<RecordId> result(ids.begin(), ids.begin() + k);
+  GirRegion region(data.dim(), Vec(weights.begin(), weights.end()), result);
+  AddPhase1Constraints(data, scoring, result, &region);
+  Vec gk = scoring.Transform(data.Get(result.back()));
+  for (size_t i = k; i < ids.size(); ++i) {
+    Vec gp = scoring.Transform(data.Get(ids[i]));
+    ConstraintProvenance prov;
+    prov.kind = ConstraintProvenance::Kind::kOvertake;
+    prov.position = static_cast<int>(k) - 1;
+    prov.challenger = ids[i];
+    region.AddConstraint(Sub(gk, gp), prov);
+  }
+  return region;
+}
+
+}  // namespace gir

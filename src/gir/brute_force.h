@@ -1,0 +1,25 @@
+#ifndef GIR_GIR_BRUTE_FORCE_H_
+#define GIR_GIR_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "gir/gir_region.h"
+#include "topk/scoring.h"
+
+namespace gir {
+
+// Reference GIR: linear-scan top-k, then ALL n-1 half-spaces of
+// Definition 1 (k-1 ordering + n-k overtaking). This is the
+// O(n) data-access / Omega(n^{d/2}) intersection straw-man of paper
+// §3.3, kept as ground truth for the pruning methods: SP, CP and FP
+// must produce exactly this region (their constraint sets differ, the
+// intersection does not).
+Result<GirRegion> ComputeGirBruteForce(const Dataset& data,
+                                       const ScoringFunction& scoring,
+                                       VecView weights, size_t k);
+
+}  // namespace gir
+
+#endif  // GIR_GIR_BRUTE_FORCE_H_

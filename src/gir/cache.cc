@@ -1,0 +1,32 @@
+#include "gir/cache.h"
+
+namespace gir {
+
+GirCache::Lookup GirCache::Probe(VecView q, size_t k) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->region.Contains(q)) continue;
+    Lookup out;
+    if (k <= it->k) {
+      out.kind = HitKind::kExact;
+      out.records.assign(it->result.begin(), it->result.begin() + k);
+      ++hits_;
+    } else {
+      out.kind = HitKind::kPartial;
+      out.records = it->result;
+      ++partial_hits_;
+    }
+    // Move to front (LRU).
+    entries_.splice(entries_.begin(), entries_, it);
+    return out;
+  }
+  ++misses_;
+  return Lookup{};
+}
+
+void GirCache::Insert(size_t k, std::vector<RecordId> result,
+                      GirRegion region) {
+  entries_.push_front(Entry{k, std::move(result), std::move(region)});
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+}  // namespace gir

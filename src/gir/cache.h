@@ -1,0 +1,62 @@
+#ifndef GIR_GIR_CACHE_H_
+#define GIR_GIR_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "gir/gir_region.h"
+
+namespace gir {
+
+// Top-k result cache keyed by GIR containment (paper Introduction,
+// "result caching" application): a new query vector that falls inside
+// the GIR of a cached result can reuse it outright — including its
+// exact score order. LRU-evicted at `capacity` entries.
+class GirCache {
+ public:
+  explicit GirCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  struct Entry {
+    size_t k = 0;
+    std::vector<RecordId> result;
+    GirRegion region;
+  };
+
+  enum class HitKind {
+    kMiss,
+    // Requested k <= cached k: the prefix of the cached result is the
+    // exact answer.
+    kExact,
+    // Requested k > cached k: the cached records are the correct first
+    // part of the answer and can be reported immediately (paper §1 /
+    // Tan et al. progressive reporting); the tail still needs work.
+    kPartial,
+  };
+  struct Lookup {
+    HitKind kind = HitKind::kMiss;
+    std::vector<RecordId> records;  // valid prefix of the true top-k
+  };
+
+  // Probes the cache for query vector q with result size k.
+  Lookup Probe(VecView q, size_t k);
+
+  // Inserts a computed GIR. The region is copied.
+  void Insert(size_t k, std::vector<RecordId> result, GirRegion region);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t partial_hits() const { return partial_hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t partial_hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_CACHE_H_

@@ -1,0 +1,158 @@
+#include "gir/engine.h"
+
+#include "common/stopwatch.h"
+#include "gir/brute_force.h"
+#include "gir/cp.h"
+#include "gir/fp2d.h"
+#include "gir/gir_star.h"
+#include "gir/phase1.h"
+#include "gir/sp.h"
+
+namespace gir {
+
+Result<Phase2Method> ParsePhase2Method(const std::string& name) {
+  if (name == "SP") return Phase2Method::kSP;
+  if (name == "CP") return Phase2Method::kCP;
+  if (name == "FP") return Phase2Method::kFP;
+  if (name == "BF" || name == "BruteForce") return Phase2Method::kBruteForce;
+  return Status::InvalidArgument("unknown Phase-2 method: " + name);
+}
+
+std::string Phase2MethodName(Phase2Method method) {
+  switch (method) {
+    case Phase2Method::kSP:
+      return "SP";
+    case Phase2Method::kCP:
+      return "CP";
+    case Phase2Method::kFP:
+      return "FP";
+    case Phase2Method::kBruteForce:
+      return "BF";
+  }
+  return "?";
+}
+
+GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
+                     std::unique_ptr<ScoringFunction> scoring,
+                     const GirEngineOptions& options)
+    : dataset_(dataset),
+      disk_(disk),
+      scoring_(std::move(scoring)),
+      options_(options),
+      tree_(RTree::BulkLoad(dataset, disk)) {}
+
+Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
+                                          Phase2Method method,
+                                          bool order_sensitive) const {
+  if (k == 0 || k > dataset_->size()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  GirStats stats;
+
+  // Top-k retrieval (BRS), ahead of GIR computation proper.
+  Stopwatch sw;
+  Result<TopKResult> topk = RunBrs(tree_, *scoring_, weights, k);
+  if (!topk.ok()) return topk.status();
+  stats.topk_cpu_ms = sw.ElapsedMillis();
+  stats.topk_reads = topk->io.reads;
+
+  GirRegion region(dataset_->dim(), Vec(weights.begin(), weights.end()),
+                   topk->result);
+
+  // Phase 1 (order-sensitive only; GIR* has no ordering constraints).
+  if (order_sensitive) {
+    sw.Restart();
+    AddPhase1Constraints(*dataset_, *scoring_, topk->result, &region);
+    stats.phase1_cpu_ms = sw.ElapsedMillis();
+  }
+
+  // Phase 2.
+  sw.Restart();
+  Phase2Output p2;
+  if (order_sensitive) {
+    switch (method) {
+      case Phase2Method::kSP:
+        p2 = RunSpPhase2(tree_, *scoring_, weights, *topk, &region);
+        break;
+      case Phase2Method::kCP:
+        p2 = RunCpPhase2(tree_, *scoring_, weights, *topk, &region);
+        break;
+      case Phase2Method::kFP: {
+        Result<Phase2Output> r =
+            dataset_->dim() == 2
+                ? RunFp2dPhase2(tree_, *scoring_, weights, *topk, &region)
+                : RunFpNdPhase2(tree_, *scoring_, weights, *topk, &region,
+                                options_.fp);
+        if (!r.ok()) return r.status();
+        p2 = *r;
+        break;
+      }
+      case Phase2Method::kBruteForce: {
+        // Reference path: scan the dataset (charging the equivalent
+        // page reads) and add every non-result constraint.
+        IoStats before = disk_->stats();
+        const RecordId pk = topk->result.back();
+        Vec gk = scoring_->Transform(dataset_->Get(pk));
+        std::vector<bool> in_result(dataset_->size(), false);
+        for (RecordId id : topk->result) in_result[id] = true;
+        ConstraintProvenance prov;
+        prov.kind = ConstraintProvenance::Kind::kOvertake;
+        prov.position = static_cast<int>(k) - 1;
+        for (size_t i = 0; i < dataset_->size(); ++i) {
+          if (in_result[i]) continue;
+          prov.challenger = static_cast<RecordId>(i);
+          region.AddConstraint(
+              Sub(gk, scoring_->Transform(dataset_->Get(prov.challenger))),
+              prov);
+        }
+        // Simulate the full-scan I/O the paper ascribes to this
+        // approach: every leaf page is read.
+        for (size_t n = 0; n < tree_.node_count(); ++n) {
+          if (tree_.PeekNode(static_cast<PageId>(n)).is_leaf) {
+            disk_->NoteRead();
+          }
+        }
+        p2.candidates = dataset_->size() - k;
+        p2.io = disk_->stats() - before;
+        break;
+      }
+    }
+  } else {
+    Result<Phase2Output> r =
+        RunGirStarPhase2(tree_, *scoring_, weights, *topk,
+                         Phase2MethodName(method), &region, options_.fp);
+    if (!r.ok()) return r.status();
+    p2 = *r;
+  }
+  stats.phase2_cpu_ms = sw.ElapsedMillis();
+  stats.phase2_reads = p2.io.reads;
+  stats.candidates = p2.candidates;
+  stats.star_facets = p2.star_facets;
+  stats.constraints = region.constraints().size();
+
+  // Half-space intersection (the paper runs Qhull here and charges it
+  // to the method's CPU time).
+  if (options_.materialize_polytope) {
+    sw.Restart();
+    region.polytope();
+    stats.intersect_cpu_ms = sw.ElapsedMillis();
+  }
+
+  GirComputation out{std::move(*topk), std::move(region), stats};
+  return out;
+}
+
+Result<GirComputation> GirEngine::ComputeGir(VecView weights, size_t k,
+                                             Phase2Method method) const {
+  return Compute(weights, k, method, /*order_sensitive=*/true);
+}
+
+Result<GirComputation> GirEngine::ComputeGirStar(VecView weights, size_t k,
+                                                 Phase2Method method) const {
+  if (method == Phase2Method::kBruteForce) {
+    return Status::InvalidArgument("GIR* supports SP, CP and FP");
+  }
+  return Compute(weights, k, method, /*order_sensitive=*/false);
+}
+
+}  // namespace gir

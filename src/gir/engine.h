@@ -1,0 +1,102 @@
+#ifndef GIR_GIR_ENGINE_H_
+#define GIR_GIR_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "gir/fpnd.h"
+#include "gir/gir_region.h"
+#include "index/rtree.h"
+#include "topk/brs.h"
+
+namespace gir {
+
+// Phase-2 algorithm selector (paper §5-§6).
+enum class Phase2Method {
+  kSP,          // skyline pruning
+  kCP,          // convex-hull pruning
+  kFP,          // facet pruning (2-D angular variant / d-dim star)
+  kBruteForce,  // all n-1 half-spaces (reference; §3.3 straw-man)
+};
+
+Result<Phase2Method> ParsePhase2Method(const std::string& name);
+std::string Phase2MethodName(Phase2Method method);
+
+// Cost breakdown of one GIR computation, mirroring what the paper's
+// charts report (total CPU, total I/O) while keeping phases separate.
+struct GirStats {
+  double topk_cpu_ms = 0.0;
+  double phase1_cpu_ms = 0.0;
+  double phase2_cpu_ms = 0.0;      // pruning + constraint derivation
+  double intersect_cpu_ms = 0.0;   // half-space intersection (qhalf role)
+  uint64_t topk_reads = 0;
+  uint64_t phase2_reads = 0;
+  size_t candidates = 0;   // |SL|, |SL ∩ CH| or #critical records
+  size_t star_facets = 0;  // FP only: live incident facets (Fig. 8(b))
+  size_t constraints = 0;  // half-spaces in the final region
+
+  double GirCpuMillis() const {
+    return phase1_cpu_ms + phase2_cpu_ms + intersect_cpu_ms;
+  }
+  double GirIoMillis(double ms_per_read) const {
+    return static_cast<double>(phase2_reads) * ms_per_read;
+  }
+};
+
+struct GirComputation {
+  TopKResult topk;
+  GirRegion region;
+  GirStats stats;
+};
+
+struct GirEngineOptions {
+  FpOptions fp;
+  // Materialize the region polytope inside the timed section (the paper
+  // charges Qhull's half-space intersection to each method's CPU).
+  bool materialize_polytope = true;
+};
+
+// Public facade: owns the R*-tree over a dataset and computes top-k
+// results together with their (order-sensitive or order-insensitive)
+// global immutable regions.
+//
+//   DiskManager disk;
+//   GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+//   auto gir = engine.ComputeGir(weights, 20, Phase2Method::kFP);
+//
+// The dataset and disk manager must outlive the engine.
+class GirEngine {
+ public:
+  GirEngine(const Dataset* dataset, DiskManager* disk,
+            std::unique_ptr<ScoringFunction> scoring,
+            const GirEngineOptions& options = {});
+
+  // Order-sensitive GIR (Definition 1).
+  Result<GirComputation> ComputeGir(VecView weights, size_t k,
+                                    Phase2Method method) const;
+
+  // Order-insensitive GIR* (Definition 2); no Phase-1 constraints.
+  Result<GirComputation> ComputeGirStar(VecView weights, size_t k,
+                                        Phase2Method method) const;
+
+  const RTree& tree() const { return tree_; }
+  const Dataset& dataset() const { return *dataset_; }
+  const ScoringFunction& scoring() const { return *scoring_; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  Result<GirComputation> Compute(VecView weights, size_t k,
+                                 Phase2Method method, bool order_sensitive)
+      const;
+
+  const Dataset* dataset_;
+  DiskManager* disk_;
+  std::unique_ptr<ScoringFunction> scoring_;
+  GirEngineOptions options_;
+  RTree tree_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_ENGINE_H_

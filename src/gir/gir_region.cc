@@ -1,0 +1,108 @@
+#include "gir/gir_region.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gir {
+
+std::string ConstraintProvenance::Describe(
+    const std::vector<RecordId>& result) const {
+  char buf[128];
+  if (kind == Kind::kOrdering) {
+    std::snprintf(buf, sizeof(buf),
+                  "records #%d and #%d (result ranks %d and %d) swap order",
+                  position >= 0 ? result[position] : -1,
+                  position + 1 < static_cast<int>(result.size())
+                      ? result[position + 1]
+                      : -1,
+                  position + 1, position + 2);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "record #%d overtakes result record #%d (rank %d)",
+                  challenger, position >= 0 ? result[position] : -1,
+                  position + 1);
+  }
+  return buf;
+}
+
+bool GirRegion::Contains(VecView q, double eps) const {
+  for (size_t j = 0; j < dim_; ++j) {
+    if (q[j] < -eps || q[j] > 1.0 + eps) return false;
+  }
+  for (const GirConstraint& c : constraints_) {
+    if (Dot(c.normal, q) < -eps) return false;
+  }
+  return true;
+}
+
+GirRegion::RaySpan GirRegion::ClipRay(VecView x, VecView dir) const {
+  double t_min = -std::numeric_limits<double>::infinity();
+  double t_max = std::numeric_limits<double>::infinity();
+  auto clip = [&](double value, double slope) {
+    // Constraint: value + t * slope >= 0.
+    if (slope > 0) {
+      t_min = std::max(t_min, -value / slope);
+    } else if (slope < 0) {
+      t_max = std::min(t_max, -value / slope);
+    } else if (value < 0) {
+      t_min = 0.0;
+      t_max = 0.0;
+    }
+  };
+  for (const GirConstraint& c : constraints_) {
+    clip(Dot(c.normal, x), Dot(c.normal, dir));
+  }
+  for (size_t j = 0; j < dim_; ++j) {
+    clip(x[j], dir[j]);              // x_j >= 0
+    clip(1.0 - x[j], -dir[j]);       // x_j <= 1
+  }
+  if (t_min > t_max) {
+    return RaySpan{0.0, 0.0};
+  }
+  return RaySpan{t_min, t_max};
+}
+
+std::vector<Halfspace> GirRegion::AsHalfspaces() const {
+  std::vector<Halfspace> out;
+  out.reserve(constraints_.size());
+  for (const GirConstraint& c : constraints_) {
+    out.push_back(Halfspace{c.normal, 0.0});
+  }
+  return out;
+}
+
+void GirRegion::Materialize() const {
+  if (polytope_.has_value()) return;
+  Result<IntersectionResult> r =
+      IntersectHalfspaces(AsHalfspaces(), query_);
+  if (r.ok()) {
+    polytope_ = std::move(r).value();
+  } else {
+    IntersectionResult empty;
+    empty.polytope = Polytope::Empty(dim_);
+    polytope_ = std::move(empty);
+  }
+}
+
+const Polytope& GirRegion::polytope() const {
+  Materialize();
+  return polytope_->polytope;
+}
+
+const std::vector<int>& GirRegion::nonredundant_indices() const {
+  Materialize();
+  return polytope_->nonredundant;
+}
+
+std::vector<BoundaryEvent> GirRegion::BoundaryEvents() const {
+  std::vector<BoundaryEvent> out;
+  for (int idx : nonredundant_indices()) {
+    BoundaryEvent e;
+    e.constraint = constraints_[idx];
+    e.description = constraints_[idx].provenance.Describe(result_);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,113 @@
+#ifndef GIR_GIR_GIR_REGION_H_
+#define GIR_GIR_GIR_REGION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "geom/halfspace_intersection.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+
+namespace gir {
+
+// Where a GIR half-space came from; this is what lets the library
+// report the exact result perturbation when the query vector crosses a
+// bounding facet (paper §3.2).
+struct ConstraintProvenance {
+  enum class Kind {
+    // Ordering constraint S(p_i,q') >= S(p_{i+1},q'): crossing swaps the
+    // records at result positions `position` and `position+1` (0-based).
+    kOrdering,
+    // Overtake constraint S(p_i,q') >= S(p,q'): crossing makes
+    // non-result record `challenger` overtake the result record at
+    // `position` (== k-1 for the order-sensitive GIR).
+    kOvertake,
+  };
+  Kind kind = Kind::kOvertake;
+  int position = -1;
+  RecordId challenger = -1;
+
+  std::string Describe(const std::vector<RecordId>& result) const;
+};
+
+struct GirConstraint {
+  // Half-space normal·q' >= 0; the bounding hyperplane passes through
+  // the origin of query space.
+  Vec normal;
+  ConstraintProvenance provenance;
+};
+
+// A boundary event: a non-redundant constraint, i.e. an actual facet of
+// the GIR, plus the result change that crossing it causes.
+struct BoundaryEvent {
+  GirConstraint constraint;
+  std::string description;
+};
+
+// The global immutable region of a top-k query: the intersection of the
+// accumulated constraint half-spaces with the unit cube of query space.
+// Constraints may be redundant (SP deliberately over-collects);
+// ToPolytope() identifies the non-redundant subset.
+class GirRegion {
+ public:
+  GirRegion(size_t dim, Vec query, std::vector<RecordId> result)
+      : dim_(dim), query_(std::move(query)), result_(std::move(result)) {}
+
+  size_t dim() const { return dim_; }
+  const Vec& query() const { return query_; }
+  const std::vector<RecordId>& result() const { return result_; }
+  const std::vector<GirConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  void AddConstraint(Vec normal, ConstraintProvenance provenance) {
+    constraints_.push_back(GirConstraint{std::move(normal), provenance});
+    polytope_.reset();
+  }
+
+  // True when q' (inside the unit cube) satisfies every constraint: the
+  // original top-k result is guaranteed to be preserved at q'.
+  bool Contains(VecView q, double eps = 0.0) const;
+
+  // Parametric clipping of the line {x + t*dir} against the region
+  // (constraints + cube): the [t_min, t_max] parameter interval that
+  // stays inside. When x is inside the region the interval brackets
+  // t = 0; when it is outside, the interval is where the line crosses
+  // the region (possibly empty, returned as [0, 0]).
+  struct RaySpan {
+    double t_min = 0.0;
+    double t_max = 0.0;
+  };
+  RaySpan ClipRay(VecView x, VecView dir) const;
+
+  // Explicit geometry: vertices + non-redundant facets via half-space
+  // intersection (the query vector is the interior hint). The result is
+  // cached; the bool return of Materialize tells whether geometry is
+  // available (a degenerate/empty region yields an empty polytope).
+  const Polytope& polytope() const;
+  const std::vector<int>& nonredundant_indices() const;
+
+  // The facets of the region that stem from data constraints (not the
+  // cube), with their human-readable result perturbations.
+  std::vector<BoundaryEvent> BoundaryEvents() const;
+
+  // Constraint views for the geometry helpers.
+  std::vector<Halfspace> AsHalfspaces() const;
+
+ private:
+  void Materialize() const;
+
+  size_t dim_;
+  Vec query_;
+  std::vector<RecordId> result_;
+  std::vector<GirConstraint> constraints_;
+
+  mutable std::optional<IntersectionResult> polytope_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_GIR_REGION_H_

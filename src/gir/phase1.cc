@@ -1,0 +1,18 @@
+#include "gir/phase1.h"
+
+namespace gir {
+
+void AddPhase1Constraints(const Dataset& data, const ScoringFunction& scoring,
+                          const std::vector<RecordId>& result,
+                          GirRegion* region) {
+  for (size_t i = 0; i + 1 < result.size(); ++i) {
+    Vec gi = scoring.Transform(data.Get(result[i]));
+    Vec gnext = scoring.Transform(data.Get(result[i + 1]));
+    ConstraintProvenance prov;
+    prov.kind = ConstraintProvenance::Kind::kOrdering;
+    prov.position = static_cast<int>(i);
+    region->AddConstraint(Sub(gi, gnext), prov);
+  }
+}
+
+}  // namespace gir

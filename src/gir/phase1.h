@@ -1,0 +1,22 @@
+#ifndef GIR_GIR_PHASE1_H_
+#define GIR_GIR_PHASE1_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "gir/gir_region.h"
+#include "topk/scoring.h"
+
+namespace gir {
+
+// Phase 1 (paper §4): add the k-1 ordering half-spaces
+//   (g(p_i) - g(p_{i+1})) · q' >= 0,  i = 1..k-1
+// that preserve the score order within the result. Uniform across all
+// Phase-2 methods.
+void AddPhase1Constraints(const Dataset& data, const ScoringFunction& scoring,
+                          const std::vector<RecordId>& result,
+                          GirRegion* region);
+
+}  // namespace gir
+
+#endif  // GIR_GIR_PHASE1_H_

@@ -1,0 +1,64 @@
+#include "gir/sensitivity.h"
+
+#include <cmath>
+
+#include "geom/volume.h"
+
+namespace gir {
+
+double StbRadius(const GirRegion& region) {
+  const Vec& q = region.query();
+  double r = 1e300;
+  // Distance to each constraint hyperplane n·x = 0.
+  for (const GirConstraint& c : region.constraints()) {
+    double norm = Norm(c.normal);
+    if (norm < 1e-300) continue;
+    double dist = Dot(c.normal, q) / norm;
+    if (dist < 0) return 0.0;  // q outside (ties): degenerate region
+    r = std::min(r, dist);
+  }
+  // Distance to the cube walls.
+  for (size_t j = 0; j < region.dim(); ++j) {
+    r = std::min(r, std::min(q[j], 1.0 - q[j]));
+  }
+  return std::max(0.0, r);
+}
+
+double BallVolume(size_t dim, double radius) {
+  // V_d(r) = pi^{d/2} / Gamma(d/2 + 1) * r^d.
+  double log_v = (dim / 2.0) * std::log(M_PI) -
+                 std::lgamma(dim / 2.0 + 1.0) +
+                 dim * std::log(radius);
+  return std::exp(log_v);
+}
+
+double VolumeRatio(const GirRegion& region, VolumeMode mode, Rng& rng,
+                   uint64_t samples) {
+  switch (mode) {
+    case VolumeMode::kExact:
+      return region.polytope().Volume();
+    case VolumeMode::kMonteCarloCube:
+      return MonteCarloCubeFraction(region.AsHalfspaces(), region.dim(),
+                                    samples, rng);
+    case VolumeMode::kMonteCarloBox: {
+      Vec lo;
+      Vec hi;
+      if (!BoundingBox(region.polytope(), &lo, &hi)) return 0.0;
+      return MonteCarloVolumeInBox(region.AsHalfspaces(), lo, hi, samples,
+                                   rng);
+    }
+  }
+  return 0.0;
+}
+
+double VolumeRatioAuto(const GirRegion& region, Rng& rng, uint64_t samples) {
+  const Polytope& poly = region.polytope();
+  if (poly.empty()) return 0.0;
+  double exact = poly.Volume();
+  if (exact > 0.0) return exact;
+  // Vertex set too degenerate for an exact fan: fall back to sampling
+  // inside the bounding box.
+  return VolumeRatio(region, VolumeMode::kMonteCarloBox, rng, samples);
+}
+
+}  // namespace gir

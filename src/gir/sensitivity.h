@@ -1,0 +1,49 @@
+#ifndef GIR_GIR_SENSITIVITY_H_
+#define GIR_GIR_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "gir/gir_region.h"
+
+namespace gir {
+
+// How the GIR-volume / query-space-volume ratio is estimated.
+enum class VolumeMode {
+  // Exact: vertex enumeration + simplicial fan (preferred in low d).
+  kExact,
+  // Uniform Monte-Carlo over the unit cube: cheap but cannot resolve
+  // the ~1e-10 ratios that appear at high dimensionality.
+  kMonteCarloCube,
+  // Monte-Carlo restricted to the polytope's bounding box: resolves
+  // small ratios at the cost of one exact vertex enumeration.
+  kMonteCarloBox,
+};
+
+// The paper's robustness measure (Introduction & §8, Figure 14; equals
+// the LIK probability of Soliman et al.): the probability that a
+// uniformly random query vector produces the same top-k result.
+double VolumeRatio(const GirRegion& region, VolumeMode mode, Rng& rng,
+                   uint64_t samples = 200000);
+
+// Convenience: exact when the region materialises cleanly, otherwise
+// bounding-box Monte-Carlo.
+double VolumeRatioAuto(const GirRegion& region, Rng& rng,
+                       uint64_t samples = 200000);
+
+// The STB sensitivity measure of Soliman et al. (SIGMOD 2011), the
+// paper's §2 baseline: the radius of the largest ball centred at the
+// query vector within which the top-k result is preserved. Since the
+// GIR is the maximal preserving locus, STB is simply the distance from
+// q to the nearest GIR boundary (constraint hyperplanes + cube walls);
+// the STB ball is always enclosed in the GIR.
+double StbRadius(const GirRegion& region);
+
+// Volume of the d-ball of radius r (for comparing the STB ball's
+// volume against the GIR volume, quantifying how much of the immutable
+// locus the ball-based measure misses).
+double BallVolume(size_t dim, double radius);
+
+}  // namespace gir
+
+#endif  // GIR_GIR_SENSITIVITY_H_

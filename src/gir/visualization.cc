@@ -1,0 +1,94 @@
+#include "gir/visualization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gir {
+
+std::vector<WeightRange> ProjectOntoRegion(const GirRegion& region,
+                                           VecView q) {
+  std::vector<WeightRange> out(region.dim());
+  if (!region.Contains(q, 1e-12)) return out;
+  for (size_t j = 0; j < region.dim(); ++j) {
+    Vec dir(region.dim(), 0.0);
+    dir[j] = 1.0;
+    GirRegion::RaySpan span = region.ClipRay(q, dir);
+    out[j].lo = q[j] + span.t_min;
+    out[j].hi = q[j] + span.t_max;
+  }
+  return out;
+}
+
+std::vector<WeightRange> ComputeLirs(const GirRegion& region) {
+  return ProjectOntoRegion(region, region.query());
+}
+
+double MahBox::Volume() const {
+  double v = 1.0;
+  for (size_t j = 0; j < lo.size(); ++j) v *= std::max(0.0, hi[j] - lo[j]);
+  return v;
+}
+
+namespace {
+
+// Whether the box [lo,hi] lies inside the region: for the linear
+// constraint n·x >= 0 the worst box point is per-dimension min of
+// n_j*lo_j and n_j*hi_j, so feasibility is a closed form.
+double ConstraintSlack(const GirConstraint& c, const Vec& lo, const Vec& hi) {
+  double s = 0.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    s += std::min(c.normal[j] * lo[j], c.normal[j] * hi[j]);
+  }
+  return s;
+}
+
+}  // namespace
+
+MahBox ComputeMah(const GirRegion& region, int passes) {
+  const size_t d = region.dim();
+  MahBox box;
+  box.lo.assign(region.query().begin(), region.query().end());
+  box.hi = box.lo;
+
+  // Round-robin: for each face, compute the exact maximal expansion
+  // keeping all constraints satisfied, and take a damped step (full
+  // step on the final pass). Damping lets opposite faces share slack
+  // instead of the first mover grabbing it all.
+  for (int pass = 0; pass < passes; ++pass) {
+    const double damp = pass + 1 == passes ? 1.0 : 0.5;
+    for (size_t j = 0; j < d; ++j) {
+      for (int side = 0; side < 2; ++side) {
+        // side 0: push hi[j] up; side 1: push lo[j] down.
+        double limit = side == 0 ? 1.0 - box.hi[j] : box.lo[j];
+        for (const GirConstraint& c : region.constraints()) {
+          double coef = c.normal[j];
+          // Moving hi[j] by +t changes the slack by min-term only if
+          // coef < 0 (for side 0); moving lo[j] by -t changes it if
+          // coef > 0 (for side 1). Other directions only gain slack.
+          double rate = side == 0 ? -std::min(coef, 0.0)
+                                  : std::max(coef, 0.0);
+          if (rate <= 0.0) continue;
+          // Slack without dimension j's worst term, then re-add it as a
+          // function of the moved face.
+          double slack = ConstraintSlack(c, box.lo, box.hi);
+          // slack decreases at `rate` per unit of movement.
+          limit = std::min(limit, slack / rate);
+        }
+        limit = std::max(0.0, limit) * damp;
+        if (side == 0) {
+          box.hi[j] += limit;
+        } else {
+          box.lo[j] -= limit;
+        }
+      }
+    }
+  }
+  // Numerical safety: clamp into the cube.
+  for (size_t j = 0; j < d; ++j) {
+    box.lo[j] = std::clamp(box.lo[j], 0.0, 1.0);
+    box.hi[j] = std::clamp(box.hi[j], box.lo[j], 1.0);
+  }
+  return box;
+}
+
+}  // namespace gir

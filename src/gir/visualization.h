@@ -1,0 +1,43 @@
+#ifndef GIR_GIR_VISUALIZATION_H_
+#define GIR_GIR_VISUALIZATION_H_
+
+#include <vector>
+
+#include "gir/gir_region.h"
+
+namespace gir {
+
+// One slide-bar range (paper Figure 1): weight w_i may move within
+// [lo, hi] (other weights fixed) without changing the result.
+struct WeightRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Interactive-projection visualisation (paper §7.3): projects the query
+// vector onto the GIR along each axis. The ranges equal the LIRs of
+// Mouratidis & Pang (PVLDB 2013) derived from the GIR for free.
+std::vector<WeightRange> ComputeLirs(const GirRegion& region);
+
+// Same projection recomputed at an arbitrary interior point q' (the
+// "on-the-fly readjustment" as the user drags sliders). Returns empty
+// ranges when q' is outside the region.
+std::vector<WeightRange> ProjectOntoRegion(const GirRegion& region,
+                                           VecView q);
+
+// Maximum-volume axis-parallel hyper-rectangle (MAH, paper §7.3):
+// a box that contains the query vector and lies entirely inside the
+// GIR. The exact bichromatic-rectangle problem is expensive in high d;
+// this is a monotone coordinate-ascent heuristic (each step computes
+// the exact per-face expansion limit, so the result is always feasible
+// and face-wise maximal).
+struct MahBox {
+  Vec lo;
+  Vec hi;
+  double Volume() const;
+};
+MahBox ComputeMah(const GirRegion& region, int passes = 24);
+
+}  // namespace gir
+
+#endif  // GIR_GIR_VISUALIZATION_H_

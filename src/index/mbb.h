@@ -1,0 +1,53 @@
+#ifndef GIR_INDEX_MBB_H_
+#define GIR_INDEX_MBB_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace gir {
+
+// Minimum bounding box in [0,1]^d, the unit of R-tree bookkeeping.
+struct Mbb {
+  Vec lo;
+  Vec hi;
+
+  static Mbb EmptyBox(size_t dim);
+  static Mbb OfPoint(VecView p);
+
+  size_t dim() const { return lo.size(); }
+  bool IsEmpty() const;
+
+  void ExpandTo(VecView p);
+  void ExpandTo(const Mbb& other);
+
+  // Product of extents (the R*-tree "area").
+  double Area() const;
+  // Sum of extents (the R*-tree "margin").
+  double Margin() const;
+  // Area of the intersection with `other` (0 when disjoint).
+  double OverlapArea(const Mbb& other) const;
+  // Area increase if this box were expanded to cover `other`.
+  double Enlargement(const Mbb& other) const;
+
+  bool ContainsPoint(VecView p) const;
+  bool ContainsMbb(const Mbb& other) const;
+  bool Intersects(const Mbb& other) const;
+
+  Vec Center() const;
+  // The corner with all-max coordinates; BBS prunes nodes whose top
+  // corner is dominated.
+  const Vec& TopCorner() const { return hi; }
+
+  // max over x in box of sum_j w_j * x_j. For non-negative weights this
+  // is w·hi; general weights pick per-dimension. This is the BRS
+  // `maxscore` for linear scoring.
+  double MaxDot(VecView w) const;
+
+  // Squared center-to-center distance (used by R* forced reinsert).
+  double CenterDistanceSquared(const Mbb& other) const;
+};
+
+}  // namespace gir
+
+#endif  // GIR_INDEX_MBB_H_

@@ -1,0 +1,152 @@
+#include "index/rtree_codec.h"
+
+#include <cstring>
+
+namespace gir {
+
+namespace {
+
+// Little-endian scalar writers/readers over a byte cursor. The library
+// targets little-endian hosts (asserted by the magic round-trip in the
+// image header); memcpy keeps the accesses alignment-safe.
+template <typename T>
+void Put(std::vector<uint8_t>& buf, size_t& pos, T value) {
+  std::memcpy(buf.data() + pos, &value, sizeof(T));
+  pos += sizeof(T);
+}
+
+template <typename T>
+bool Get(const std::vector<uint8_t>& buf, size_t& pos, T* value) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(value, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+size_t NodeHeaderBytes() { return 8; }
+size_t EntryBytes(size_t dim) { return sizeof(int32_t) + 2 * dim * 8; }
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodeNode(const RTreeNode& node, size_t dim,
+                                        size_t page_size) {
+  const size_t need =
+      NodeHeaderBytes() + node.entries.size() * EntryBytes(dim);
+  if (need > page_size) {
+    return Status::OutOfRange("node exceeds page budget");
+  }
+  std::vector<uint8_t> page(page_size, 0);
+  size_t pos = 0;
+  Put<uint8_t>(page, pos, node.is_leaf ? 1 : 0);
+  Put<uint8_t>(page, pos, 0);
+  Put<uint16_t>(page, pos, static_cast<uint16_t>(node.level));
+  Put<uint32_t>(page, pos, static_cast<uint32_t>(node.entries.size()));
+  for (const RTreeEntry& e : node.entries) {
+    Put<int32_t>(page, pos, e.child);
+    for (size_t j = 0; j < dim; ++j) Put<double>(page, pos, e.mbb.lo[j]);
+    for (size_t j = 0; j < dim; ++j) Put<double>(page, pos, e.mbb.hi[j]);
+  }
+  return page;
+}
+
+Result<RTreeNode> DecodeNode(const std::vector<uint8_t>& page, size_t dim) {
+  size_t pos = 0;
+  uint8_t is_leaf = 0;
+  uint8_t pad = 0;
+  uint16_t level = 0;
+  uint32_t count = 0;
+  if (!Get(page, pos, &is_leaf) || !Get(page, pos, &pad) ||
+      !Get(page, pos, &level) || !Get(page, pos, &count)) {
+    return Status::InvalidArgument("truncated node header");
+  }
+  if (NodeHeaderBytes() + count * EntryBytes(dim) > page.size()) {
+    return Status::InvalidArgument("entry count overruns page");
+  }
+  RTreeNode node;
+  node.is_leaf = is_leaf != 0;
+  node.level = level;
+  node.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RTreeEntry e;
+    if (!Get(page, pos, &e.child)) {
+      return Status::InvalidArgument("truncated entry");
+    }
+    e.mbb.lo.resize(dim);
+    e.mbb.hi.resize(dim);
+    for (size_t j = 0; j < dim; ++j) Get(page, pos, &e.mbb.lo[j]);
+    for (size_t j = 0; j < dim; ++j) Get(page, pos, &e.mbb.hi[j]);
+    node.entries.push_back(std::move(e));
+  }
+  return node;
+}
+
+Result<std::vector<uint8_t>> SaveRTreeImage(const RTree& tree) {
+  const size_t dim = tree.dataset().dim();
+  const size_t page_size = tree.disk()->page_size_bytes();
+  std::vector<uint8_t> image(4 * 6 + 8, 0);
+  size_t pos = 0;
+  Put<uint32_t>(image, pos, kRtreeImageMagic);
+  Put<uint32_t>(image, pos, kRtreeImageVersion);
+  Put<uint32_t>(image, pos, static_cast<uint32_t>(dim));
+  Put<uint32_t>(image, pos, static_cast<uint32_t>(page_size));
+  Put<uint32_t>(image, pos, tree.root());
+  Put<uint32_t>(image, pos, static_cast<uint32_t>(tree.node_count()));
+  Put<uint64_t>(image, pos, tree.size());
+  for (size_t n = 0; n < tree.node_count(); ++n) {
+    Result<std::vector<uint8_t>> page =
+        EncodeNode(tree.PeekNode(static_cast<PageId>(n)), dim, page_size);
+    if (!page.ok()) return page.status();
+    image.insert(image.end(), page->begin(), page->end());
+  }
+  return image;
+}
+
+Result<RTree> LoadRTreeImage(const Dataset* dataset, DiskManager* disk,
+                             const std::vector<uint8_t>& image) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  uint32_t page_size = 0;
+  uint32_t root = 0;
+  uint32_t node_count = 0;
+  uint64_t record_count = 0;
+  if (!Get(image, pos, &magic) || magic != kRtreeImageMagic) {
+    return Status::InvalidArgument("bad image magic");
+  }
+  if (!Get(image, pos, &version) || version != kRtreeImageVersion) {
+    return Status::InvalidArgument("unsupported image version");
+  }
+  if (!Get(image, pos, &dim) || dim != dataset->dim()) {
+    return Status::InvalidArgument("image dimensionality mismatch");
+  }
+  if (!Get(image, pos, &page_size) ||
+      page_size != disk->page_size_bytes()) {
+    return Status::InvalidArgument("image page size mismatch");
+  }
+  if (!Get(image, pos, &root) || !Get(image, pos, &node_count) ||
+      !Get(image, pos, &record_count)) {
+    return Status::InvalidArgument("truncated image header");
+  }
+  if (pos + static_cast<size_t>(node_count) * page_size > image.size()) {
+    return Status::InvalidArgument("image shorter than node count claims");
+  }
+  std::vector<RTreeNode> nodes;
+  nodes.reserve(node_count);
+  std::vector<uint8_t> page(page_size);
+  for (uint32_t n = 0; n < node_count; ++n) {
+    std::memcpy(page.data(), image.data() + pos, page_size);
+    pos += page_size;
+    Result<RTreeNode> node = DecodeNode(page, dim);
+    if (!node.ok()) return node.status();
+    nodes.push_back(std::move(node).value());
+  }
+  if (node_count > 0 && root >= node_count) {
+    return Status::InvalidArgument("root page out of range");
+  }
+  return RTree::FromParts(dataset, disk, std::move(nodes),
+                          node_count == 0 ? kInvalidPage : root,
+                          record_count);
+}
+
+}  // namespace gir

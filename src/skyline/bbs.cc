@@ -1,0 +1,60 @@
+#include "skyline/bbs.h"
+
+#include <algorithm>
+
+#include "skyline/dominance.h"
+
+namespace gir {
+
+SkylineResult ContinueSkylineFromBrs(const RTree& tree,
+                                     const ScoringFunction& scoring,
+                                     VecView weights, const TopKResult& brs) {
+  const Dataset& data = tree.dataset();
+  IoStats before = tree.disk()->stats();
+  SkylineSet sl(&data);
+  // Seed with the skyline of the encountered set T (all in memory).
+  // Processing in decreasing score order inserts likely-dominating
+  // records first, which keeps eviction work low.
+  std::vector<RecordId> t_sorted = brs.encountered;
+  std::sort(t_sorted.begin(), t_sorted.end(), [&](RecordId a, RecordId b) {
+    return scoring.Score(data.Get(a), weights) >
+           scoring.Score(data.Get(b), weights);
+  });
+  for (RecordId id : t_sorted) sl.Insert(id);
+
+  // Resume from the retained BRS heap.
+  std::vector<PendingNode> heap = brs.pending;
+  PendingNodeLess less;
+  std::make_heap(heap.begin(), heap.end(), less);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), less);
+    PendingNode top = std::move(heap.back());
+    heap.pop_back();
+    // BBS pruning: a node whose top corner is dominated can contain no
+    // skyline record.
+    if (sl.DominatedByMember(top.mbb.TopCorner())) continue;
+    const RTreeNode& node = tree.ReadNode(top.page);
+    if (node.is_leaf) {
+      for (const RTreeEntry& e : node.entries) {
+        sl.Insert(e.child);
+      }
+    } else {
+      for (const RTreeEntry& e : node.entries) {
+        if (sl.DominatedByMember(e.mbb.TopCorner())) continue;
+        PendingNode pn;
+        pn.maxscore = scoring.MaxScore(e.mbb, weights);
+        pn.page = static_cast<PageId>(e.child);
+        pn.mbb = e.mbb;
+        heap.push_back(std::move(pn));
+        std::push_heap(heap.begin(), heap.end(), less);
+      }
+    }
+  }
+  SkylineResult out;
+  out.skyline = sl.members();
+  std::sort(out.skyline.begin(), out.skyline.end());
+  out.io = tree.disk()->stats() - before;
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,21 @@
+#ifndef GIR_SKYLINE_DOMINANCE_H_
+#define GIR_SKYLINE_DOMINANCE_H_
+
+#include "geom/vec.h"
+
+namespace gir {
+
+// p dominates p' iff p is no smaller in every dimension and strictly
+// larger in at least one ("larger is better" convention, paper §5.1).
+inline bool Dominates(VecView p, VecView q) {
+  bool strictly = false;
+  for (size_t j = 0; j < p.size(); ++j) {
+    if (p[j] < q[j]) return false;
+    if (p[j] > q[j]) strictly = true;
+  }
+  return strictly;
+}
+
+}  // namespace gir
+
+#endif  // GIR_SKYLINE_DOMINANCE_H_

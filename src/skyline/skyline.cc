@@ -1,0 +1,38 @@
+#include "skyline/skyline.h"
+
+#include "skyline/dominance.h"
+
+namespace gir {
+
+bool SkylineSet::Insert(RecordId id) {
+  VecView p = dataset_->Get(id);
+  for (RecordId m : members_) {
+    if (Dominates(dataset_->Get(m), p)) return false;
+  }
+  // Evict members dominated by the newcomer.
+  size_t kept = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!Dominates(p, dataset_->Get(members_[i]))) {
+      members_[kept++] = members_[i];
+    }
+  }
+  members_.resize(kept);
+  members_.push_back(id);
+  return true;
+}
+
+bool SkylineSet::DominatedByMember(VecView p) const {
+  for (RecordId m : members_) {
+    if (Dominates(dataset_->Get(m), p)) return true;
+  }
+  return false;
+}
+
+std::vector<RecordId> ComputeSkyline(const Dataset& dataset,
+                                     const std::vector<RecordId>& ids) {
+  SkylineSet sky(&dataset);
+  for (RecordId id : ids) sky.Insert(id);
+  return sky.members();
+}
+
+}  // namespace gir

@@ -1,0 +1,39 @@
+#ifndef GIR_SKYLINE_SKYLINE_H_
+#define GIR_SKYLINE_SKYLINE_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace gir {
+
+// Incrementally-maintained skyline over records of a Dataset ("larger
+// is better"). Used for the in-memory skyline of the BRS-encountered
+// set T, and as the running SL of the BBS continuation.
+class SkylineSet {
+ public:
+  explicit SkylineSet(const Dataset* dataset) : dataset_(dataset) {}
+
+  // Inserts `id` unless it is dominated by a current member; evicts
+  // members it dominates. Returns true when inserted.
+  bool Insert(RecordId id);
+
+  // True when p (a raw point) is dominated by some member.
+  bool DominatedByMember(VecView p) const;
+
+  const std::vector<RecordId>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<RecordId> members_;
+};
+
+// Skyline of an explicit list of record ids (block-nested-loop, used
+// for cross-checks and small sets).
+std::vector<RecordId> ComputeSkyline(const Dataset& dataset,
+                                     const std::vector<RecordId>& ids);
+
+}  // namespace gir
+
+#endif  // GIR_SKYLINE_SKYLINE_H_

@@ -1,0 +1,10 @@
+#include "storage/disk_manager.h"
+
+namespace gir {
+
+DiskManager::DiskManager(size_t page_size_bytes, double ms_per_read)
+    : page_size_bytes_(page_size_bytes), ms_per_read_(ms_per_read) {}
+
+PageId DiskManager::Allocate() { return next_page_++; }
+
+}  // namespace gir

@@ -1,0 +1,104 @@
+#include "topk/brs.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gir {
+
+namespace {
+
+struct HeapEntry {
+  double key;
+  bool is_node;
+  int32_t id;  // PageId for nodes, RecordId for records
+  Mbb mbb;     // valid for nodes only
+};
+
+struct HeapEntryLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    // Deterministic tie-break: prefer records over nodes, then lower id,
+    // so runs are reproducible across platforms.
+    if (a.is_node != b.is_node) return a.is_node;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
+                          VecView weights, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (weights.size() != tree.dataset().dim()) {
+    return Status::InvalidArgument("weight dimensionality mismatch");
+  }
+  const Dataset& data = tree.dataset();
+  TopKResult out;
+  IoStats before = tree.disk()->stats();
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLess> heap;
+  if (tree.root() != kInvalidPage) {
+    const RTreeNode& root = tree.PeekNode(tree.root());
+    HeapEntry e;
+    e.key = scoring.MaxScore(root.ComputeMbb(data.dim()), weights);
+    e.is_node = true;
+    e.id = static_cast<int32_t>(tree.root());
+    e.mbb = root.ComputeMbb(data.dim());
+    heap.push(std::move(e));
+  }
+  std::vector<RecordId> fetched_records;
+  while (!heap.empty() && out.result.size() < k) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (!top.is_node) {
+      out.result.push_back(top.id);
+      out.scores.push_back(top.key);
+      continue;
+    }
+    const RTreeNode& node = tree.ReadNode(static_cast<PageId>(top.id));
+    if (node.is_leaf) {
+      for (const RTreeEntry& e : node.entries) {
+        HeapEntry he;
+        he.key = scoring.Score(data.Get(e.child), weights);
+        he.is_node = false;
+        he.id = e.child;
+        heap.push(std::move(he));
+        fetched_records.push_back(e.child);
+      }
+    } else {
+      for (const RTreeEntry& e : node.entries) {
+        HeapEntry he;
+        he.key = scoring.MaxScore(e.mbb, weights);
+        he.is_node = true;
+        he.id = e.child;
+        he.mbb = e.mbb;
+        heap.push(std::move(he));
+      }
+    }
+  }
+  // Drain the heap: remaining nodes feed Phase 2; remaining records are
+  // the encountered set T (already in memory, no further I/O).
+  while (!heap.empty()) {
+    const HeapEntry& top = heap.top();
+    if (top.is_node) {
+      PendingNode pn;
+      pn.maxscore = top.key;
+      pn.page = static_cast<PageId>(top.id);
+      pn.mbb = top.mbb;
+      out.pending.push_back(std::move(pn));
+    }
+    heap.pop();
+  }
+  // `pending` drained from a max-heap is already sorted descending; that
+  // is a valid heap order, but normalize explicitly for clarity.
+  std::make_heap(out.pending.begin(), out.pending.end(), PendingNodeLess());
+  std::sort(fetched_records.begin(), fetched_records.end());
+  std::vector<RecordId> result_sorted = out.result;
+  std::sort(result_sorted.begin(), result_sorted.end());
+  std::set_difference(fetched_records.begin(), fetched_records.end(),
+                      result_sorted.begin(), result_sorted.end(),
+                      std::back_inserter(out.encountered));
+  out.io = tree.disk()->stats() - before;
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,50 @@
+#ifndef GIR_TOPK_BRS_H_
+#define GIR_TOPK_BRS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "index/rtree.h"
+#include "storage/io_stats.h"
+#include "topk/scoring.h"
+
+namespace gir {
+
+// An R-tree node left unexplored by BRS, keyed by its maxscore. The
+// GIR Phase-2 algorithms resume the search from these.
+struct PendingNode {
+  double maxscore = 0.0;
+  PageId page = kInvalidPage;
+  Mbb mbb;
+};
+
+struct PendingNodeLess {
+  bool operator()(const PendingNode& a, const PendingNode& b) const {
+    return a.maxscore < b.maxscore;  // max-heap
+  }
+};
+
+// Output of BRS: the ordered top-k plus everything Phase 2 needs — the
+// set T of non-result records already fetched from disk, and the search
+// heap of unexplored nodes (paper Section 3.3).
+struct TopKResult {
+  std::vector<RecordId> result;  // decreasing score order
+  std::vector<double> scores;    // aligned with `result`
+  std::vector<RecordId> encountered;  // T: fetched non-result records
+  std::vector<PendingNode> pending;   // heap ordered by PendingNodeLess
+  IoStats io;                         // page reads charged by this run
+};
+
+// Branch-and-bound Ranked Search (Tao et al., Inf. Syst. 2007): an
+// I/O-optimal top-k over an R-tree for monotone scoring functions. A
+// max-heap holds node entries keyed by maxscore and records keyed by
+// score; popped records are final results.
+//
+// Returns InvalidArgument for k == 0 or weight dimensionality mismatch.
+// When the dataset has fewer than k records, returns them all.
+Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
+                          VecView weights, size_t k);
+
+}  // namespace gir
+
+#endif  // GIR_TOPK_BRS_H_

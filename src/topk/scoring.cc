@@ -1,0 +1,64 @@
+#include "topk/scoring.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gir {
+
+Vec ScoringFunction::Transform(VecView p) const {
+  Vec g(p.size());
+  for (size_t i = 0; i < p.size(); ++i) g[i] = TransformDim(i, p[i]);
+  return g;
+}
+
+double ScoringFunction::Score(VecView p, VecView weights) const {
+  assert(p.size() == weights.size());
+  double s = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    s += weights[i] * TransformDim(i, p[i]);
+  }
+  return s;
+}
+
+double ScoringFunction::MaxScore(const Mbb& box, VecView weights) const {
+  double s = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    // Monotone g_i and w_i >= 0: the top corner dominates.
+    s += weights[i] * TransformDim(i, box.hi[i]);
+  }
+  return s;
+}
+
+PolynomialScoring::PolynomialScoring(size_t dim) : dim_(dim) {
+  exponents_.resize(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    exponents_[i] = static_cast<double>(
+        dim - i >= 1 ? dim - i : 1);  // d, d-1, ..., 1
+  }
+}
+
+double PolynomialScoring::TransformDim(size_t i, double x) const {
+  return std::pow(x, exponents_[i]);
+}
+
+double MixedScoring::TransformDim(size_t i, double x) const {
+  switch (i % 4) {
+    case 0:
+      return x * x;
+    case 1:
+      return std::exp(x);
+    case 2:
+      return std::log(x + 1e-3);
+    default:
+      return std::sqrt(x);
+  }
+}
+
+std::unique_ptr<ScoringFunction> MakeScoring(const std::string& name,
+                                             size_t dim) {
+  if (name == "Polynomial") return std::make_unique<PolynomialScoring>(dim);
+  if (name == "Mixed") return std::make_unique<MixedScoring>(dim);
+  return std::make_unique<LinearScoring>(dim);
+}
+
+}  // namespace gir

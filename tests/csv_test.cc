@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "dataset/csv.h"
+#include "dataset/generators.h"
+
+namespace gir {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return testing::TempDir() + "/gir_csv_" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, LoadsPlainNumbers) {
+  std::string p = Path("plain.csv");
+  WriteFile(p, "0.1,0.9\n0.5,0.5\n1.0,0.0\n");
+  CsvOptions opt;
+  opt.normalize = false;
+  Result<Dataset> d = LoadCsvDataset(p, opt);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 3u);
+  EXPECT_EQ(d->dim(), 2u);
+  EXPECT_DOUBLE_EQ(d->Get(1)[0], 0.5);
+}
+
+TEST_F(CsvTest, SkipsHeaderAutomatically) {
+  std::string p = Path("header.csv");
+  WriteFile(p, "price,stars\n10,3\n20,5\n");
+  Result<Dataset> d = LoadCsvDataset(p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST_F(CsvTest, NormalizesToUnitCube) {
+  std::string p = Path("norm.csv");
+  WriteFile(p, "10,100\n20,300\n15,200\n");
+  Result<Dataset> d = LoadCsvDataset(p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Get(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(d->Get(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d->Get(2)[1], 0.5);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  std::string p = Path("ragged.csv");
+  WriteFile(p, "1,2\n3,4,5\n");
+  EXPECT_FALSE(LoadCsvDataset(p).ok());
+}
+
+TEST_F(CsvTest, RejectsNonNumericCell) {
+  std::string p = Path("alpha.csv");
+  WriteFile(p, "1,2\n3,forty\n");
+  EXPECT_FALSE(LoadCsvDataset(p).ok());
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  Result<Dataset> d = LoadCsvDataset(Path("does_not_exist.csv"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  std::string p = Path("empty.csv");
+  WriteFile(p, "");
+  EXPECT_FALSE(LoadCsvDataset(p).ok());
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::string p = Path("blank.csv");
+  WriteFile(p, "1,2\n\n3,4\n\n");
+  CsvOptions opt;
+  opt.normalize = false;
+  Result<Dataset> d = LoadCsvDataset(p, opt);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST_F(CsvTest, WriteThenReadRoundTrips) {
+  Rng rng(3);
+  Dataset data = GenerateIndependent(200, 4, rng);
+  std::string p = Path("rt.csv");
+  ASSERT_TRUE(WriteCsvDataset(data, p).ok());
+  CsvOptions opt;
+  opt.normalize = false;
+  opt.auto_header = false;
+  Result<Dataset> back = LoadCsvDataset(p, opt);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), data.size());
+  ASSERT_EQ(back->dim(), data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.dim(); ++j) {
+      EXPECT_NEAR(back->Get(static_cast<RecordId>(i))[j],
+                  data.Get(static_cast<RecordId>(i))[j], 1e-9);
+    }
+  }
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  std::string p = Path("semi.csv");
+  WriteFile(p, "1;2\n3;4\n");
+  CsvOptions opt;
+  opt.delimiter = ';';
+  opt.normalize = false;
+  Result<Dataset> d = LoadCsvDataset(p, opt);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->dim(), 2u);
+  EXPECT_DOUBLE_EQ(d->Get(1)[1], 4.0);
+}
+
+}  // namespace
+}  // namespace gir

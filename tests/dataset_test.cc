@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataset/dataset.h"
+#include "dataset/generators.h"
+#include "dataset/real_data_sim.h"
+#include "skyline/skyline.h"
+
+namespace gir {
+namespace {
+
+TEST(DatasetTest, AppendAndGet) {
+  Dataset d(3);
+  d.Append(Vec{0.1, 0.2, 0.3});
+  d.Append(Vec{0.4, 0.5, 0.6});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_DOUBLE_EQ(d.Get(1)[2], 0.6);
+  EXPECT_EQ(d.GetVec(0), (Vec{0.1, 0.2, 0.3}));
+}
+
+TEST(DatasetTest, FromRows) {
+  Dataset d = Dataset::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Get(0)[1], 1.0);
+}
+
+TEST(DatasetTest, NormalizeToUnitCube) {
+  Dataset d = Dataset::FromRows({{10.0, -5.0}, {20.0, 5.0}, {15.0, 0.0}});
+  d.NormalizeToUnitCube();
+  EXPECT_DOUBLE_EQ(d.Get(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.Get(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.Get(2)[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.Get(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.Get(1)[1], 1.0);
+}
+
+TEST(DatasetTest, NormalizeConstantDimension) {
+  Dataset d = Dataset::FromRows({{1.0, 3.0}, {2.0, 3.0}});
+  d.NormalizeToUnitCube();  // constant dim must not divide by zero
+  EXPECT_DOUBLE_EQ(d.Get(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.Get(1)[1], 0.0);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorTest, InUnitCubeAndRightShape) {
+  Rng rng(1);
+  Result<Dataset> d = GenerateByName(GetParam(), 2000, 4, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2000u);
+  EXPECT_EQ(d->dim(), 4u);
+  for (size_t i = 0; i < d->size(); ++i) {
+    for (double x : d->Get(static_cast<RecordId>(i))) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GeneratorTest,
+                         ::testing::Values("IND", "COR", "ANTI"));
+
+TEST(GeneratorTest, UnknownNameRejected) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateByName("WAT", 10, 2, rng).ok());
+}
+
+TEST(GeneratorTest, SkylineOrderingAntiGtIndGtCor) {
+  // The defining property of the three benchmarks: skyline cardinality
+  // ANTI >> IND >> COR.
+  Rng rng(7);
+  const size_t n = 4000;
+  const size_t d = 4;
+  Dataset ind = GenerateIndependent(n, d, rng);
+  Dataset cor = GenerateCorrelated(n, d, rng);
+  Dataset anti = GenerateAnticorrelated(n, d, rng);
+  std::vector<RecordId> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<RecordId>(i);
+  size_t s_ind = ComputeSkyline(ind, all).size();
+  size_t s_cor = ComputeSkyline(cor, all).size();
+  size_t s_anti = ComputeSkyline(anti, all).size();
+  EXPECT_GT(s_anti, 2 * s_ind);
+  EXPECT_GT(s_ind, s_cor);
+}
+
+TEST(GeneratorTest, CorrelationSigns) {
+  Rng rng(3);
+  const size_t n = 5000;
+  auto pearson = [](const Dataset& d, size_t a, size_t b) {
+    double ma = 0, mb = 0;
+    const size_t n2 = d.size();
+    for (size_t i = 0; i < n2; ++i) {
+      ma += d.Get(static_cast<RecordId>(i))[a];
+      mb += d.Get(static_cast<RecordId>(i))[b];
+    }
+    ma /= n2;
+    mb /= n2;
+    double cov = 0, va = 0, vb = 0;
+    for (size_t i = 0; i < n2; ++i) {
+      double xa = d.Get(static_cast<RecordId>(i))[a] - ma;
+      double xb = d.Get(static_cast<RecordId>(i))[b] - mb;
+      cov += xa * xb;
+      va += xa * xa;
+      vb += xb * xb;
+    }
+    return cov / std::sqrt(va * vb);
+  };
+  Dataset cor = GenerateCorrelated(n, 3, rng);
+  Dataset anti = GenerateAnticorrelated(n, 3, rng);
+  EXPECT_GT(pearson(cor, 0, 1), 0.5);
+  EXPECT_LT(pearson(anti, 0, 1), -0.1);
+}
+
+TEST(RealDataSimTest, HouseShape) {
+  Rng rng(5);
+  Dataset house = MakeHouseLike(rng, 20000);
+  EXPECT_EQ(house.dim(), 6u);
+  EXPECT_EQ(house.size(), 20000u);
+  for (size_t i = 0; i < house.size(); i += 97) {
+    for (double x : house.Get(static_cast<RecordId>(i))) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(RealDataSimTest, HotelShapeAndDiscreteStars) {
+  Rng rng(6);
+  Dataset hotel = MakeHotelLike(rng, 20000);
+  EXPECT_EQ(hotel.dim(), 4u);
+  // Stars dimension takes at most 5 distinct values.
+  std::vector<double> stars;
+  for (size_t i = 0; i < hotel.size(); ++i) {
+    stars.push_back(hotel.Get(static_cast<RecordId>(i))[0]);
+  }
+  std::sort(stars.begin(), stars.end());
+  stars.erase(std::unique(stars.begin(), stars.end()), stars.end());
+  EXPECT_LE(stars.size(), 5u);
+}
+
+TEST(RealDataSimTest, DefaultCardinalitiesMatchPaper) {
+  Rng rng(8);
+  // Tiny draws with explicit n keep the test fast; the default
+  // parameters encode the paper's cardinalities.
+  Dataset house = MakeHouseLike(rng, 100);
+  Dataset hotel = MakeHotelLike(rng, 100);
+  EXPECT_EQ(house.size(), 100u);
+  EXPECT_EQ(hotel.size(), 100u);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+
+namespace gir {
+namespace {
+
+std::vector<Vec> CubeCorners(size_t d) {
+  std::vector<Vec> pts;
+  for (size_t mask = 0; mask < (1u << d); ++mask) {
+    Vec p(d);
+    for (size_t j = 0; j < d; ++j) p[j] = (mask >> j) & 1 ? 1.0 : 0.0;
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST(FindInitialSimplexTest, FindsFullDimSimplex) {
+  std::vector<Vec> pts = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                          {0, 0, 1}, {1, 1, 1}};
+  Result<std::vector<int>> s = FindInitialSimplex(pts, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 4u);
+}
+
+TEST(FindInitialSimplexTest, RejectsPlanarPoints) {
+  std::vector<Vec> pts = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+  EXPECT_FALSE(FindInitialSimplex(pts, 3).ok());
+}
+
+TEST(ConvexHullTest, Simplex3D) {
+  std::vector<Vec> pts = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->facets().size(), 4u);
+  EXPECT_EQ(hull->vertex_indices().size(), 4u);
+  EXPECT_NEAR(hull->Volume(), 1.0 / 6.0, 1e-9);
+}
+
+TEST(ConvexHullTest, CubeVolumeByDim) {
+  for (size_t d = 2; d <= 5; ++d) {
+    std::vector<Vec> pts = CubeCorners(d);
+    // Interior points must not affect the hull.
+    Rng rng(d);
+    for (int i = 0; i < 50; ++i) {
+      Vec p(d);
+      for (size_t j = 0; j < d; ++j) p[j] = rng.Uniform(0.1, 0.9);
+      pts.push_back(std::move(p));
+    }
+    Result<ConvexHull> hull = ConvexHull::Build(pts);
+    ASSERT_TRUE(hull.ok()) << "d=" << d << ": " << hull.status().ToString();
+    EXPECT_EQ(hull->vertex_indices().size(), 1u << d) << "d=" << d;
+    EXPECT_NEAR(hull->Volume(), 1.0, 1e-6) << "d=" << d;
+  }
+}
+
+TEST(ConvexHullTest, ContainsAllInputPoints) {
+  Rng rng(99);
+  for (size_t d = 2; d <= 6; ++d) {
+    std::vector<Vec> pts;
+    for (int i = 0; i < 200; ++i) {
+      Vec p(d);
+      for (size_t j = 0; j < d; ++j) p[j] = rng.Uniform();
+      pts.push_back(std::move(p));
+    }
+    Result<ConvexHull> hull = ConvexHull::Build(pts);
+    ASSERT_TRUE(hull.ok()) << "d=" << d;
+    for (const Vec& p : pts) {
+      EXPECT_TRUE(hull->Contains(p, 1e-7)) << "d=" << d;
+    }
+    // Far-away points are outside.
+    Vec far(d, 2.0);
+    EXPECT_FALSE(hull->Contains(far));
+  }
+}
+
+TEST(ConvexHullTest, NeighborConsistency) {
+  Rng rng(123);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 120; ++i) {
+    Vec p(4);
+    for (size_t j = 0; j < 4; ++j) p[j] = rng.Uniform();
+    pts.push_back(std::move(p));
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  const auto& facets = hull->facets();
+  for (size_t f = 0; f < facets.size(); ++f) {
+    ASSERT_EQ(facets[f].neighbors.size(), 4u);
+    for (int nb : facets[f].neighbors) {
+      ASSERT_GE(nb, 0);
+      ASSERT_LT(nb, static_cast<int>(facets.size()));
+      // Neighbor relation must be symmetric.
+      bool found = false;
+      for (int back : facets[nb].neighbors) {
+        if (back == static_cast<int>(f)) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(ConvexHullTest, VolumeMatchesMonteCarlo) {
+  Rng rng(7);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 60; ++i) {
+    Vec p(3);
+    for (size_t j = 0; j < 3; ++j) p[j] = rng.Uniform();
+    pts.push_back(std::move(p));
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  double exact = hull->Volume();
+  uint64_t hits = 0;
+  const uint64_t samples = 200000;
+  for (uint64_t s = 0; s < samples; ++s) {
+    Vec p = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    if (hull->Contains(p)) ++hits;
+  }
+  double mc = static_cast<double>(hits) / samples;
+  EXPECT_NEAR(exact, mc, 0.01);
+}
+
+TEST(ConvexHullTest, JoggleHandlesDegenerateData) {
+  // Many co-planar points in 3D plus a couple off-plane: hull is
+  // degenerate in parts and requires joggling to stay simplicial.
+  std::vector<Vec> pts;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform(), 0.5});
+  }
+  pts.push_back({0.5, 0.5, 0.0});
+  pts.push_back({0.5, 0.5, 1.0});
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  for (const Vec& p : pts) {
+    EXPECT_TRUE(hull->Contains(p, 1e-6));
+  }
+}
+
+TEST(ConvexHullTest, FullyDegenerateFails) {
+  // All points on a line in 3D: no full-dimensional hull even after
+  // joggle... joggle actually makes it full-dimensional, so expect OK
+  // with tiny volume OR a clean failure; either way no crash.
+  std::vector<Vec> pts;
+  for (int i = 0; i < 10; ++i) {
+    double t = i / 10.0;
+    pts.push_back({t, t, t});
+  }
+  ConvexHullOptions opt;
+  opt.enable_joggle = false;
+  EXPECT_FALSE(ConvexHull::Build(pts, opt).ok());
+}
+
+TEST(ConvexHullTest, TooFewPoints) {
+  std::vector<Vec> pts = {{0, 0, 0}, {1, 0, 0}};
+  EXPECT_FALSE(ConvexHull::Build(pts).ok());
+}
+
+TEST(ConvexHullTest, HullOfHullVerticesHasSameVolume) {
+  Rng rng(42);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 300; ++i) {
+    Vec p(4);
+    for (size_t j = 0; j < 4; ++j) p[j] = rng.Uniform();
+    pts.push_back(std::move(p));
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  std::vector<Vec> verts;
+  for (int v : hull->vertex_indices()) verts.push_back(pts[v]);
+  Result<ConvexHull> hull2 = ConvexHull::Build(verts);
+  ASSERT_TRUE(hull2.ok());
+  EXPECT_NEAR(hull->Volume(), hull2->Volume(), 1e-6);
+  EXPECT_EQ(hull2->vertex_indices().size(), verts.size());
+}
+
+// Property sweep: random point clouds at several dimensionalities.
+class HullPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullPropertyTest, RandomCloudsAreEnclosed) {
+  const int d = GetParam();
+  Rng rng(1000 + d);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vec> pts;
+    int n = 30 + trial * 40;
+    for (int i = 0; i < n; ++i) {
+      Vec p(d);
+      for (int j = 0; j < d; ++j) p[j] = rng.Uniform();
+      pts.push_back(std::move(p));
+    }
+    Result<ConvexHull> hull = ConvexHull::Build(pts);
+    ASSERT_TRUE(hull.ok()) << "d=" << d << " trial=" << trial;
+    for (const Vec& p : pts) {
+      ASSERT_TRUE(hull->Contains(p, 1e-7));
+    }
+    double vol = hull->Volume();
+    EXPECT_GT(vol, 0.0);
+    EXPECT_LT(vol, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HullPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/halfspace_intersection.h"
+#include "geom/volume.h"
+
+namespace gir {
+namespace {
+
+TEST(IntersectionTest, UnitCubeAlone) {
+  std::vector<Halfspace> ge;  // cube only
+  Vec hint = {0.5, 0.5};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->polytope.empty());
+  EXPECT_EQ(r->polytope.vertices().size(), 4u);
+  EXPECT_NEAR(r->polytope.Volume(), 1.0, 1e-9);
+  EXPECT_TRUE(r->nonredundant.empty());
+}
+
+TEST(IntersectionTest, DiagonalCutSquare) {
+  // x + y >= 1 inside the unit square: a triangle of area 1/2.
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 1.0}};
+  Vec hint = {0.9, 0.9};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->polytope.vertices().size(), 3u);
+  EXPECT_NEAR(r->polytope.Volume(), 0.5, 1e-9);
+  ASSERT_EQ(r->nonredundant.size(), 1u);
+  EXPECT_EQ(r->nonredundant[0], 0);
+}
+
+TEST(IntersectionTest, RedundantConstraintDetected) {
+  std::vector<Halfspace> ge = {
+      Halfspace{{1.0, 1.0}, 1.0},   // binding
+      Halfspace{{1.0, 1.0}, 0.5},   // strictly dominated
+  };
+  Vec hint = {0.9, 0.9};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->nonredundant.size(), 1u);
+  EXPECT_EQ(r->nonredundant[0], 0);
+}
+
+TEST(IntersectionTest, EmptyIntersection) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 0.0}, 2.0}};  // x >= 2
+  Vec hint;
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->polytope.empty());
+  EXPECT_EQ(r->polytope.Volume(), 0.0);
+}
+
+TEST(IntersectionTest, BadHintFallsBackToChebyshev) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 1.0}};
+  Vec hint = {0.1, 0.1};  // violates the constraint
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->polytope.Volume(), 0.5, 1e-9);
+}
+
+TEST(IntersectionTest, ConeThroughOrigin3D) {
+  // Wedge: x >= y and x >= z in the unit cube. Volume = 1/3 by symmetry
+  // (x is the max coordinate in exactly 1/3 of the cube... actually
+  // P(x = max) = 1/3).
+  std::vector<Halfspace> ge = {Halfspace{{1.0, -1.0, 0.0}, 0.0},
+                               Halfspace{{1.0, 0.0, -1.0}, 0.0}};
+  Vec hint = {0.9, 0.1, 0.1};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->polytope.Volume(), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(r->nonredundant.size(), 2u);
+}
+
+TEST(IntersectionTest, DuplicateInputsCollapse) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 1.0},
+                               Halfspace{{2.0, 2.0}, 2.0},  // same plane
+                               Halfspace{{1.0, 1.0}, 1.0}};
+  Vec hint = {0.9, 0.9};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->polytope.Volume(), 0.5, 1e-9);
+  EXPECT_EQ(r->nonredundant.size(), 1u);
+}
+
+TEST(IntersectionTest, VolumeMatchesMonteCarlo) {
+  Rng rng(11);
+  for (int d = 2; d <= 5; ++d) {
+    // Random cone through a random interior direction.
+    std::vector<Halfspace> ge;
+    Vec q(d);
+    for (int j = 0; j < d; ++j) q[j] = rng.Uniform(0.3, 0.7);
+    for (int i = 0; i < 5; ++i) {
+      Vec n(d);
+      for (int j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+      // Orient so q satisfies the constraint strictly.
+      double v = Dot(n, q);
+      if (v < 0) {
+        for (double& x : n) x = -x;
+      }
+      ge.push_back(Halfspace{std::move(n), 0.0});
+    }
+    Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+    ASSERT_TRUE(r.ok()) << "d=" << d;
+    double exact = r->polytope.Volume();
+    Rng mc_rng(d * 31);
+    double mc = MonteCarloCubeFraction(ge, d, 200000, mc_rng);
+    EXPECT_NEAR(exact, mc, 0.012) << "d=" << d;
+  }
+}
+
+TEST(IntersectionTest, VerticesSatisfyAllConstraints) {
+  Rng rng(13);
+  const int d = 4;
+  std::vector<Halfspace> ge;
+  Vec q(d, 0.5);
+  for (int i = 0; i < 8; ++i) {
+    Vec n(d);
+    for (int j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+    if (Dot(n, q) < 0) {
+      for (double& x : n) x = -x;
+    }
+    ge.push_back(Halfspace{std::move(n), 0.0});
+  }
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+  ASSERT_TRUE(r.ok());
+  for (const Vec& v : r->polytope.vertices()) {
+    for (const Halfspace& h : ge) {
+      EXPECT_GE(Dot(h.normal, v) - h.offset, -1e-6);
+    }
+    for (int j = 0; j < d; ++j) {
+      EXPECT_GE(v[j], -1e-7);
+      EXPECT_LE(v[j], 1.0 + 1e-7);
+    }
+  }
+}
+
+TEST(BoundingBoxTest, ComputesExtents) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 1.0}};
+  Vec hint = {0.9, 0.9};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, hint);
+  ASSERT_TRUE(r.ok());
+  Vec lo, hi;
+  ASSERT_TRUE(BoundingBox(r->polytope, &lo, &hi));
+  EXPECT_NEAR(lo[0], 0.0, 1e-9);
+  EXPECT_NEAR(hi[0], 1.0, 1e-9);
+}
+
+TEST(MonteCarloTest, HalfCubeFraction) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 0.0, 0.0}, 0.5}};
+  Rng rng(3);
+  double f = MonteCarloCubeFraction(ge, 3, 100000, rng);
+  EXPECT_NEAR(f, 0.5, 0.01);
+}
+
+TEST(MonteCarloTest, BoxVolume) {
+  std::vector<Halfspace> ge;  // no constraints: whole box
+  Rng rng(4);
+  Vec lo = {0.0, 0.0};
+  Vec hi = {0.5, 0.25};
+  EXPECT_NEAR(MonteCarloVolumeInBox(ge, lo, hi, 1000, rng), 0.125, 1e-12);
+}
+
+}  // namespace
+}  // namespace gir

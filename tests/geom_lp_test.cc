@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/lp.h"
+
+namespace gir {
+namespace {
+
+TEST(LpTest, Simple2DMaximum) {
+  // maximize x + y s.t. x <= 1, y <= 2, x + y <= 2.5
+  LpProblem lp;
+  lp.a = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  lp.b = {1.0, 2.0, 2.5};
+  lp.c = {1.0, 1.0};
+  LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-9);
+}
+
+TEST(LpTest, NegativeRhsNeedsPhase1) {
+  // maximize -x s.t. -x <= -3 (x >= 3), x <= 10 -> optimum x = 3.
+  LpProblem lp;
+  lp.a = {{-1.0}, {1.0}};
+  lp.b = {-3.0, 10.0};
+  lp.c = {-1.0};
+  LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(LpTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem lp;
+  lp.a = {{1.0}, {-1.0}};
+  lp.b = {1.0, -2.0};
+  lp.c = {1.0};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.a = {{-1.0}};
+  lp.b = {0.0};
+  lp.c = {1.0};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, FreeVariablesCanGoNegative) {
+  // maximize -x s.t. x >= -5  (i.e. -x <= 5).
+  LpProblem lp;
+  lp.a = {{-1.0}};
+  lp.b = {5.0};
+  lp.c = {-1.0};
+  LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -5.0, 1e-9);
+}
+
+TEST(LpTest, DegenerateConstraintsStillSolve) {
+  // Repeated and redundant constraints around the optimum.
+  LpProblem lp;
+  lp.a = {{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  lp.b = {1.0, 1.0, 1.0, 2.0, 2.0};
+  lp.c = {1.0, 1.0};
+  LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(ChebyshevTest, UnitSquareCenter) {
+  // No extra half-spaces: largest ball in [0,1]^2 has radius 0.5.
+  std::vector<Halfspace> ge;
+  ge.push_back(Halfspace{{1.0, 0.0}, 0.0});  // x >= 0 (redundant w/ box)
+  Result<ChebyshevResult> c = ChebyshevCenter(ge);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->radius, 0.5, 1e-8);
+  EXPECT_NEAR(c->center[0], 0.5, 1e-6);
+  EXPECT_NEAR(c->center[1], 0.5, 1e-6);
+}
+
+TEST(ChebyshevTest, HalfCube) {
+  // x + y >= 1 within the unit square: largest ball centred on the
+  // diagonal x+y = 1 + sqrt(2) r line.
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 1.0}};
+  Result<ChebyshevResult> c = ChebyshevCenter(ge);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c->radius, 0.2);
+  // The centre satisfies the constraint with margin >= radius * |n|.
+  EXPECT_GE(c->center[0] + c->center[1] - 1.0,
+            c->radius * std::sqrt(2.0) - 1e-7);
+}
+
+TEST(ChebyshevTest, EmptyRegionNegativeRadius) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 0.0}, 2.0}};  // x >= 2
+  Result<ChebyshevResult> c = ChebyshevCenter(ge);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LE(c->radius, 0.0);
+}
+
+TEST(ChebyshevTest, StrictFeasibility) {
+  std::vector<Halfspace> ge = {Halfspace{{1.0, 1.0}, 0.5}};
+  EXPECT_TRUE(IsStrictlyFeasible(ge, 0.0, 1.0, 0.01));
+  std::vector<Halfspace> tight = {Halfspace{{1.0, 1.0}, 2.0}};
+  EXPECT_FALSE(IsStrictlyFeasible(tight, 0.0, 1.0, 0.01));
+}
+
+// Property: for random cones through the origin inside the unit cube,
+// the Chebyshev centre is feasible with margin ~radius.
+class ChebyshevPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChebyshevPropertyTest, CenterIsDeepFeasible) {
+  const int d = GetParam();
+  Rng rng(77 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Halfspace> ge;
+    for (int i = 0; i < 6; ++i) {
+      Vec n(d);
+      for (int j = 0; j < d; ++j) n[j] = rng.Uniform(-0.3, 1.0);
+      ge.push_back(Halfspace{std::move(n), 0.0});
+    }
+    Result<ChebyshevResult> c = ChebyshevCenter(ge);
+    ASSERT_TRUE(c.ok());
+    if (c->radius <= 0) continue;  // empty cone: nothing to verify
+    for (const Halfspace& h : ge) {
+      EXPECT_GE(Dot(h.normal, c->center) - h.offset,
+                c->radius * Norm(h.normal) - 1e-6);
+    }
+    for (int j = 0; j < d; ++j) {
+      EXPECT_GE(c->center[j], c->radius - 1e-6);
+      EXPECT_LE(c->center[j], 1.0 - c->radius + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ChebyshevPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace gir

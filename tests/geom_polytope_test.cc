@@ -1,0 +1,208 @@
+// Polytope container, volume estimators and cross-module geometric
+// consistency (2-D hull vs d-dim hull, exact vs Monte-Carlo).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+#include "geom/halfspace_intersection.h"
+#include "geom/hull2d.h"
+#include "geom/polytope.h"
+#include "geom/volume.h"
+
+namespace gir {
+namespace {
+
+Polytope UnitTriangle() {
+  std::vector<Vec> verts = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  std::vector<Hyperplane> facets;
+  facets.push_back(Hyperplane{{-1.0, 0.0}, 0.0});  // x >= 0
+  facets.push_back(Hyperplane{{0.0, -1.0}, 0.0});  // y >= 0
+  Hyperplane diag;
+  diag.normal = {1.0, 1.0};
+  diag.offset = 1.0;  // x + y <= 1
+  facets.push_back(diag);
+  return Polytope::FromData(2, verts, facets);
+}
+
+TEST(PolytopeTest, EmptyBasics) {
+  Polytope p = Polytope::Empty(3);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.Volume(), 0.0);
+  EXPECT_FALSE(p.Contains(Vec{0.0, 0.0, 0.0}));
+}
+
+TEST(PolytopeTest, TriangleContainsAndVolume) {
+  Polytope tri = UnitTriangle();
+  EXPECT_TRUE(tri.Contains(Vec{0.2, 0.2}));
+  EXPECT_FALSE(tri.Contains(Vec{0.8, 0.8}));
+  EXPECT_TRUE(tri.Contains(Vec{0.5, 0.5}, 1e-9));  // on the boundary
+  EXPECT_NEAR(tri.Volume(), 0.5, 1e-12);
+  Vec c = tri.Centroid();
+  EXPECT_NEAR(c[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(PolytopeTest, LowerDimensionalVertexSetHasNegligibleVolume) {
+  // Four collinear "vertices": the joggled hull may report a sliver of
+  // the joggle magnitude, never a real 2-volume.
+  std::vector<Vec> verts = {{0.0, 0.0}, {0.3, 0.3}, {0.6, 0.6}, {1.0, 1.0}};
+  Polytope p = Polytope::FromData(2, verts, {});
+  EXPECT_LT(p.Volume(), 1e-6);
+}
+
+TEST(GeomConsistencyTest, Hull2DAreaMatchesGeneralHullVolume) {
+  Rng rng(21);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  // Shoelace area over the 2-D hull.
+  std::vector<int> h = ConvexHull2D(pts);
+  double area2 = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Vec& a = pts[h[i]];
+    const Vec& b = pts[h[(i + 1) % h.size()]];
+    area2 += a[0] * b[1] - b[0] * a[1];
+  }
+  double shoelace = 0.5 * std::fabs(area2);
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(hull->Volume(), shoelace, 1e-9);
+  // Vertex sets agree too.
+  std::vector<int> sorted2d = h;
+  std::sort(sorted2d.begin(), sorted2d.end());
+  EXPECT_EQ(hull->vertex_indices(), sorted2d);
+}
+
+TEST(GeomConsistencyTest, IntersectionVolumeEqualsHullVolumeOfVertices) {
+  Rng rng(22);
+  for (int d = 2; d <= 5; ++d) {
+    std::vector<Halfspace> ge;
+    Vec q(d, 0.5);
+    for (int i = 0; i < 2 * d; ++i) {
+      Vec n(d);
+      for (int j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+      if (Dot(n, q) < 0) {
+        for (double& x : n) x = -x;
+      }
+      ge.push_back(Halfspace{std::move(n), 0.0});
+    }
+    Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+    ASSERT_TRUE(r.ok()) << "d=" << d;
+    if (r->polytope.vertices().size() < static_cast<size_t>(d + 1)) continue;
+    Result<ConvexHull> hull = ConvexHull::Build(r->polytope.vertices());
+    ASSERT_TRUE(hull.ok());
+    EXPECT_NEAR(r->polytope.Volume(), hull->Volume(), 1e-9) << "d=" << d;
+  }
+}
+
+TEST(GeomConsistencyTest, NonredundantConstraintsAreTight) {
+  // Every non-redundant constraint touches the polytope (some vertex
+  // lies on its hyperplane); every redundant one does not.
+  Rng rng(23);
+  const int d = 3;
+  std::vector<Halfspace> ge;
+  Vec q(d, 0.5);
+  for (int i = 0; i < 12; ++i) {
+    Vec n(d);
+    for (int j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 1.0);
+    if (Dot(n, q) < 0) {
+      for (double& x : n) x = -x;
+    }
+    ge.push_back(Halfspace{std::move(n), 0.0});
+  }
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+  ASSERT_TRUE(r.ok());
+  std::vector<bool> nonredundant(ge.size(), false);
+  for (int idx : r->nonredundant) nonredundant[idx] = true;
+  for (size_t i = 0; i < ge.size(); ++i) {
+    double min_slack = 1e300;
+    for (const Vec& v : r->polytope.vertices()) {
+      min_slack =
+          std::min(min_slack, Dot(ge[i].normal, v) / Norm(ge[i].normal));
+    }
+    if (nonredundant[i]) {
+      EXPECT_LT(min_slack, 1e-7) << "constraint " << i << " claimed tight";
+    } else {
+      EXPECT_GT(min_slack, -1e-9)
+          << "constraint " << i << " violated by a vertex";
+    }
+  }
+}
+
+TEST(VolumeTest, MonteCarloBoxTightensVariance) {
+  // For a small region, box-restricted MC resolves the volume with far
+  // fewer samples than cube MC.
+  std::vector<Halfspace> ge = {Halfspace{{1.0, -20.0}, 0.0},
+                               Halfspace{{-1.0, 25.0}, 0.0}};
+  Vec q = {0.9, 0.041};
+  Result<IntersectionResult> r = IntersectHalfspaces(ge, q);
+  ASSERT_TRUE(r.ok());
+  double exact = r->polytope.Volume();
+  ASSERT_GT(exact, 0.0);
+  Vec lo, hi;
+  ASSERT_TRUE(BoundingBox(r->polytope, &lo, &hi));
+  Rng rng(5);
+  double mc_box = MonteCarloVolumeInBox(ge, lo, hi, 50000, rng);
+  EXPECT_NEAR(mc_box, exact, 0.1 * exact + 1e-6);
+}
+
+TEST(VolumeTest, CubeFractionOfNoConstraintsIsOne) {
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(MonteCarloCubeFraction({}, 3, 1000, rng), 1.0);
+}
+
+TEST(HullRobustnessTest, ManyDuplicatePoints) {
+  std::vector<Vec> pts;
+  Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    Vec p = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    for (int rep = 0; rep < 4; ++rep) pts.push_back(p);
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  for (const Vec& p : pts) {
+    EXPECT_TRUE(hull->Contains(p, 1e-6));
+  }
+}
+
+TEST(HullRobustnessTest, GridDataIsHighlyDegenerate) {
+  // Integer grid points: every facet fit is a tie festival; the joggle
+  // machinery must cope and still enclose everything.
+  std::vector<Vec> pts;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      for (int z = 0; z < 4; ++z) {
+        pts.push_back({x / 3.0, y / 3.0, z / 3.0});
+      }
+    }
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  EXPECT_NEAR(hull->Volume(), 1.0, 1e-4);
+  for (const Vec& p : pts) {
+    EXPECT_TRUE(hull->Contains(p, 1e-5));
+  }
+}
+
+TEST(HullRobustnessTest, HighDimensionSmoke) {
+  Rng rng(33);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 120; ++i) {
+    Vec p(8);
+    for (int j = 0; j < 8; ++j) p[j] = rng.Uniform();
+    pts.push_back(std::move(p));
+  }
+  Result<ConvexHull> hull = ConvexHull::Build(pts);
+  ASSERT_TRUE(hull.ok());
+  for (const Vec& p : pts) {
+    EXPECT_TRUE(hull->Contains(p, 1e-6));
+  }
+  EXPECT_GT(hull->Volume(), 0.0);
+  EXPECT_LT(hull->Volume(), 1.0);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,143 @@
+// Precision of the boundary events (§3.2): crossing one specific GIR
+// facet must produce exactly the result change its provenance predicts
+// — a swap of adjacent ranks for ordering facets, or the challenger
+// replacing p_k for overtaking facets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/engine.h"
+
+namespace gir {
+namespace {
+
+std::vector<RecordId> ScanTopK(const Dataset& data,
+                               const ScoringFunction& scoring, VecView w,
+                               size_t k) {
+  std::vector<RecordId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](RecordId a, RecordId b) {
+    return scoring.Score(data.Get(a), w) > scoring.Score(data.Get(b), w);
+  });
+  ids.resize(k);
+  return ids;
+}
+
+// Centroid of the polytope vertices lying on the given constraint's
+// hyperplane — a point in the facet's relative interior, where crossing
+// affects only that facet.
+bool FacetInteriorPoint(const GirRegion& region, int constraint_idx,
+                        Vec* out) {
+  const GirConstraint& c = region.constraints()[constraint_idx];
+  Vec sum(region.dim(), 0.0);
+  int count = 0;
+  double norm = Norm(c.normal);
+  for (const Vec& v : region.polytope().vertices()) {
+    if (std::fabs(Dot(c.normal, v)) / norm < 1e-8) {
+      for (size_t j = 0; j < v.size(); ++j) sum[j] += v[j];
+      ++count;
+    }
+  }
+  if (count < 2) return false;  // facet too degenerate to probe safely
+  for (double& x : sum) x /= count;
+  *out = std::move(sum);
+  return true;
+}
+
+class BoundaryCrossingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundaryCrossingTest, CrossingAFacetCausesThePredictedChange) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int d = 3;
+  const size_t k = 8;
+  Dataset data = GenerateIndependent(600, d, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  LinearScoring scoring(d);
+  Vec w = {rng.Uniform(0.3, 0.8), rng.Uniform(0.3, 0.8),
+           rng.Uniform(0.3, 0.8)};
+  Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+  ASSERT_TRUE(gir.ok());
+  const std::vector<RecordId>& original = gir->topk.result;
+
+  int facets_probed = 0;
+  for (int idx : gir->region.nonredundant_indices()) {
+    const GirConstraint& c = gir->region.constraints()[idx];
+    Vec center;
+    if (!FacetInteriorPoint(gir->region, idx, &center)) continue;
+    // Step across the facet from just inside to just outside along the
+    // inward/outward normal.
+    Vec unit = c.normal;
+    if (!NormalizeInPlace(unit)) continue;
+    const double eps = 1e-6;
+    Vec inside = AddScaled(center, unit, eps);    // normal side: n·q >= 0
+    Vec outside = AddScaled(center, unit, -eps);  // violating side
+    // Keep probes within the cube and within/without only this facet.
+    if (!gir->region.Contains(inside, 0.0)) continue;
+    bool crosses_only_this = true;
+    for (int other : gir->region.nonredundant_indices()) {
+      if (other == idx) continue;
+      if (Dot(gir->region.constraints()[other].normal, outside) < 0) {
+        crosses_only_this = false;
+        break;
+      }
+    }
+    bool in_cube = true;
+    for (double x : outside) {
+      if (x < 0.0 || x > 1.0) in_cube = false;
+    }
+    if (!crosses_only_this || !in_cube) continue;
+    ++facets_probed;
+
+    EXPECT_EQ(ScanTopK(data, scoring, inside, k), original)
+        << "inside-of-facet probe must preserve the result";
+    std::vector<RecordId> after = ScanTopK(data, scoring, outside, k);
+    std::vector<RecordId> predicted = original;
+    if (c.provenance.kind == ConstraintProvenance::Kind::kOrdering) {
+      std::swap(predicted[c.provenance.position],
+                predicted[c.provenance.position + 1]);
+    } else {
+      predicted[c.provenance.position] = c.provenance.challenger;
+    }
+    EXPECT_EQ(after, predicted)
+        << "facet " << idx << " ("
+        << c.provenance.Describe(original) << ") mispredicted";
+  }
+  EXPECT_GT(facets_probed, 0) << "no facet was probeable";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundaryCrossingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BoundaryCrossingTest, OvertakeEventsNameRealChallengers) {
+  Rng rng(100);
+  Dataset data = GenerateAnticorrelated(800, 3, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  Vec w = {0.5, 0.6, 0.4};
+  Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  ASSERT_TRUE(gir.ok());
+  for (const BoundaryEvent& e : gir->region.BoundaryEvents()) {
+    if (e.constraint.provenance.kind ==
+        ConstraintProvenance::Kind::kOvertake) {
+      RecordId ch = e.constraint.provenance.challenger;
+      ASSERT_GE(ch, 0);
+      ASSERT_LT(static_cast<size_t>(ch), data.size());
+      // The challenger is a non-result record.
+      EXPECT_EQ(std::count(gir->topk.result.begin(), gir->topk.result.end(),
+                           ch),
+                0);
+    } else {
+      int pos = e.constraint.provenance.position;
+      ASSERT_GE(pos, 0);
+      ASSERT_LT(pos + 1, static_cast<int>(gir->topk.result.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gir

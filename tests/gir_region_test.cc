@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "gir/gir_region.h"
+
+namespace gir {
+namespace {
+
+GirRegion MakeWedge() {
+  // 2-D wedge: w1 >= w2 and w1 >= 0.2 (through-origin + offset... the
+  // second is emulated via cube + constraint normals): use two origin
+  // half-planes w1 - w2 >= 0 and 3*w2 - w1 >= 0 (cone between the
+  // diagonal and the line w1 = 3 w2).
+  GirRegion region(2, Vec{0.5, 0.3}, {7, 9});
+  ConstraintProvenance prov;
+  prov.kind = ConstraintProvenance::Kind::kOrdering;
+  prov.position = 0;
+  region.AddConstraint(Vec{1.0, -1.0}, prov);
+  ConstraintProvenance prov2;
+  prov2.kind = ConstraintProvenance::Kind::kOvertake;
+  prov2.position = 1;
+  prov2.challenger = 42;
+  region.AddConstraint(Vec{-1.0, 3.0}, prov2);
+  return region;
+}
+
+TEST(GirRegionTest, Contains) {
+  GirRegion region = MakeWedge();
+  EXPECT_TRUE(region.Contains(Vec{0.5, 0.3}));
+  EXPECT_TRUE(region.Contains(Vec{0.6, 0.4}));
+  EXPECT_FALSE(region.Contains(Vec{0.3, 0.5}));   // violates first
+  EXPECT_FALSE(region.Contains(Vec{0.9, 0.1}));   // violates second
+  EXPECT_FALSE(region.Contains(Vec{1.5, 1.0}));   // outside cube
+}
+
+TEST(GirRegionTest, ClipRayInterval) {
+  GirRegion region = MakeWedge();
+  Vec q = {0.5, 0.3};
+  Vec dir = {1.0, 0.0};
+  GirRegion::RaySpan span = region.ClipRay(q, dir);
+  // Moving w1 up is bounded by w1 <= 3*w2 = 0.9; down by w1 >= w2 = 0.3.
+  EXPECT_NEAR(q[0] + span.t_max, 0.9, 1e-12);
+  EXPECT_NEAR(q[0] + span.t_min, 0.3, 1e-12);
+}
+
+TEST(GirRegionTest, ClipRayOutsidePoint) {
+  GirRegion region = MakeWedge();
+  GirRegion::RaySpan span = region.ClipRay(Vec{0.1, 0.9}, Vec{1.0, 0.0});
+  // The ray from an outside point still reports the crossing interval
+  // bounded by t where constraints hold; here first constraint requires
+  // t >= 0.8 and the second w2*3 >= w1 -> t <= 2.6-0.1 = 2.6... just
+  // check the span is to the right of the start.
+  EXPECT_GT(span.t_min, 0.0);
+  EXPECT_GE(span.t_max, span.t_min);
+}
+
+TEST(GirRegionTest, PolytopeAndNonredundant) {
+  GirRegion region = MakeWedge();
+  ConstraintProvenance prov;
+  prov.kind = ConstraintProvenance::Kind::kOvertake;
+  prov.position = 1;
+  prov.challenger = 99;
+  // Redundant: implied by w1 >= w2 (weaker cut of the same side).
+  region.AddConstraint(Vec{2.0, -1.0}, prov);
+  const Polytope& poly = region.polytope();
+  EXPECT_FALSE(poly.empty());
+  // Non-redundant set: constraints 0 and 1 but not 2.
+  std::vector<int> nr = region.nonredundant_indices();
+  EXPECT_EQ(nr, (std::vector<int>{0, 1}));
+}
+
+TEST(GirRegionTest, BoundaryEventsDescribePerturbations) {
+  GirRegion region = MakeWedge();
+  std::vector<BoundaryEvent> events = region.BoundaryEvents();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_swap = false;
+  bool saw_overtake = false;
+  for (const BoundaryEvent& e : events) {
+    if (e.constraint.provenance.kind ==
+        ConstraintProvenance::Kind::kOrdering) {
+      saw_swap = true;
+      EXPECT_NE(e.description.find("swap"), std::string::npos);
+    } else {
+      saw_overtake = true;
+      EXPECT_NE(e.description.find("overtakes"), std::string::npos);
+      EXPECT_EQ(e.constraint.provenance.challenger, 42);
+    }
+  }
+  EXPECT_TRUE(saw_swap);
+  EXPECT_TRUE(saw_overtake);
+}
+
+TEST(GirRegionTest, EmptyRegionPolytope) {
+  GirRegion region(2, Vec{0.5, 0.5}, {1});
+  ConstraintProvenance prov;
+  region.AddConstraint(Vec{1.0, 0.0}, prov);
+  region.AddConstraint(Vec{-1.0, -0.1}, prov);  // w1 <= -0.1*w2: empty in cube+
+  const Polytope& poly = region.polytope();
+  EXPECT_DOUBLE_EQ(poly.Volume(), 0.0);
+}
+
+TEST(GirRegionTest, VolumeOfWedge) {
+  GirRegion region = MakeWedge();
+  // Cone between lines w2 = w1 and w2 = w1/3 inside the unit square:
+  // area = 1/2 - 1/6 = 1/3.
+  EXPECT_NEAR(region.polytope().Volume(), 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gir
