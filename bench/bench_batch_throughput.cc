@@ -1,0 +1,106 @@
+// Batch serving throughput: BatchEngine QPS as a function of worker
+// thread count and GIR-cache capacity, over a clustered "millions of
+// users" workload (preference archetypes + personal jitter — the
+// result-caching setting of the paper's introduction). Reports, per
+// (threads × cache) cell: wall time, QPS, speedup vs 1 thread at the
+// same cache size, exact-hit rate, and index page reads.
+#include <vector>
+
+#include "bench_util.h"
+#include "gir/batch_engine.h"
+
+using namespace gir;
+using namespace gir::bench;
+
+namespace {
+
+// Clustered query stream: a handful of archetypes, each query jittered
+// around one of them.
+std::vector<Vec> ClusteredWeights(size_t count, size_t dim,
+                                  size_t archetypes, double jitter,
+                                  Rng& rng) {
+  std::vector<Vec> centers;
+  centers.reserve(archetypes);
+  for (size_t a = 0; a < archetypes; ++a) {
+    centers.push_back(RandomQuery(rng, dim));
+  }
+  std::vector<Vec> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Vec& c = centers[rng.UniformInt(centers.size())];
+    Vec w(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      w[j] = std::min(1.0, std::max(0.01, c[j] + rng.Gaussian(0.0, jitter)));
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params params;
+  params.queries = 256;
+  FlagSet flags;
+  params.Register(&flags);
+  int64_t dim = 3;
+  int64_t archetypes = 8;
+  double jitter = 0.02;
+  flags.AddInt("d", &dim, "dimensionality");
+  flags.AddInt("archetypes", &archetypes, "preference clusters");
+  flags.AddDouble("jitter", &jitter, "per-user jitter around archetypes");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) return s.code() == StatusCode::kNotFound ? 0 : 1;
+  params.ApplyFullDefaults();
+  if (params.full) params.queries = 2048;
+
+  Dataset data = MakeNamedDataset("IND", params.n, dim, params.seed);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", dim),
+                   GirEngineOptions{});
+  Rng rng(params.seed * 31);
+  std::vector<Vec> weights =
+      ClusteredWeights(params.queries, dim, archetypes, jitter, rng);
+
+  std::printf("Batch GIR serving throughput (n=%lld, d=%lld, k=%lld, "
+              "%lld queries, %lld archetypes, jitter %.3f)\n",
+              static_cast<long long>(params.n),
+              static_cast<long long>(dim), static_cast<long long>(params.k),
+              static_cast<long long>(params.queries),
+              static_cast<long long>(archetypes), jitter);
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<size_t> cache_sizes = {0, 512};
+
+  for (size_t cache : cache_sizes) {
+    PrintTitle(cache == 0 ? "cache disabled"
+                          : "cache capacity " + std::to_string(cache));
+    PrintHeader("threads", {"wall_ms", "qps", "speedup", "hit_rate",
+                            "p50_ms", "p99_ms", "reads"});
+    double base_wall = -1.0;
+    for (size_t threads : thread_counts) {
+      BatchOptions options;
+      options.threads = threads;
+      options.cache_capacity = cache;
+      // A fresh engine per cell: every row starts from a cold cache.
+      BatchEngine batch(&engine, options);
+      Result<BatchResult> r =
+          batch.ComputeBatch(weights, params.k, Phase2Method::kFP);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      if (base_wall < 0) base_wall = r->stats.wall_ms;
+      // Speedup over an empty batch is noise; PrintCell renders -1 as "-".
+      const double speedup =
+          r->stats.queries > 0 ? base_wall / r->stats.wall_ms : -1.0;
+      PrintRow(static_cast<int64_t>(threads),
+               {r->stats.wall_ms, r->stats.QueriesPerSecond(),
+                speedup, r->stats.HitRate(),
+                r->stats.p50_ms, r->stats.p99_ms,
+                static_cast<double>(r->stats.total_reads)});
+    }
+  }
+  return 0;
+}

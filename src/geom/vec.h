@@ -2,7 +2,6 @@
 #define GIR_GEOM_VEC_H_
 
 #include <cstddef>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -10,9 +9,36 @@ namespace gir {
 
 // Dense d-dimensional point/vector. Dimensionality in this library is a
 // runtime parameter (the paper evaluates d in [2, 8]), so points are
-// heap vectors; hot loops take std::span views to avoid copies.
+// heap vectors; hot loops take lightweight views to avoid copies.
 using Vec = std::vector<double>;
-using VecView = std::span<const double>;
+
+// Read-only view over contiguous doubles — the subset of std::span the
+// library needs, kept hand-rolled so the build stays C++17.
+class VecView {
+ public:
+  using value_type = double;
+  using iterator = const double*;
+  using const_iterator = const double*;
+
+  constexpr VecView() = default;
+  constexpr VecView(const double* data, size_t size)
+      : data_(data), size_(size) {}
+  // Implicit, mirroring std::span's container constructor.
+  VecView(const Vec& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const double* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const double& operator[](size_t i) const { return data_[i]; }
+  constexpr const double* begin() const { return data_; }
+  constexpr const double* end() const { return data_ + size_; }
+  constexpr const double& front() const { return data_[0]; }
+  constexpr const double& back() const { return data_[size_ - 1]; }
+
+ private:
+  const double* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 // Dot product. Spans must have equal length.
 double Dot(VecView a, VecView b);

@@ -1,0 +1,92 @@
+#include "gir/batch_engine.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace gir {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
+                                              size_t k, Phase2Method method) {
+  const size_t dim = engine_->dataset().dim();
+  for (const Vec& w : weights) {
+    if (w.size() != dim) {
+      return Status::InvalidArgument("batch weight dimensionality mismatch");
+    }
+  }
+
+  BatchResult out;
+  out.items.resize(weights.size());
+  const bool use_cache = cache_.capacity() > 0;
+
+  Stopwatch batch_sw;
+  pool_.ParallelFor(weights.size(), [&](size_t i) {
+    BatchItem& item = out.items[i];
+    Stopwatch sw;
+    IoStats before = DiskManager::ThreadStats();
+    if (use_cache) {
+      ShardedGirCache::Lookup hit = cache_.Probe(weights[i], k);
+      item.cache = hit.kind;
+      if (hit.kind == ShardedGirCache::HitKind::kExact) {
+        item.topk = std::move(hit.records);
+        item.latency_ms = sw.ElapsedMillis();
+        return;
+      }
+    }
+    Result<GirComputation> gir = engine_->ComputeGir(weights[i], k, method);
+    if (!gir.ok()) {
+      item.status = gir.status();
+      item.latency_ms = sw.ElapsedMillis();
+      return;
+    }
+    item.topk = gir->topk.result;
+    if (use_cache && options_.populate_cache) {
+      cache_.Insert(k, gir->topk.result, gir->region);
+    }
+    item.computed = std::move(*gir);
+    item.reads = (DiskManager::ThreadStats() - before).reads;
+    item.latency_ms = sw.ElapsedMillis();
+  });
+  out.stats.wall_ms = batch_sw.ElapsedMillis();
+
+  out.stats.queries = out.items.size();
+  std::vector<double> latencies;
+  latencies.reserve(out.items.size());
+  for (const BatchItem& item : out.items) {
+    if (!item.status.ok()) {
+      ++out.stats.failures;
+      continue;
+    }
+    switch (item.cache) {
+      case ShardedGirCache::HitKind::kExact:
+        ++out.stats.exact_hits;
+        break;
+      case ShardedGirCache::HitKind::kPartial:
+        ++out.stats.partial_hits;
+        break;
+      case ShardedGirCache::HitKind::kMiss:
+        ++out.stats.misses;
+        break;
+    }
+    out.stats.total_reads += item.reads;
+    latencies.push_back(item.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.stats.p50_ms = Percentile(latencies, 0.50);
+  out.stats.p99_ms = Percentile(latencies, 0.99);
+  out.stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,118 @@
+#ifndef GIR_GIR_BATCH_ENGINE_H_
+#define GIR_GIR_BATCH_ENGINE_H_
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "gir/engine.h"
+#include "gir/sharded_cache.h"
+
+namespace gir {
+
+struct BatchOptions {
+  // Worker threads fanning queries over the shared engine. 0 = one per
+  // hardware thread.
+  size_t threads = 0;
+  // Total cached GIRs across shards; 0 disables caching entirely.
+  size_t cache_capacity = 256;
+  size_t cache_shards = 8;
+  // Insert computed GIRs back into the cache (lookups are always
+  // attempted while the cache is enabled).
+  bool populate_cache = true;
+};
+
+// Outcome of one query of a batch, at its input position.
+struct BatchItem {
+  Status status = Status::Ok();
+  // How the query was answered. kExact means the records came straight
+  // from a cached GIR without touching the R-tree; kPartial means a
+  // shorter cached prefix existed but the full answer was recomputed.
+  ShardedGirCache::HitKind cache = ShardedGirCache::HitKind::kMiss;
+  // The top-k record ids in decreasing score order; always set on
+  // success, whether served from cache or computed.
+  std::vector<RecordId> topk;
+  // The full computation (region, scores, per-phase stats); present
+  // exactly when the query was actually computed (miss or partial hit).
+  std::optional<GirComputation> computed;
+  double latency_ms = 0.0;
+  uint64_t reads = 0;  // index page reads paid by this query
+};
+
+// Aggregate statistics of one ComputeBatch call.
+struct BatchStats {
+  size_t queries = 0;
+  size_t failures = 0;
+  uint64_t exact_hits = 0;
+  uint64_t partial_hits = 0;
+  uint64_t misses = 0;
+  uint64_t total_reads = 0;
+  double wall_ms = 0.0;  // end-to-end batch wall time
+  double p50_ms = 0.0;   // per-query latency percentiles
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  // Fraction of *served* (non-failed) queries answered from cache.
+  double HitRate() const {
+    const size_t served = queries - failures;
+    return served == 0 ? 0.0
+                       : static_cast<double>(exact_hits) /
+                             static_cast<double>(served);
+  }
+  double QueriesPerSecond() const {
+    return wall_ms <= 0.0 ? 0.0
+                          : 1000.0 * static_cast<double>(queries) / wall_ms;
+  }
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;  // input order
+  BatchStats stats;
+};
+
+// Multi-threaded batch query layer over a (shared, read-only) GirEngine:
+// fans the weight vectors of a batch across a fixed thread pool, answers
+// repeats and near-repeats from a sharded GIR cache without touching the
+// R-tree, and aggregates per-batch serving statistics. Results come back
+// in input order and are bit-identical to issuing the same sequence of
+// ComputeGir calls sequentially: a cache hit returns the exact cached
+// top-k order, which the containment guarantee makes equal to what a
+// fresh computation would produce.
+//
+// The engine must outlive the BatchEngine. One BatchEngine may serve
+// many ComputeBatch calls; the cache persists and warms across batches.
+// ComputeBatch itself is not reentrant (one batch at a time per
+// BatchEngine).
+class BatchEngine {
+ public:
+  explicit BatchEngine(const GirEngine* engine, const BatchOptions& options = {})
+      : engine_(engine),
+        options_(options),
+        cache_(options.cache_capacity, options.cache_shards),
+        pool_(options.threads != 0 ? options.threads
+                                   : std::max(1u,
+                                              std::thread::
+                                                  hardware_concurrency())) {}
+
+  // Computes the order-sensitive GIR top-k for every weight vector.
+  // Per-query errors (e.g. k out of range) land in the corresponding
+  // item's status; the call itself only fails on malformed batch input.
+  Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
+                                   Phase2Method method);
+
+  size_t threads() const { return pool_.size(); }
+  const ShardedGirCache& cache() const { return cache_; }
+  const GirEngine& engine() const { return *engine_; }
+
+ private:
+  const GirEngine* engine_;
+  BatchOptions options_;
+  ShardedGirCache cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_BATCH_ENGINE_H_

@@ -90,7 +90,7 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
       case Phase2Method::kBruteForce: {
         // Reference path: scan the dataset (charging the equivalent
         // page reads) and add every non-result constraint.
-        IoStats before = disk_->stats();
+        IoStats before = DiskManager::ThreadStats();
         const RecordId pk = topk->result.back();
         Vec gk = scoring_->Transform(dataset_->Get(pk));
         std::vector<bool> in_result(dataset_->size(), false);
@@ -113,7 +113,7 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
           }
         }
         p2.candidates = dataset_->size() - k;
-        p2.io = disk_->stats() - before;
+        p2.io = DiskManager::ThreadStats() - before;
         break;
       }
     }

@@ -66,6 +66,12 @@ struct GirEngineOptions {
 //   auto gir = engine.ComputeGir(weights, 20, Phase2Method::kFP);
 //
 // The dataset and disk manager must outlive the engine.
+//
+// Thread safety: after construction, ComputeGir / ComputeGirStar only
+// read the tree, dataset and scoring function, and the DiskManager's
+// accounting is atomic with thread-local per-query deltas — so any
+// number of threads may compute queries on one engine concurrently
+// (this is what BatchEngine does).
 class GirEngine {
  public:
   GirEngine(const Dataset* dataset, DiskManager* disk,

@@ -55,7 +55,7 @@ Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
   if (topk.result.empty()) {
     return Status::InvalidArgument("empty top-k result");
   }
-  IoStats before = tree.disk()->stats();
+  IoStats before = DiskManager::ThreadStats();
   const RecordId pk = topk.result.back();
   VecView pk_raw = data.Get(pk);
   Vec gk = scoring.Transform(pk_raw);
@@ -131,7 +131,7 @@ Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
     region->AddConstraint(Sub(gk, scoring.Transform(data.Get(id))), prov);
     ++out.candidates;
   }
-  out.io = tree.disk()->stats() - before;
+  out.io = DiskManager::ThreadStats() - before;
   return out;
 }
 

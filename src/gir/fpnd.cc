@@ -212,7 +212,7 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
   if (topk.result.empty()) {
     return Status::InvalidArgument("empty top-k result");
   }
-  IoStats before = tree.disk()->stats();
+  IoStats before = DiskManager::ThreadStats();
   const RecordId pk = topk.result.back();
   const int position = static_cast<int>(topk.result.size()) - 1;
   VecView pk_raw = data.Get(pk);
@@ -327,7 +327,7 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
   Phase2Output out;
   out.candidates = critical.size();
   out.star_facets = star.live_facet_count();
-  out.io = tree.disk()->stats() - before;
+  out.io = DiskManager::ThreadStats() - before;
   return out;
 }
 

@@ -97,6 +97,14 @@ class GirRegion {
   // Constraint views for the geometry helpers.
   std::vector<Halfspace> AsHalfspaces() const;
 
+  // Copy carrying only the constraint system, never the (potentially
+  // large) materialized polytope — what containment caches store.
+  GirRegion ConstraintsOnly() const {
+    GirRegion out(dim_, query_, result_);
+    out.constraints_ = constraints_;
+    return out;
+  }
+
  private:
   void Materialize() const;
 

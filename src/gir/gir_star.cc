@@ -125,7 +125,7 @@ Result<Phase2Output> GirStarViaFp(const RTree& tree,
                                   GirRegion* region,
                                   const FpOptions& options) {
   const Dataset& data = tree.dataset();
-  IoStats before = tree.disk()->stats();
+  IoStats before = DiskManager::ThreadStats();
   std::vector<RecordId> rminus =
       PruneResultForGirStar(data, scoring, topk.result);
   std::vector<int> positions = PositionsOf(topk.result, rminus);
@@ -220,7 +220,7 @@ Result<Phase2Output> GirStarViaFp(const RTree& tree,
       ++out.candidates;
     }
   }
-  out.io = tree.disk()->stats() - before;
+  out.io = DiskManager::ThreadStats() - before;
   return out;
 }
 

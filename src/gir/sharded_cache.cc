@@ -1,0 +1,126 @@
+#include "gir/sharded_cache.h"
+
+#include <cstring>
+
+namespace gir {
+
+ShardedGirCache::ShardedGirCache(size_t capacity, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  if (capacity < num_shards) num_shards = capacity > 0 ? capacity : 1;
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedGirCache::HomeShard(VecView q) const {
+  // FNV-1a over the raw weight bytes: bit-identical vectors co-locate,
+  // jittered ones spread.
+  uint64_t h = 1469598103934665603ULL;
+  for (double x : q) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(x), "double must be 64-bit");
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int b = 0; b < 64; b += 8) {
+      h ^= (bits >> b) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+bool ShardedGirCache::ProbeShardExact(Shard& shard, size_t shard_index,
+                                      VecView q, size_t k, Lookup* out,
+                                      int* partial_shard) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+    if (!it->region.Contains(q)) continue;
+    if (k > it->k) {
+      if (*partial_shard < 0) *partial_shard = static_cast<int>(shard_index);
+      continue;
+    }
+    out->kind = HitKind::kExact;
+    out->records.assign(it->result.begin(), it->result.begin() + k);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.entries.splice(shard.entries.begin(), shard.entries, it);
+    return true;
+  }
+  return false;
+}
+
+bool ShardedGirCache::ProbeShardAny(Shard& shard, VecView q, size_t k,
+                                    Lookup* out) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+    if (!it->region.Contains(q)) continue;
+    if (k <= it->k) {
+      out->kind = HitKind::kExact;
+      out->records.assign(it->result.begin(), it->result.begin() + k);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      out->kind = HitKind::kPartial;
+      out->records = it->result;
+      partial_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.entries.splice(shard.entries.begin(), shard.entries, it);
+    return true;
+  }
+  return false;
+}
+
+ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k) {
+  Lookup out;
+  const size_t home = HomeShard(q);
+  const size_t n = shards_.size();
+  // First pass: an exact-covering entry anywhere beats a shorter one in
+  // an earlier shard (a partial hit forces a full recompute downstream).
+  int partial_shard = -1;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = (home + i) % n;
+    if (ProbeShardExact(*shards_[idx], idx, q, k, &out, &partial_shard)) {
+      return out;
+    }
+  }
+  // No exact entry: settle for the remembered partial. The entry may
+  // have been evicted concurrently since the first pass; that demotes
+  // the probe to a miss, which is safe (the query just recomputes).
+  if (partial_shard >= 0 &&
+      ProbeShardAny(*shards_[partial_shard], q, k, &out)) {
+    return out;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void ShardedGirCache::Insert(size_t k, std::vector<RecordId> result,
+                             const GirRegion& region) {
+  Shard& shard = *shards_[HomeShard(region.query())];
+  // Skip the insert when the shard already covers this query at least
+  // as well — concurrent identical queries would otherwise fill the
+  // LRU list with duplicates, evicting distinct regions.
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.entries) {
+      if (e.k >= k && e.region.Contains(region.query())) return;
+    }
+  }
+  // Copy the constraints outside the lock: sharding is supposed to
+  // bound lock hold times, and a region can carry thousands of normals.
+  // A duplicate slipping in between the check and this push is benign.
+  Entry entry{k, std::move(result), region.ConstraintsOnly()};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries.push_front(std::move(entry));
+  while (shard.entries.size() > per_shard_capacity_) shard.entries.pop_back();
+}
+
+size_t ShardedGirCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace gir

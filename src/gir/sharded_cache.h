@@ -1,0 +1,85 @@
+#ifndef GIR_GIR_SHARDED_CACHE_H_
+#define GIR_GIR_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gir/cache.h"
+#include "gir/gir_region.h"
+
+namespace gir {
+
+// Thread-safe variant of GirCache for the batch engine: entries are
+// spread across independently-locked shards, each an LRU list. Inserts
+// touch exactly one shard (chosen by hashing the query vector, so
+// clustered workloads spread while repeats co-locate); probes scan
+// shards starting from the inserting query's home shard, taking one
+// shard lock at a time. Containment lookup is inherently a scan — a
+// cached region anywhere may contain the probe point — so sharding
+// bounds lock hold times rather than probe work.
+//
+// Total capacity is divided evenly across shards (rounded up), so a
+// pathological insert pattern evicts at worst slightly later than a
+// single LRU list would.
+class ShardedGirCache {
+ public:
+  using Entry = GirCache::Entry;
+  using HitKind = GirCache::HitKind;
+  using Lookup = GirCache::Lookup;
+
+  explicit ShardedGirCache(size_t capacity = 256, size_t num_shards = 8);
+
+  // Probes every shard (home shard first) for a cached region
+  // containing q. Semantics match GirCache::Probe — exact hit when the
+  // cached k covers the request, partial hit when the cached prefix is
+  // shorter, miss otherwise — except that an exact hit anywhere is
+  // preferred over an earlier shard's partial one. The hit entry
+  // becomes MRU in its shard.
+  Lookup Probe(VecView q, size_t k);
+
+  // Inserts a computed GIR into the home shard of its query vector,
+  // evicting that shard's LRU tail beyond the per-shard capacity. Only
+  // the constraint system of the region is copied; any materialized
+  // polytope stays with the caller (containment probes never need it).
+  void Insert(size_t k, std::vector<RecordId> result, const GirRegion& region);
+
+  size_t size() const;
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t partial_hits() const {
+    return partial_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> entries;  // front = most recently used
+  };
+
+  size_t HomeShard(VecView q) const;
+  // Scans one shard under its lock for an entry containing q with
+  // cached k >= requested k; fills `out`, promotes the entry to MRU and
+  // returns true when found. Remembers in *partial_shard (when it is
+  // still unset) that this shard holds a shorter containing entry.
+  bool ProbeShardExact(Shard& shard, size_t shard_index, VecView q, size_t k,
+                       Lookup* out, int* partial_shard);
+  // Second pass: takes any containing entry (exact or partial).
+  bool ProbeShardAny(Shard& shard, VecView q, size_t k, Lookup* out);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> partial_hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_SHARDED_CACHE_H_

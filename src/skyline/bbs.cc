@@ -10,7 +10,7 @@ SkylineResult ContinueSkylineFromBrs(const RTree& tree,
                                      const ScoringFunction& scoring,
                                      VecView weights, const TopKResult& brs) {
   const Dataset& data = tree.dataset();
-  IoStats before = tree.disk()->stats();
+  IoStats before = DiskManager::ThreadStats();
   SkylineSet sl(&data);
   // Seed with the skyline of the encountered set T (all in memory).
   // Processing in decreasing score order inserts likely-dominating
@@ -53,7 +53,7 @@ SkylineResult ContinueSkylineFromBrs(const RTree& tree,
   SkylineResult out;
   out.skyline = sl.members();
   std::sort(out.skyline.begin(), out.skyline.end());
-  out.io = tree.disk()->stats() - before;
+  out.io = DiskManager::ThreadStats() - before;
   return out;
 }
 

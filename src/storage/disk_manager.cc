@@ -5,6 +5,13 @@ namespace gir {
 DiskManager::DiskManager(size_t page_size_bytes, double ms_per_read)
     : page_size_bytes_(page_size_bytes), ms_per_read_(ms_per_read) {}
 
-PageId DiskManager::Allocate() { return next_page_++; }
+PageId DiskManager::Allocate() {
+  return next_page_.fetch_add(1, std::memory_order_relaxed);
+}
+
+IoStats& DiskManager::ThreadStats() {
+  static thread_local IoStats stats;
+  return stats;
+}
 
 }  // namespace gir

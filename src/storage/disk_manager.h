@@ -1,6 +1,7 @@
 #ifndef GIR_STORAGE_DISK_MANAGER_H_
 #define GIR_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -16,6 +17,12 @@ constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 // (see DESIGN.md §5); index nodes live in memory, but any access that
 // would have been a disk read on the paper's setup must be routed
 // through NoteRead so the I/O cost model stays faithful.
+//
+// Thread safety: the counters are atomic, so concurrent readers (e.g.
+// BatchEngine fanning queries across a shared R-tree) may call NoteRead
+// freely. Per-query deltas under concurrency must use ThreadStats(),
+// which accumulates per calling thread: the global counters interleave
+// reads from all in-flight queries.
 class DiskManager {
  public:
   // The paper uses 4 KB pages; 10 ms approximates a random read on the
@@ -28,23 +35,49 @@ class DiskManager {
 
   // Reserves a new page id.
   PageId Allocate();
-  size_t allocated_pages() const { return next_page_; }
+  size_t allocated_pages() const {
+    return next_page_.load(std::memory_order_relaxed);
+  }
 
   // Accounting hooks.
-  void NoteRead() { ++stats_.reads; }
-  void NoteWrite() { ++stats_.writes; }
+  void NoteRead() {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    ++ThreadStats().reads;
+  }
+  void NoteWrite() {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    ++ThreadStats().writes;
+  }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  // Snapshot of the global counters (all threads, since construction or
+  // the last ResetStats).
+  IoStats stats() const {
+    return IoStats{reads_.load(std::memory_order_relaxed),
+                   writes_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
+
+  // Cumulative I/O charged by the *calling thread*, across all
+  // DiskManager instances. Diff around a section for exact per-query
+  // accounting that stays correct when other threads share the disk:
+  //
+  //   IoStats before = DiskManager::ThreadStats();
+  //   ... run the query on this thread ...
+  //   IoStats cost = DiskManager::ThreadStats() - before;
+  static IoStats& ThreadStats();
 
   // Simulated I/O time accumulated so far.
-  double ReadMillis() const { return stats_.ReadMillis(ms_per_read_); }
+  double ReadMillis() const { return stats().ReadMillis(ms_per_read_); }
 
  private:
   size_t page_size_bytes_;
   double ms_per_read_;
-  PageId next_page_ = 0;
-  IoStats stats_;
+  std::atomic<PageId> next_page_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace gir

@@ -34,7 +34,7 @@ Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
   }
   const Dataset& data = tree.dataset();
   TopKResult out;
-  IoStats before = tree.disk()->stats();
+  IoStats before = DiskManager::ThreadStats();
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLess> heap;
   if (tree.root() != kInvalidPage) {
     const RTreeNode& root = tree.PeekNode(tree.root());
@@ -97,7 +97,7 @@ Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
   std::set_difference(fetched_records.begin(), fetched_records.end(),
                       result_sorted.begin(), result_sorted.end(),
                       std::back_inserter(out.encountered));
-  out.io = tree.disk()->stats() - before;
+  out.io = DiskManager::ThreadStats() - before;
   return out;
 }
 

@@ -1,0 +1,180 @@
+// BatchEngine: bit-identical results vs sequential ComputeGir, cache
+// serving across batches, partial-hit accounting, and per-item error
+// propagation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/batch_engine.h"
+
+namespace gir {
+namespace {
+
+std::vector<Vec> RandomWeights(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec w(dim);
+    for (size_t j = 0; j < dim; ++j) w[j] = rng.Uniform(0.05, 1.0);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void ExpectSameRegion(const GirRegion& a, const GirRegion& b) {
+  ASSERT_EQ(a.constraints().size(), b.constraints().size());
+  for (size_t i = 0; i < a.constraints().size(); ++i) {
+    const GirConstraint& ca = a.constraints()[i];
+    const GirConstraint& cb = b.constraints()[i];
+    EXPECT_EQ(ca.normal, cb.normal);  // bit-identical doubles
+    EXPECT_EQ(ca.provenance.kind, cb.provenance.kind);
+    EXPECT_EQ(ca.provenance.position, cb.provenance.position);
+    EXPECT_EQ(ca.provenance.challenger, cb.provenance.challenger);
+  }
+}
+
+TEST(BatchEngineTest, BitIdenticalToSequentialWithoutCache) {
+  Rng rng(42);
+  Dataset data = GenerateIndependent(3000, 3, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+
+  const size_t k = 10;
+  std::vector<Vec> weights = RandomWeights(64, 3, 7);
+
+  std::vector<GirComputation> sequential;
+  sequential.reserve(weights.size());
+  for (const Vec& w : weights) {
+    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    ASSERT_TRUE(gir.ok());
+    sequential.push_back(std::move(*gir));
+  }
+
+  BatchOptions options;
+  options.threads = 4;
+  options.cache_capacity = 0;  // pure fan-out, every query computed
+  BatchEngine batch(&engine, options);
+  Result<BatchResult> result = batch.ComputeBatch(weights, k,
+                                                  Phase2Method::kFP);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), weights.size());
+
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const BatchItem& item = result->items[i];
+    ASSERT_TRUE(item.status.ok()) << "query " << i;
+    EXPECT_EQ(item.cache, ShardedGirCache::HitKind::kMiss);
+    ASSERT_TRUE(item.computed.has_value());
+    EXPECT_EQ(item.topk, sequential[i].topk.result);
+    EXPECT_EQ(item.computed->topk.scores, sequential[i].topk.scores);
+    ExpectSameRegion(item.computed->region, sequential[i].region);
+    EXPECT_EQ(item.computed->stats.topk_reads, sequential[i].stats.topk_reads);
+    EXPECT_EQ(item.computed->stats.phase2_reads,
+              sequential[i].stats.phase2_reads);
+    EXPECT_EQ(item.computed->stats.constraints,
+              sequential[i].stats.constraints);
+  }
+  EXPECT_EQ(result->stats.queries, weights.size());
+  EXPECT_EQ(result->stats.misses, weights.size());
+  EXPECT_EQ(result->stats.exact_hits, 0u);
+  EXPECT_EQ(result->stats.failures, 0u);
+  EXPECT_GT(result->stats.total_reads, 0u);
+  EXPECT_GE(result->stats.p99_ms, result->stats.p50_ms);
+}
+
+TEST(BatchEngineTest, WarmCacheServesRepeatsWithoutIo) {
+  Rng rng(43);
+  Dataset data = GenerateIndependent(2000, 3, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+
+  BatchOptions options;
+  options.threads = 2;
+  options.cache_capacity = 128;
+  BatchEngine batch(&engine, options);
+
+  const size_t k = 8;
+  std::vector<Vec> weights = RandomWeights(16, 3, 9);
+  Result<BatchResult> cold = batch.ComputeBatch(weights, k, Phase2Method::kFP);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->stats.failures, 0u);
+
+  // Same batch again: every query falls inside its own cached GIR.
+  Result<BatchResult> warm = batch.ComputeBatch(weights, k, Phase2Method::kFP);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.exact_hits, weights.size());
+  EXPECT_EQ(warm->stats.total_reads, 0u);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(warm->items[i].topk, cold->items[i].topk) << "query " << i;
+    EXPECT_FALSE(warm->items[i].computed.has_value());
+  }
+}
+
+TEST(BatchEngineTest, LargerKIsAPartialHitAndRecomputes) {
+  Rng rng(44);
+  Dataset data = GenerateIndependent(2000, 3, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+
+  BatchOptions options;
+  options.threads = 2;
+  options.cache_capacity = 64;
+  BatchEngine batch(&engine, options);
+
+  std::vector<Vec> weights = {Vec{0.5, 0.6, 0.7}};
+  Result<BatchResult> first = batch.ComputeBatch(weights, 5, Phase2Method::kFP);
+  ASSERT_TRUE(first.ok());
+
+  Result<BatchResult> second =
+      batch.ComputeBatch(weights, 12, Phase2Method::kFP);
+  ASSERT_TRUE(second.ok());
+  const BatchItem& item = second->items[0];
+  ASSERT_TRUE(item.status.ok());
+  EXPECT_EQ(item.cache, ShardedGirCache::HitKind::kPartial);
+  ASSERT_TRUE(item.computed.has_value());
+  ASSERT_EQ(item.topk.size(), 12u);
+  // The cached top-5 is the exact prefix of the recomputed top-12.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(item.topk[i], first->items[0].topk[i]);
+  }
+  EXPECT_EQ(second->stats.partial_hits, 1u);
+}
+
+TEST(BatchEngineTest, PerQueryErrorsLandInItemStatus) {
+  Rng rng(45);
+  Dataset data = GenerateIndependent(100, 2, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+
+  BatchOptions options;
+  options.threads = 2;
+  BatchEngine batch(&engine, options);
+
+  std::vector<Vec> weights = {Vec{0.5, 0.5}, Vec{0.4, 0.6}};
+  // k > n fails per query, not for the whole batch.
+  Result<BatchResult> result = batch.ComputeBatch(weights, 1000,
+                                                  Phase2Method::kFP);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.failures, 2u);
+  for (const BatchItem& item : result->items) {
+    EXPECT_FALSE(item.status.ok());
+    EXPECT_TRUE(item.topk.empty());
+  }
+}
+
+TEST(BatchEngineTest, RejectsDimensionMismatch) {
+  Rng rng(46);
+  Dataset data = GenerateIndependent(100, 3, rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  BatchEngine batch(&engine, BatchOptions{});
+  std::vector<Vec> weights = {Vec{0.5, 0.5}};  // d=2 vs dataset d=3
+  Result<BatchResult> result = batch.ComputeBatch(weights, 5,
+                                                  Phase2Method::kFP);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace gir
