@@ -1,7 +1,15 @@
 // Micro-benchmarks (google-benchmark): throughput of the geometric and
-// index substrates, plus the ablations DESIGN.md calls out
-// (FP max-coordinate seeding on/off, STR vs R* construction).
+// index substrates, the ablations DESIGN.md calls out (FP
+// max-coordinate seeding on/off, STR vs R* construction), and the
+// scalar-vs-flat kernel pairs that track the SoA layout's speedup.
+//
+// Dataset seeds derive from --seed (default 2014) so perf runs are
+// reproducible across machines; the flag is stripped before
+// google-benchmark sees the command line.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 #include "common/rng.h"
 #include "dataset/generators.h"
@@ -10,12 +18,18 @@
 #include "geom/lp.h"
 #include "gir/engine.h"
 #include "gir/fpnd.h"
+#include "index/flat_rtree.h"
 #include "index/rtree.h"
+#include "skyline/dominance.h"
+#include "skyline/skyline.h"
 #include "topk/brs.h"
+#include "topk/tree_kernels.h"
 
 namespace {
 
 using namespace gir;
+
+uint64_t g_seed = 2014;
 
 std::vector<Vec> RandomCloud(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
@@ -32,7 +46,7 @@ std::vector<Vec> RandomCloud(size_t n, size_t d, uint64_t seed) {
 void BM_ConvexHull(benchmark::State& state) {
   const size_t d = state.range(0);
   const size_t n = state.range(1);
-  std::vector<Vec> pts = RandomCloud(n, d, 7);
+  std::vector<Vec> pts = RandomCloud(n, d, g_seed + 7);
   for (auto _ : state) {
     Result<ConvexHull> hull = ConvexHull::Build(pts);
     benchmark::DoNotOptimize(hull.ok());
@@ -48,7 +62,7 @@ BENCHMARK(BM_ConvexHull)
 void BM_HalfspaceIntersection(benchmark::State& state) {
   const size_t d = state.range(0);
   const size_t m = state.range(1);
-  Rng rng(11);
+  Rng rng(g_seed + 11);
   Vec q(d, 0.5);
   std::vector<Halfspace> ge;
   for (size_t i = 0; i < m; ++i) {
@@ -72,7 +86,7 @@ BENCHMARK(BM_HalfspaceIntersection)
 
 void BM_ChebyshevLp(benchmark::State& state) {
   const size_t d = state.range(0);
-  Rng rng(13);
+  Rng rng(g_seed + 13);
   std::vector<Halfspace> ge;
   for (int i = 0; i < 200; ++i) {
     Vec n(d);
@@ -88,7 +102,7 @@ BENCHMARK(BM_ChebyshevLp)->Arg(3)->Arg(5)->Arg(8)->Unit(
     benchmark::kMillisecond);
 
 void BM_RtreeBulkLoad(benchmark::State& state) {
-  Rng rng(17);
+  Rng rng(g_seed + 17);
   Dataset data = GenerateIndependent(state.range(0), 4, rng);
   for (auto _ : state) {
     DiskManager disk;
@@ -100,7 +114,7 @@ BENCHMARK(BM_RtreeBulkLoad)->Arg(50000)->Arg(200000)->Unit(
     benchmark::kMillisecond);
 
 void BM_RtreeInsertBuild(benchmark::State& state) {
-  Rng rng(19);
+  Rng rng(g_seed + 19);
   Dataset data = GenerateIndependent(state.range(0), 4, rng);
   for (auto _ : state) {
     DiskManager disk;
@@ -114,14 +128,14 @@ void BM_RtreeInsertBuild(benchmark::State& state) {
 BENCHMARK(BM_RtreeInsertBuild)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 void BM_BrsTopK(benchmark::State& state) {
-  Rng rng(23);
+  Rng rng(g_seed + 23);
   Dataset data = GenerateIndependent(200000, 4, rng);
   DiskManager disk;
   RTree tree = RTree::BulkLoad(&data, &disk);
   LinearScoring scoring(4);
   size_t i = 0;
   for (auto _ : state) {
-    Rng qrng(i++);
+    Rng qrng(g_seed * 1000 + i++);
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
     Result<TopKResult> r = RunBrs(tree, scoring, w, state.range(0));
@@ -132,7 +146,7 @@ BENCHMARK(BM_BrsTopK)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
 
 void BM_IncidentStarInsert(benchmark::State& state) {
   const size_t d = state.range(0);
-  std::vector<Vec> pts = RandomCloud(4000, d, 29);
+  std::vector<Vec> pts = RandomCloud(4000, d, g_seed + 29);
   Vec apex(d, 0.98);  // near the top corner, like a real p_k
   for (auto _ : state) {
     IncidentStar star(apex);
@@ -149,7 +163,7 @@ BENCHMARK(BM_IncidentStarInsert)->Arg(3)->Arg(4)->Arg(5)->Unit(
 // --- Ablation: FP with and without max-coordinate seeding (§6.3.1) ---
 void BM_FpSeedingAblation(benchmark::State& state) {
   const bool seeding = state.range(0) != 0;
-  Rng rng(31);
+  Rng rng(g_seed + 31);
   Dataset data = GenerateAnticorrelated(50000, 4, rng);
   DiskManager disk;
   GirEngineOptions opt;
@@ -158,7 +172,7 @@ void BM_FpSeedingAblation(benchmark::State& state) {
   GirEngine engine(&data, &disk, MakeScoring("Linear", 4), opt);
   size_t i = 0;
   for (auto _ : state) {
-    Rng qrng(100 + i++);
+    Rng qrng(g_seed * 1000 + 100 + i++);
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
     Result<GirComputation> gir = engine.ComputeGir(w, 20, Phase2Method::kFP);
@@ -173,7 +187,7 @@ BENCHMARK(BM_FpSeedingAblation)
 // --- Ablation: query I/O on STR-bulk-loaded vs insert-built trees ---
 void BM_TopKIoByBuildMethod(benchmark::State& state) {
   const bool bulk = state.range(0) != 0;
-  Rng rng(37);
+  Rng rng(g_seed + 37);
   Dataset data = GenerateIndependent(50000, 4, rng);
   DiskManager disk;
   RTree tree = bulk ? RTree::BulkLoad(&data, &disk) : RTree(&data, &disk);
@@ -187,7 +201,7 @@ void BM_TopKIoByBuildMethod(benchmark::State& state) {
   uint64_t reads = 0;
   uint64_t runs = 0;
   for (auto _ : state) {
-    Rng qrng(i++);
+    Rng qrng(g_seed * 1000 + i++);
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
     Result<TopKResult> r = RunBrs(tree, scoring, w, 20);
@@ -206,6 +220,143 @@ BENCHMARK(BM_TopKIoByBuildMethod)
     ->Arg(0)
     ->Unit(benchmark::kMicrosecond);
 
+// --- Scalar vs flat kernel pairs (the PR-2 layout speedup trackers) ---
+
+// Per-entry scoring over every node of the index: Arg(0)=0 is the
+// pre-flat scalar path (virtual MaxScore/Score per entry), Arg(0)=1 the
+// SoA plane kernel on the frozen tree. reports ns/entry.
+void BM_NodeEntryScores(benchmark::State& state) {
+  const bool use_flat = state.range(0) != 0;
+  const size_t d = state.range(1);
+  Rng rng(g_seed + 41);
+  Dataset data = GenerateIndependent(100000, d, rng);
+  DiskManager disk;
+  RTree tree = RTree::BulkLoad(&data, &disk);
+  FlatRTree flat = FlatRTree::Freeze(tree);
+  LinearScoring scoring(d);
+  Rng qrng(g_seed + 43);
+  Vec w(d);
+  for (size_t j = 0; j < d; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+  size_t entries = 0;
+  for (size_t p = 0; p < tree.node_count(); ++p) {
+    entries += tree.PeekNode(static_cast<PageId>(p)).entries.size();
+  }
+  ScoreBuffer buf;
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (size_t p = 0; p < tree.node_count(); ++p) {
+      if (use_flat) {
+        ComputeEntryScores(scoring, data,
+                           flat.PeekNode(static_cast<PageId>(p)), w, &buf);
+      } else {
+        ComputeEntryScores(scoring, data,
+                           tree.PeekNode(static_cast<PageId>(p)), w, &buf);
+      }
+      sink += buf.scores[0];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["ns/entry"] = benchmark::Counter(
+      static_cast<double>(entries) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_NodeEntryScores)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 6})
+    ->Args({1, 6})
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental skyline (the k-dominance hot loop): Arg(0)=0 replays the
+// pre-packing SkylineSet (dataset-row chasing), Arg(0)=1 the packed
+// member block. The dataset is large enough that member rows scatter
+// across several MB — the locality gap the packing closes.
+void BM_SkylineDominance(benchmark::State& state) {
+  const bool packed = state.range(0) != 0;
+  Rng rng(g_seed + 47);
+  Dataset data = GenerateAnticorrelated(60000, 4, rng);
+  for (auto _ : state) {
+    size_t skyline = 0;
+    if (packed) {
+      SkylineSet sky(&data);
+      for (size_t i = 0; i < data.size(); ++i) {
+        sky.Insert(static_cast<RecordId>(i));
+      }
+      skyline = sky.size();
+    } else {
+      std::vector<RecordId> members;
+      for (size_t r = 0; r < data.size(); ++r) {
+        const RecordId id = static_cast<RecordId>(r);
+        VecView p = data.Get(id);
+        bool dominated = false;
+        for (RecordId m : members) {
+          if (Dominates(data.Get(m), p)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        size_t kept = 0;
+        for (size_t i = 0; i < members.size(); ++i) {
+          if (!Dominates(p, data.Get(members[i]))) {
+            members[kept++] = members[i];
+          }
+        }
+        members.resize(kept);
+        members.push_back(id);
+      }
+      skyline = members.size();
+    }
+    benchmark::DoNotOptimize(skyline);
+  }
+}
+BENCHMARK(BM_SkylineDominance)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Whole BRS query against the frozen tree (pairs with BM_BrsTopK above,
+// which runs the mutable tree).
+void BM_BrsTopKFlat(benchmark::State& state) {
+  Rng rng(g_seed + 23);  // same dataset as BM_BrsTopK
+  Dataset data = GenerateIndependent(200000, 4, rng);
+  DiskManager disk;
+  RTree tree = RTree::BulkLoad(&data, &disk);
+  FlatRTree flat = FlatRTree::Freeze(tree);
+  LinearScoring scoring(4);
+  size_t i = 0;
+  for (auto _ : state) {
+    Rng qrng(g_seed * 1000 + i++);
+    Vec w(4);
+    for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+    Result<TopKResult> r = RunBrs(flat, scoring, w, state.range(0));
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_BrsTopKFlat)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a --seed flag (stripped before google-benchmark
+// parses the rest) so dataset seeds are reproducible across machines.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--seed=", 0) == 0) {
+      g_seed = std::stoull(a.substr(7));
+      continue;
+    }
+    if (a == "--seed" && i + 1 < argc) {
+      g_seed = std::stoull(argv[++i]);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

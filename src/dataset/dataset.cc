@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace gir {
 
@@ -16,6 +17,28 @@ Dataset Dataset::FromRows(const std::vector<Vec>& rows) {
 void Dataset::Append(VecView record) {
   assert(record.size() == dim_);
   flat_.insert(flat_.end(), record.begin(), record.end());
+  columns_fresh_ = false;
+}
+
+const double* Dataset::Column(size_t j) const {
+  assert(j < dim_);
+  // One global mutex keeps the lazy rebuild safe under concurrent
+  // readers (it runs once per dataset, so contention is negligible; a
+  // member mutex would cost Dataset its move semantics). Mutating the
+  // dataset concurrently with reads is out of contract, as for rows.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!columns_fresh_) {
+    const size_t n = size();
+    columns_.resize(n * dim_);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < dim_; ++c) {
+        columns_[c * n + i] = flat_[i * dim_ + c];
+      }
+    }
+    columns_fresh_ = true;
+  }
+  return columns_.data() + j * size();
 }
 
 void Dataset::NormalizeToUnitCube() {
@@ -36,6 +59,7 @@ void Dataset::NormalizeToUnitCube() {
       x = (x - lo) / range;
     }
   }
+  columns_fresh_ = false;
 }
 
 }  // namespace gir

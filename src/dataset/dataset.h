@@ -10,10 +10,11 @@ namespace gir {
 
 using RecordId = int32_t;
 
-// Flat column-major-free record store: n records of d doubles each,
-// normalized to [0,1]^d. Records are addressed by dense RecordId; the
-// memory layout is one contiguous row-major array so record views are
-// zero-copy spans.
+// Record store with two coordinated layouts: the primary row-major
+// array (n records of d doubles, normalized to [0,1]^d; record views
+// are zero-copy spans) plus a lazily built column-major mirror so the
+// hot kernels — dominance tests, linear scoring sweeps — can stream one
+// dimension across many records from contiguous memory.
 class Dataset {
  public:
   explicit Dataset(size_t dim) : dim_(dim) {}
@@ -34,6 +35,13 @@ class Dataset {
     return Vec(v.begin(), v.end());
   }
 
+  // Dimension `j` of every record as one contiguous array of size()
+  // doubles. The mirror is rebuilt on first access after a mutation;
+  // the rebuild is synchronized, so concurrent readers are safe (like
+  // all reads, it must not race with Append/NormalizeToUnitCube).
+  const double* Column(size_t j) const;
+  VecView ColumnView(size_t j) const { return VecView(Column(j), size()); }
+
   // Min-max normalizes every dimension to [0,1] in place (used by the
   // real-data simulators whose raw attributes have arbitrary scales).
   void NormalizeToUnitCube();
@@ -41,6 +49,9 @@ class Dataset {
  private:
   size_t dim_;
   std::vector<double> flat_;
+  // Column-major mirror: columns_[j * n + i] == flat_[i * d + j].
+  mutable std::vector<double> columns_;
+  mutable bool columns_fresh_ = false;
 };
 
 }  // namespace gir

@@ -72,28 +72,30 @@ Result<IntersectionResult> IntersectHalfspaces(
   IntersectionResult out;
   out.polytope = Polytope::Empty(d);
 
-  // 2. Interior point: hint if strictly feasible, else Chebyshev centre.
-  Vec center;
-  bool hint_ok = false;
-  if (interior_hint.size() == d) {
-    hint_ok = true;
+  // 2. Interior point: the caller's hint if strictly feasible, else the
+  // warm-start point from a previous intersection of a related system
+  // (held to the same clearance bar as a hint — a nearly-degenerate
+  // centre would blow up the dual points — and replaced by one
+  // Chebyshev LP when the new constraints cut it off).
+  auto strictly_inside = [&](VecView p) {
+    if (p.size() != d) return false;
     for (const Halfspace& h : work) {
-      if (Dot(h.normal, interior_hint) - h.offset <= options.hint_margin) {
-        hint_ok = false;
-        break;
-      }
+      if (Dot(h.normal, p) - h.offset <= options.hint_margin) return false;
     }
-    if (hint_ok) center.assign(interior_hint.begin(), interior_hint.end());
-  }
-  if (!hint_ok) {
-    Result<ChebyshevResult> cheb =
-        ChebyshevCenter(work, options.clip_to_unit_cube ? 0.0 : -1e9,
-                        options.clip_to_unit_cube ? 1.0 : 1e9);
-    if (!cheb.ok()) return cheb.status();
-    if (cheb->radius <= 1e-12) {
+    return true;
+  };
+  Vec center;
+  if (strictly_inside(interior_hint)) {
+    center.assign(interior_hint.begin(), interior_hint.end());
+  } else {
+    if (strictly_inside(options.warm_start)) center = options.warm_start;
+    Result<bool> feasible = RefreshFeasiblePoint(
+        work, options.clip_to_unit_cube ? 0.0 : -1e9,
+        options.clip_to_unit_cube ? 1.0 : 1e9, /*margin=*/1e-12, &center);
+    if (!feasible.ok()) return feasible.status();
+    if (!*feasible) {
       return out;  // empty (or measure-zero) intersection
     }
-    center = cheb->center;
   }
 
   // 3. Dual points: constraint n·x >= c  ==  a·x <= b with a=-n, b=-c;
@@ -158,6 +160,7 @@ Result<IntersectionResult> IntersectHalfspaces(
   }
   std::sort(out.nonredundant.begin(), out.nonredundant.end());
   out.polytope = Polytope::FromData(d, std::move(vertices), std::move(facets));
+  out.interior = std::move(center);
   return out;
 }
 

@@ -17,6 +17,11 @@ struct IntersectionOptions {
   // Margin (relative to the normal's length) required for the interior
   // hint before the Chebyshev-LP fallback kicks in.
   double hint_margin = 1e-9;
+  // Warm start: an interior point from a previous intersection of a
+  // related system (e.g. the same region before its latest
+  // constraints). Tried after `interior_hint`, before the Chebyshev
+  // LP. Empty vectors are ignored.
+  Vec warm_start;
 };
 
 struct IntersectionResult {
@@ -24,6 +29,10 @@ struct IntersectionResult {
   // Indices of input half-spaces that support a facet of the result
   // (i.e. are non-redundant). Cube constraints are not reported.
   std::vector<int> nonredundant;
+  // The strictly interior point the duality transform used — feed it
+  // back as `warm_start` when intersecting a grown version of the same
+  // system to skip the LP. Empty when the intersection was empty.
+  Vec interior;
 };
 
 // Intersects half-spaces given in `normal·x >= offset` form via point

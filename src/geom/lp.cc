@@ -252,4 +252,35 @@ bool IsStrictlyFeasible(const std::vector<Halfspace>& ge, double lo,
   return c.ok() && c->radius > margin;
 }
 
+Result<bool> RefreshFeasiblePoint(const std::vector<Halfspace>& ge, double lo,
+                                  double hi, double margin, Vec* point) {
+  if (ge.empty()) return Status::InvalidArgument("no half-spaces");
+  const size_t d = ge[0].normal.size();
+  if (point->size() == d) {
+    bool ok = true;
+    for (size_t j = 0; j < d; ++j) {
+      if ((*point)[j] <= lo + margin || (*point)[j] >= hi - margin) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const Halfspace& h : ge) {
+        // Margin is measured like the Chebyshev radius: relative to the
+        // normal's length.
+        if (Dot(h.normal, *point) - h.offset <= margin * Norm(h.normal)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) return true;  // warm start survives the new constraints
+  }
+  Result<ChebyshevResult> c = ChebyshevCenter(ge, lo, hi);
+  if (!c.ok()) return c.status();
+  if (c->radius <= margin) return false;
+  *point = std::move(c->center);
+  return true;
+}
+
 }  // namespace gir

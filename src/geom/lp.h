@@ -53,6 +53,22 @@ Result<ChebyshevResult> ChebyshevCenter(const std::vector<Halfspace>& ge,
 bool IsStrictlyFeasible(const std::vector<Halfspace>& ge, double lo,
                         double hi, double margin);
 
+// Warm-startable feasibility: when `point` (non-empty, of the right
+// dimension) already satisfies every half-space and the box with margin
+// > `margin`, returns true without touching it — an O(m·d) scan instead
+// of a simplex solve. Otherwise re-solves the Chebyshev LP and writes
+// the fresh centre into `point`; false means the system is infeasible
+// or lower-dimensional (with `point` left unspecified). A non-ok status
+// is a solver failure, not a verdict.
+//
+// This is what lets consecutive-constraint work (a region
+// re-materialized after each AddConstraint, a growing redundancy
+// system) reuse the previous feasible point: a new constraint rarely
+// cuts off the old interior, so the LP almost never reruns.
+// IntersectHalfspaces routes its warm_start through this.
+Result<bool> RefreshFeasiblePoint(const std::vector<Halfspace>& ge, double lo,
+                                  double hi, double margin, Vec* point);
+
 }  // namespace gir
 
 #endif  // GIR_GEOM_LP_H_

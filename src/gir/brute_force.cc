@@ -13,11 +13,27 @@ Result<GirRegion> ComputeGirBruteForce(const Dataset& data,
   if (k == 0 || k > data.size()) {
     return Status::InvalidArgument("k out of range for dataset");
   }
-  std::vector<RecordId> ids(data.size());
+  // Score every record by streaming the column-major mirror — one
+  // contiguous plane per dimension, accumulated in the same dimension
+  // order as ScoringFunction::Score, so the values (and the sort) are
+  // bit-identical to per-record scoring.
+  const size_t n = data.size();
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> transformed(n);
+  for (size_t j = 0; j < data.dim(); ++j) {
+    const double* column = data.Column(j);
+    const double wj = weights[j];
+    if (scoring.IsIdentityTransform()) {
+      for (size_t i = 0; i < n; ++i) scores[i] += wj * column[i];
+    } else {
+      scoring.TransformDimBatch(j, column, n, transformed.data());
+      for (size_t i = 0; i < n; ++i) scores[i] += wj * transformed[i];
+    }
+  }
+  std::vector<RecordId> ids(n);
   std::iota(ids.begin(), ids.end(), 0);
   std::stable_sort(ids.begin(), ids.end(), [&](RecordId a, RecordId b) {
-    return scoring.Score(data.Get(a), weights) >
-           scoring.Score(data.Get(b), weights);
+    return scores[a] > scores[b];
   });
   std::vector<RecordId> result(ids.begin(), ids.begin() + k);
   GirRegion region(data.dim(), Vec(weights.begin(), weights.end()), result);

@@ -14,6 +14,11 @@ Phase2Output RunCpPhase2(const RTree& tree, const ScoringFunction& scoring,
                          VecView weights, const TopKResult& topk,
                          GirRegion* region);
 
+// Frozen-tree variant; bit-identical constraints and IoStats.
+Phase2Output RunCpPhase2(const FlatRTree& tree, const ScoringFunction& scoring,
+                         VecView weights, const TopKResult& topk,
+                         GirRegion* region);
+
 }  // namespace gir
 
 #endif  // GIR_GIR_CP_H_

@@ -39,7 +39,8 @@ GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
       disk_(disk),
       scoring_(std::move(scoring)),
       options_(options),
-      tree_(RTree::BulkLoad(dataset, disk)) {}
+      tree_(RTree::BulkLoad(dataset, disk)),
+      flat_(FlatRTree::Freeze(tree_)) {}
 
 Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
                                           Phase2Method method,
@@ -49,9 +50,10 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   }
   GirStats stats;
 
-  // Top-k retrieval (BRS), ahead of GIR computation proper.
+  // Top-k retrieval (BRS), ahead of GIR computation proper. All
+  // traversals run on the frozen image.
   Stopwatch sw;
-  Result<TopKResult> topk = RunBrs(tree_, *scoring_, weights, k);
+  Result<TopKResult> topk = RunBrs(flat_, *scoring_, weights, k);
   if (!topk.ok()) return topk.status();
   stats.topk_cpu_ms = sw.ElapsedMillis();
   stats.topk_reads = topk->io.reads;
@@ -72,16 +74,16 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   if (order_sensitive) {
     switch (method) {
       case Phase2Method::kSP:
-        p2 = RunSpPhase2(tree_, *scoring_, weights, *topk, &region);
+        p2 = RunSpPhase2(flat_, *scoring_, weights, *topk, &region);
         break;
       case Phase2Method::kCP:
-        p2 = RunCpPhase2(tree_, *scoring_, weights, *topk, &region);
+        p2 = RunCpPhase2(flat_, *scoring_, weights, *topk, &region);
         break;
       case Phase2Method::kFP: {
         Result<Phase2Output> r =
             dataset_->dim() == 2
-                ? RunFp2dPhase2(tree_, *scoring_, weights, *topk, &region)
-                : RunFpNdPhase2(tree_, *scoring_, weights, *topk, &region,
+                ? RunFp2dPhase2(flat_, *scoring_, weights, *topk, &region)
+                : RunFpNdPhase2(flat_, *scoring_, weights, *topk, &region,
                                 options_.fp);
         if (!r.ok()) return r.status();
         p2 = *r;
@@ -119,7 +121,7 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
     }
   } else {
     Result<Phase2Output> r =
-        RunGirStarPhase2(tree_, *scoring_, weights, *topk,
+        RunGirStarPhase2(flat_, *scoring_, weights, *topk,
                          Phase2MethodName(method), &region, options_.fp);
     if (!r.ok()) return r.status();
     p2 = *r;

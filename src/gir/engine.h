@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "gir/fpnd.h"
 #include "gir/gir_region.h"
+#include "index/flat_rtree.h"
 #include "index/rtree.h"
 #include "topk/brs.h"
 
@@ -72,6 +73,11 @@ struct GirEngineOptions {
 // accounting is atomic with thread-local per-query deltas — so any
 // number of threads may compute queries on one engine concurrently
 // (this is what BatchEngine does).
+//
+// Index lifecycle: the constructor bulk-loads the mutable R*-tree and
+// immediately Freeze()s it into a FlatRTree; every query runs against
+// the frozen image (same page ids, same simulated I/O, bit-identical
+// output — see flat_rtree.h) with the batched SoA score kernels.
 class GirEngine {
  public:
   GirEngine(const Dataset* dataset, DiskManager* disk,
@@ -87,6 +93,7 @@ class GirEngine {
                                         Phase2Method method) const;
 
   const RTree& tree() const { return tree_; }
+  const FlatRTree& flat_tree() const { return flat_; }
   const Dataset& dataset() const { return *dataset_; }
   const ScoringFunction& scoring() const { return *scoring_; }
   DiskManager* disk() const { return disk_; }
@@ -101,6 +108,7 @@ class GirEngine {
   std::unique_ptr<ScoringFunction> scoring_;
   GirEngineOptions options_;
   RTree tree_;
+  FlatRTree flat_;  // frozen query-time image of tree_
 };
 
 }  // namespace gir

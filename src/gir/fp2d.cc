@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "skyline/dominance.h"
+#include "topk/tree_kernels.h"
 
 namespace gir {
 
@@ -42,12 +43,11 @@ struct Facets2D {
   }
 };
 
-}  // namespace
-
-Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
-                                   const ScoringFunction& scoring,
-                                   VecView weights, const TopKResult& topk,
-                                   GirRegion* region) {
+template <typename Tree>
+Result<Phase2Output> RunFp2dImpl(const Tree& tree,
+                                 const ScoringFunction& scoring,
+                                 VecView weights, const TopKResult& topk,
+                                 GirRegion* region) {
   const Dataset& data = tree.dataset();
   if (data.dim() != 2) {
     return Status::InvalidArgument("FP-2D requires d == 2");
@@ -94,26 +94,30 @@ Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
     }
     return false;
   };
+  ScoreBuffer buf;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), less);
     PendingNode top = std::move(heap.back());
     heap.pop_back();
     if (!box_can_update(top.mbb)) continue;  // below both interim facets
-    const RTreeNode& node = tree.ReadNode(top.page);
-    if (node.is_leaf) {
-      for (const RTreeEntry& e : node.entries) {
-        VecView p = data.Get(e.child);
+    decltype(auto) node = tree.ReadNode(top.page);
+    const size_t count = NodeEntryCount(node);
+    if (NodeIsLeaf(node)) {
+      for (size_t i = 0; i < count; ++i) {
+        const RecordId id = NodeChild(node, i);
+        VecView p = data.Get(id);
         if (Dominates(pk_raw, p)) continue;
         Vec v = Sub(scoring.Transform(p), gk);
         if (v[0] == 0.0 && v[1] == 0.0) continue;
-        facets.Update(v, e.child);
+        facets.Update(v, id);
       }
     } else {
-      for (const RTreeEntry& e : node.entries) {
+      ComputeEntryScores(scoring, data, node, weights, &buf);
+      for (size_t i = 0; i < count; ++i) {
         PendingNode pn;
-        pn.maxscore = scoring.MaxScore(e.mbb, weights);
-        pn.page = static_cast<PageId>(e.child);
-        pn.mbb = e.mbb;
+        pn.maxscore = buf.scores[i];
+        pn.page = static_cast<PageId>(NodeChild(node, i));
+        pn.mbb = NodeEntryMbb(node, i);
         heap.push_back(std::move(pn));
         std::push_heap(heap.begin(), heap.end(), less);
       }
@@ -133,6 +137,22 @@ Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
   }
   out.io = DiskManager::ThreadStats() - before;
   return out;
+}
+
+}  // namespace
+
+Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region) {
+  return RunFp2dImpl(tree, scoring, weights, topk, region);
+}
+
+Result<Phase2Output> RunFp2dPhase2(const FlatRTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region) {
+  return RunFp2dImpl(tree, scoring, weights, topk, region);
 }
 
 }  // namespace gir

@@ -20,6 +20,12 @@ Result<Phase2Output> RunFp2dPhase2(const RTree& tree,
                                    VecView weights, const TopKResult& topk,
                                    GirRegion* region);
 
+// Frozen-tree variant; bit-identical constraints and IoStats.
+Result<Phase2Output> RunFp2dPhase2(const FlatRTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region);
+
 }  // namespace gir
 
 #endif  // GIR_GIR_FP2D_H_

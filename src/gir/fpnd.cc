@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "skyline/dominance.h"
+#include "topk/tree_kernels.h"
 
 namespace gir {
 
@@ -200,13 +201,12 @@ void InsertWithFallback(IncidentStar& star, const ScoringFunction& scoring,
   region->AddConstraint(Sub(gk, g), prov);
 }
 
-}  // namespace
-
-Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
-                                   const ScoringFunction& scoring,
-                                   VecView weights, const TopKResult& topk,
-                                   GirRegion* region,
-                                   const FpOptions& options) {
+template <typename Tree>
+Result<Phase2Output> RunFpNdImpl(const Tree& tree,
+                                 const ScoringFunction& scoring,
+                                 VecView weights, const TopKResult& topk,
+                                 GirRegion* region,
+                                 const FpOptions& options) {
   const Dataset& data = tree.dataset();
   const size_t dim = data.dim();
   if (topk.result.empty()) {
@@ -230,6 +230,10 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
         IntersectHalfspaces(region->AsHalfspaces(), region->query());
     if (cone.ok() && !cone->polytope.empty()) {
       cone_vertices = cone->polytope.vertices();
+      // The cone's interior point warm-starts the final region
+      // materialization: the Phase-2 constraints usually leave it
+      // feasible, so the engine's intersection skips its LP.
+      region->SeedInteriorWitness(cone->interior);
     }
   }
   auto record_redundant_in_cone = [&](const Vec& g) {
@@ -288,6 +292,7 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
   std::vector<PendingNode> heap = topk.pending;
   PendingNodeLess less;
   std::make_heap(heap.begin(), heap.end(), less);
+  ScoreBuffer buf;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), less);
     PendingNode top = std::move(heap.back());
@@ -296,17 +301,19 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
       return MaxDotTransformedBox(scoring, top.mbb, normal);
     });
     if (prunable || box_redundant_in_cone(top.mbb)) continue;
-    const RTreeNode& node = tree.ReadNode(top.page);
-    if (node.is_leaf) {
-      for (const RTreeEntry& e : node.entries) {
-        process_record(e.child);
+    decltype(auto) node = tree.ReadNode(top.page);
+    const size_t count = NodeEntryCount(node);
+    if (NodeIsLeaf(node)) {
+      for (size_t i = 0; i < count; ++i) {
+        process_record(NodeChild(node, i));
       }
     } else {
-      for (const RTreeEntry& e : node.entries) {
+      ComputeEntryScores(scoring, data, node, weights, &buf);
+      for (size_t i = 0; i < count; ++i) {
         PendingNode pn;
-        pn.maxscore = scoring.MaxScore(e.mbb, weights);
-        pn.page = static_cast<PageId>(e.child);
-        pn.mbb = e.mbb;
+        pn.maxscore = buf.scores[i];
+        pn.page = static_cast<PageId>(NodeChild(node, i));
+        pn.mbb = NodeEntryMbb(node, i);
         heap.push_back(std::move(pn));
         std::push_heap(heap.begin(), heap.end(), less);
       }
@@ -329,6 +336,24 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
   out.star_facets = star.live_facet_count();
   out.io = DiskManager::ThreadStats() - before;
   return out;
+}
+
+}  // namespace
+
+Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region,
+                                   const FpOptions& options) {
+  return RunFpNdImpl(tree, scoring, weights, topk, region, options);
+}
+
+Result<Phase2Output> RunFpNdPhase2(const FlatRTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region,
+                                   const FpOptions& options) {
+  return RunFpNdImpl(tree, scoring, weights, topk, region, options);
 }
 
 }  // namespace gir

@@ -106,6 +106,13 @@ Result<Phase2Output> RunFpNdPhase2(const RTree& tree,
                                    GirRegion* region,
                                    const FpOptions& options = {});
 
+// Frozen-tree variant; bit-identical constraints and IoStats.
+Result<Phase2Output> RunFpNdPhase2(const FlatRTree& tree,
+                                   const ScoringFunction& scoring,
+                                   VecView weights, const TopKResult& topk,
+                                   GirRegion* region,
+                                   const FpOptions& options = {});
+
 // max over the (raw) box of sum_j n_j * g_j(x_j): per-dimension maximum
 // at lo or hi since each g_j is monotone increasing.
 double MaxDotTransformedBox(const ScoringFunction& scoring, const Mbb& box,

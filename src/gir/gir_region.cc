@@ -73,10 +73,15 @@ std::vector<Halfspace> GirRegion::AsHalfspaces() const {
 
 void GirRegion::Materialize() const {
   if (polytope_.has_value()) return;
+  IntersectionOptions options;
+  options.warm_start = interior_witness_;
   Result<IntersectionResult> r =
-      IntersectHalfspaces(AsHalfspaces(), query_);
+      IntersectHalfspaces(AsHalfspaces(), query_, options);
   if (r.ok()) {
     polytope_ = std::move(r).value();
+    if (!polytope_->interior.empty()) {
+      interior_witness_ = polytope_->interior;
+    }
   } else {
     IntersectionResult empty;
     empty.polytope = Polytope::Empty(dim_);

@@ -65,7 +65,17 @@ class GirRegion {
 
   void AddConstraint(Vec normal, ConstraintProvenance provenance) {
     constraints_.push_back(GirConstraint{std::move(normal), provenance});
+    // Invalidates the geometry but keeps the interior witness: one new
+    // half-space rarely cuts it off, so the next Materialize usually
+    // skips the Chebyshev LP (warm start).
     polytope_.reset();
+  }
+
+  // Offers a known strictly interior point (e.g. the centre of the
+  // Phase-1 cone computed by FP's tightening pass) as the warm start
+  // for the next materialization.
+  void SeedInteriorWitness(Vec point) const {
+    interior_witness_ = std::move(point);
   }
 
   // True when q' (inside the unit cube) satisfies every constraint: the
@@ -114,6 +124,9 @@ class GirRegion {
   std::vector<GirConstraint> constraints_;
 
   mutable std::optional<IntersectionResult> polytope_;
+  // Last interior point a materialization used (or a caller-seeded
+  // candidate); reused across consecutive constraint additions.
+  mutable Vec interior_witness_;
 };
 
 }  // namespace gir

@@ -7,6 +7,7 @@
 #include "geom/hull2d.h"
 #include "skyline/bbs.h"
 #include "skyline/dominance.h"
+#include "topk/tree_kernels.h"
 
 namespace gir {
 
@@ -70,7 +71,8 @@ std::vector<int> PositionsOf(const std::vector<RecordId>& result,
   return out;
 }
 
-Result<Phase2Output> GirStarViaSkyline(const RTree& tree,
+template <typename Tree>
+Result<Phase2Output> GirStarViaSkyline(const Tree& tree,
                                        const ScoringFunction& scoring,
                                        VecView weights,
                                        const TopKResult& topk,
@@ -119,7 +121,8 @@ Result<Phase2Output> GirStarViaSkyline(const RTree& tree,
   return out;
 }
 
-Result<Phase2Output> GirStarViaFp(const RTree& tree,
+template <typename Tree>
+Result<Phase2Output> GirStarViaFp(const Tree& tree,
                                   const ScoringFunction& scoring,
                                   VecView weights, const TopKResult& topk,
                                   GirRegion* region,
@@ -174,6 +177,7 @@ Result<Phase2Output> GirStarViaFp(const RTree& tree,
   std::vector<PendingNode> heap = topk.pending;
   PendingNodeLess less;
   std::make_heap(heap.begin(), heap.end(), less);
+  ScoreBuffer buf;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), less);
     PendingNode top = std::move(heap.back());
@@ -188,15 +192,17 @@ Result<Phase2Output> GirStarViaFp(const RTree& tree,
       }
     }
     if (prunable) continue;
-    const RTreeNode& node = tree.ReadNode(top.page);
-    if (node.is_leaf) {
-      for (const RTreeEntry& e : node.entries) feed(e.child);
+    decltype(auto) node = tree.ReadNode(top.page);
+    const size_t count = NodeEntryCount(node);
+    if (NodeIsLeaf(node)) {
+      for (size_t i = 0; i < count; ++i) feed(NodeChild(node, i));
     } else {
-      for (const RTreeEntry& e : node.entries) {
+      ComputeEntryScores(scoring, tree.dataset(), node, weights, &buf);
+      for (size_t i = 0; i < count; ++i) {
         PendingNode pn;
-        pn.maxscore = scoring.MaxScore(e.mbb, weights);
-        pn.page = static_cast<PageId>(e.child);
-        pn.mbb = e.mbb;
+        pn.maxscore = buf.scores[i];
+        pn.page = static_cast<PageId>(NodeChild(node, i));
+        pn.mbb = NodeEntryMbb(node, i);
         heap.push_back(std::move(pn));
         std::push_heap(heap.begin(), heap.end(), less);
       }
@@ -224,14 +230,13 @@ Result<Phase2Output> GirStarViaFp(const RTree& tree,
   return out;
 }
 
-}  // namespace
-
-Result<Phase2Output> RunGirStarPhase2(const RTree& tree,
-                                      const ScoringFunction& scoring,
-                                      VecView weights, const TopKResult& topk,
-                                      const std::string& method,
-                                      GirRegion* region,
-                                      const FpOptions& fp_options) {
+template <typename Tree>
+Result<Phase2Output> RunGirStarImpl(const Tree& tree,
+                                    const ScoringFunction& scoring,
+                                    VecView weights, const TopKResult& topk,
+                                    const std::string& method,
+                                    GirRegion* region,
+                                    const FpOptions& fp_options) {
   if (topk.result.empty()) {
     return Status::InvalidArgument("empty top-k result");
   }
@@ -247,6 +252,28 @@ Result<Phase2Output> RunGirStarPhase2(const RTree& tree,
     return GirStarViaFp(tree, scoring, weights, topk, region, fp_options);
   }
   return Status::InvalidArgument("unknown GIR* method: " + method);
+}
+
+}  // namespace
+
+Result<Phase2Output> RunGirStarPhase2(const RTree& tree,
+                                      const ScoringFunction& scoring,
+                                      VecView weights, const TopKResult& topk,
+                                      const std::string& method,
+                                      GirRegion* region,
+                                      const FpOptions& fp_options) {
+  return RunGirStarImpl(tree, scoring, weights, topk, method, region,
+                        fp_options);
+}
+
+Result<Phase2Output> RunGirStarPhase2(const FlatRTree& tree,
+                                      const ScoringFunction& scoring,
+                                      VecView weights, const TopKResult& topk,
+                                      const std::string& method,
+                                      GirRegion* region,
+                                      const FpOptions& fp_options) {
+  return RunGirStarImpl(tree, scoring, weights, topk, method, region,
+                        fp_options);
 }
 
 }  // namespace gir

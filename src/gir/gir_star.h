@@ -32,6 +32,14 @@ Result<Phase2Output> RunGirStarPhase2(const RTree& tree,
                                       GirRegion* region,
                                       const FpOptions& fp_options = {});
 
+// Frozen-tree variant; bit-identical constraints and IoStats.
+Result<Phase2Output> RunGirStarPhase2(const FlatRTree& tree,
+                                      const ScoringFunction& scoring,
+                                      VecView weights, const TopKResult& topk,
+                                      const std::string& method,
+                                      GirRegion* region,
+                                      const FpOptions& fp_options = {});
+
 }  // namespace gir
 
 #endif  // GIR_GIR_GIR_STAR_H_

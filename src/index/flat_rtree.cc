@@ -1,0 +1,91 @@
+#include "index/flat_rtree.h"
+
+#include <cassert>
+
+namespace gir {
+
+Mbb FlatRTree::NodeView::EntryMbb(size_t e) const {
+  Mbb box;
+  box.lo.resize(dim_);
+  box.hi.resize(dim_);
+  for (size_t j = 0; j < dim_; ++j) {
+    box.lo[j] = lo(j)[e];
+    box.hi[j] = hi(j)[e];
+  }
+  return box;
+}
+
+void FlatRTree::NodeView::EntryTopCorner(size_t e, Vec* out) const {
+  out->resize(dim_);
+  for (size_t j = 0; j < dim_; ++j) (*out)[j] = hi(j)[e];
+}
+
+FlatRTree FlatRTree::Freeze(const RTree& tree) {
+  FlatRTree flat;
+  flat.dataset_ = &tree.dataset();
+  flat.disk_ = tree.disk();
+  flat.dim_ = tree.dataset().dim();
+  flat.capacity_ = tree.Capacity();
+  flat.node_stride_ = 2 * flat.dim_ * flat.capacity_;
+  flat.root_ = tree.root();
+  flat.record_count_ = tree.size();
+
+  const size_t n = tree.node_count();
+  flat.coords_.assign(n * flat.node_stride_, 0.0);
+  flat.children_.assign(n * flat.capacity_, -1);
+  flat.meta_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    const RTreeNode& node = tree.PeekNode(static_cast<PageId>(p));
+    assert(node.entries.size() <= flat.capacity_);
+    FlatNodeMeta& meta = flat.meta_[p];
+    meta.count = static_cast<uint32_t>(node.entries.size());
+    meta.level = node.level;
+    meta.is_leaf = node.is_leaf;
+    meta.mbb = node.ComputeMbb(flat.dim_);
+    double* coords = flat.coords_.data() + p * flat.node_stride_;
+    int32_t* children = flat.children_.data() + p * flat.capacity_;
+    for (size_t e = 0; e < node.entries.size(); ++e) {
+      const RTreeEntry& entry = node.entries[e];
+      children[e] = entry.child;
+      for (size_t j = 0; j < flat.dim_; ++j) {
+        coords[j * flat.capacity_ + e] = entry.mbb.lo[j];
+        coords[(flat.dim_ + j) * flat.capacity_ + e] = entry.mbb.hi[j];
+      }
+    }
+  }
+  return flat;
+}
+
+size_t FlatRTree::height() const {
+  if (root_ == kInvalidPage) return 0;
+  return static_cast<size_t>(meta_[root_].level) + 1;
+}
+
+std::vector<RecordId> FlatRTree::RangeQuery(const Mbb& box) const {
+  std::vector<RecordId> out;
+  if (root_ == kInvalidPage) return out;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    NodeView node = PeekNode(page);
+    for (size_t e = 0; e < node.count(); ++e) {
+      bool hit = true;
+      for (size_t j = 0; j < dim_; ++j) {
+        if (node.hi(j)[e] < box.lo[j] || node.lo(j)[e] > box.hi[j]) {
+          hit = false;
+          break;
+        }
+      }
+      if (!hit) continue;
+      if (node.is_leaf()) {
+        out.push_back(node.child(e));
+      } else {
+        stack.push_back(static_cast<PageId>(node.child(e)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,131 @@
+#ifndef GIR_INDEX_FLAT_RTREE_H_
+#define GIR_INDEX_FLAT_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/rtree.h"
+
+namespace gir {
+
+// Read-only, cache-friendly image of an RTree, produced by Freeze().
+//
+// The mutable tree stores one heap-allocated std::vector<RTreeEntry> per
+// node with AoS Mbb objects, which defeats locality and vectorization on
+// the query hot loops (per-entry maxscore bounding, leaf point scoring).
+// FlatRTree repacks every node into one contiguous arena with a fixed
+// per-node stride; inside a node the entry coordinates are stored as SoA
+// planes — for each dimension j, the `lo` values of all entries are
+// contiguous, then the `hi` values — so a batched kernel can stream
+// `w_j * g_j(hi_j[e])` over whole planes.
+//
+// Page ids are preserved 1:1 from the source tree, and ReadNode charges
+// exactly one simulated page read like RTree::ReadNode, so any traversal
+// that visits the same pages produces bit-identical IoStats. Leaf entry
+// planes hold the record coordinates themselves (a leaf MBB is its
+// point), which is what makes leaf scoring a pure SoA streaming loop.
+// Fixed-size per-node header of the flat arena (an implementation
+// detail of FlatRTree, at namespace scope only so NodeView's inline
+// accessors can see the complete type).
+struct FlatNodeMeta {
+  uint32_t count = 0;
+  int32_t level = 0;
+  bool is_leaf = true;
+  Mbb mbb;
+};
+
+class FlatRTree {
+ public:
+  // Lightweight accessor for one node of the arena. Cheap to copy; valid
+  // as long as the FlatRTree is alive and unmoved.
+  class NodeView {
+   public:
+    bool is_leaf() const { return meta_->is_leaf; }
+    int level() const { return meta_->level; }
+    size_t count() const { return meta_->count; }
+    // The node's own MBB (union of its entries), captured at freeze.
+    const Mbb& mbb() const { return meta_->mbb; }
+
+    const int32_t* children() const { return children_; }
+    int32_t child(size_t e) const { return children_[e]; }
+
+    // SoA planes: count() contiguous doubles per dimension.
+    const double* lo(size_t j) const { return coords_ + j * cap_; }
+    const double* hi(size_t j) const { return coords_ + (dim_ + j) * cap_; }
+
+    // Materializes entry `e` as an Mbb (bitwise equal to the source
+    // RTreeEntry::mbb). Used where a traversal retains a box, e.g. in
+    // PendingNode; the hot score loops read the planes directly.
+    Mbb EntryMbb(size_t e) const;
+
+    // Copies entry `e`'s top corner (hi coordinates) into `out`,
+    // resizing it to the tree dimensionality.
+    void EntryTopCorner(size_t e, Vec* out) const;
+
+   private:
+    friend class FlatRTree;
+    NodeView(const FlatNodeMeta* meta, const double* coords,
+             const int32_t* children, size_t dim, size_t cap)
+        : meta_(meta),
+          coords_(coords),
+          children_(children),
+          dim_(dim),
+          cap_(cap) {}
+
+    const FlatNodeMeta* meta_;
+    const double* coords_;
+    const int32_t* children_;
+    size_t dim_;
+    size_t cap_;
+  };
+
+  // Compacts `tree` into the flat arena. The source tree, its dataset
+  // and disk manager must outlive the frozen image; the freeze itself
+  // charges no simulated I/O (it repacks pages already written).
+  static FlatRTree Freeze(const RTree& tree);
+
+  // Node access, charging one simulated page read (same accounting as
+  // RTree::ReadNode).
+  NodeView ReadNode(PageId page) const {
+    disk_->NoteRead();
+    return PeekNode(page);
+  }
+  // Accounting-free access for tests and validation.
+  NodeView PeekNode(PageId page) const {
+    const size_t p = page;
+    return NodeView(&meta_[p], coords_.data() + p * node_stride_,
+                    children_.data() + p * capacity_, dim_, capacity_);
+  }
+
+  PageId root() const { return root_; }
+  size_t height() const;  // number of levels (1 = root is a leaf)
+  size_t size() const { return record_count_; }
+  size_t node_count() const { return meta_.size(); }
+  size_t Capacity() const { return capacity_; }
+
+  // All record ids whose point intersects `box` (accounting-free; used
+  // by tests to cross-check against the mutable tree).
+  std::vector<RecordId> RangeQuery(const Mbb& box) const;
+
+  const Dataset& dataset() const { return *dataset_; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  FlatRTree() = default;
+
+  const Dataset* dataset_ = nullptr;
+  DiskManager* disk_ = nullptr;
+  size_t dim_ = 0;
+  size_t capacity_ = 0;
+  size_t node_stride_ = 0;  // doubles per node in coords_
+  std::vector<double> coords_;
+  std::vector<int32_t> children_;
+  std::vector<FlatNodeMeta> meta_;
+  PageId root_ = kInvalidPage;
+  size_t record_count_ = 0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_INDEX_FLAT_RTREE_H_

@@ -3,29 +3,40 @@
 #include <algorithm>
 
 #include "skyline/dominance.h"
+#include "topk/tree_kernels.h"
 
 namespace gir {
 
-SkylineResult ContinueSkylineFromBrs(const RTree& tree,
-                                     const ScoringFunction& scoring,
-                                     VecView weights, const TopKResult& brs) {
+namespace {
+
+template <typename Tree>
+SkylineResult ContinueSkylineImpl(const Tree& tree,
+                                  const ScoringFunction& scoring,
+                                  VecView weights, const TopKResult& brs) {
   const Dataset& data = tree.dataset();
   IoStats before = DiskManager::ThreadStats();
   SkylineSet sl(&data);
   // Seed with the skyline of the encountered set T (all in memory).
   // Processing in decreasing score order inserts likely-dominating
-  // records first, which keeps eviction work low.
+  // records first, which keeps eviction work low. Scores are computed
+  // once up front instead of inside the sort comparator.
   std::vector<RecordId> t_sorted = brs.encountered;
-  std::sort(t_sorted.begin(), t_sorted.end(), [&](RecordId a, RecordId b) {
-    return scoring.Score(data.Get(a), weights) >
-           scoring.Score(data.Get(b), weights);
+  std::vector<double> t_scores(t_sorted.size());
+  for (size_t i = 0; i < t_sorted.size(); ++i) {
+    t_scores[i] = scoring.Score(data.Get(t_sorted[i]), weights);
+  }
+  std::vector<size_t> order(t_sorted.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return t_scores[a] > t_scores[b];
   });
-  for (RecordId id : t_sorted) sl.Insert(id);
+  for (size_t i : order) sl.Insert(t_sorted[i]);
 
   // Resume from the retained BRS heap.
   std::vector<PendingNode> heap = brs.pending;
   PendingNodeLess less;
   std::make_heap(heap.begin(), heap.end(), less);
+  Vec corner;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), less);
     PendingNode top = std::move(heap.back());
@@ -33,18 +44,25 @@ SkylineResult ContinueSkylineFromBrs(const RTree& tree,
     // BBS pruning: a node whose top corner is dominated can contain no
     // skyline record.
     if (sl.DominatedByMember(top.mbb.TopCorner())) continue;
-    const RTreeNode& node = tree.ReadNode(top.page);
-    if (node.is_leaf) {
-      for (const RTreeEntry& e : node.entries) {
-        sl.Insert(e.child);
+    decltype(auto) node = tree.ReadNode(top.page);
+    const size_t count = NodeEntryCount(node);
+    if (NodeIsLeaf(node)) {
+      for (size_t i = 0; i < count; ++i) {
+        sl.Insert(NodeChild(node, i));
       }
     } else {
-      for (const RTreeEntry& e : node.entries) {
-        if (sl.DominatedByMember(e.mbb.TopCorner())) continue;
+      // Dominance-prune before scoring: late in the run most entries
+      // are dominated, so batching scores for all of them first would
+      // be wasted work (the dominance scan itself dwarfs one d-term
+      // score for the few survivors).
+      for (size_t i = 0; i < count; ++i) {
+        if (sl.DominatedByMember(NodeEntryTopCorner(node, i, &corner))) {
+          continue;
+        }
         PendingNode pn;
-        pn.maxscore = scoring.MaxScore(e.mbb, weights);
-        pn.page = static_cast<PageId>(e.child);
-        pn.mbb = e.mbb;
+        pn.mbb = NodeEntryMbb(node, i);
+        pn.maxscore = scoring.MaxScore(pn.mbb, weights);
+        pn.page = static_cast<PageId>(NodeChild(node, i));
         heap.push_back(std::move(pn));
         std::push_heap(heap.begin(), heap.end(), less);
       }
@@ -55,6 +73,20 @@ SkylineResult ContinueSkylineFromBrs(const RTree& tree,
   std::sort(out.skyline.begin(), out.skyline.end());
   out.io = DiskManager::ThreadStats() - before;
   return out;
+}
+
+}  // namespace
+
+SkylineResult ContinueSkylineFromBrs(const RTree& tree,
+                                     const ScoringFunction& scoring,
+                                     VecView weights, const TopKResult& brs) {
+  return ContinueSkylineImpl(tree, scoring, weights, brs);
+}
+
+SkylineResult ContinueSkylineFromBrs(const FlatRTree& tree,
+                                     const ScoringFunction& scoring,
+                                     VecView weights, const TopKResult& brs) {
+  return ContinueSkylineImpl(tree, scoring, weights, brs);
 }
 
 }  // namespace gir

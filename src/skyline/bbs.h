@@ -32,6 +32,12 @@ SkylineResult ContinueSkylineFromBrs(const RTree& tree,
                                      VecView weights,
                                      const TopKResult& brs);
 
+// Frozen-tree variant; bit-identical skyline and IoStats.
+SkylineResult ContinueSkylineFromBrs(const FlatRTree& tree,
+                                     const ScoringFunction& scoring,
+                                     VecView weights,
+                                     const TopKResult& brs);
+
 }  // namespace gir
 
 #endif  // GIR_SKYLINE_BBS_H_

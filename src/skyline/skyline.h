@@ -10,6 +10,10 @@ namespace gir {
 // Incrementally-maintained skyline over records of a Dataset ("larger
 // is better"). Used for the in-memory skyline of the BRS-encountered
 // set T, and as the running SL of the BBS continuation.
+//
+// Member coordinates are mirrored into one packed row-major block so
+// the dominance loops — the hottest Phase-2 scalar work — stream over
+// contiguous memory instead of chasing scattered dataset rows.
 class SkylineSet {
  public:
   explicit SkylineSet(const Dataset* dataset) : dataset_(dataset) {}
@@ -27,6 +31,8 @@ class SkylineSet {
  private:
   const Dataset* dataset_;
   std::vector<RecordId> members_;
+  // coords_[m * dim .. (m+1) * dim) is members_[m]'s point.
+  std::vector<double> coords_;
 };
 
 // Skyline of an explicit list of record ids (block-nested-loop, used

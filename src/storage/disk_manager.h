@@ -55,9 +55,15 @@ class DiskManager {
     return IoStats{reads_.load(std::memory_order_relaxed),
                    writes_.load(std::memory_order_relaxed)};
   }
+  // Zeroes the global counters AND the calling thread's ThreadStats
+  // accumulator, so a reset between single-threaded measurement runs
+  // does not leave stale thread-local counts skewing the next
+  // before/after delta. Other threads' accumulators are untouched
+  // (they diff around their own sections, so their deltas stay valid).
   void ResetStats() {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
+    ThreadStats() = IoStats{};
   }
 
   // Cumulative I/O charged by the *calling thread*, across all

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "topk/tree_kernels.h"
+
 namespace gir {
 
 namespace {
@@ -24,10 +26,9 @@ struct HeapEntryLess {
   }
 };
 
-}  // namespace
-
-Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
-                          VecView weights, size_t k) {
+template <typename Tree>
+Result<TopKResult> RunBrsImpl(const Tree& tree, const ScoringFunction& scoring,
+                              VecView weights, size_t k) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   if (weights.size() != tree.dataset().dim()) {
     return Status::InvalidArgument("weight dimensionality mismatch");
@@ -37,14 +38,15 @@ Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
   IoStats before = DiskManager::ThreadStats();
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLess> heap;
   if (tree.root() != kInvalidPage) {
-    const RTreeNode& root = tree.PeekNode(tree.root());
+    decltype(auto) root = tree.PeekNode(tree.root());
     HeapEntry e;
-    e.key = scoring.MaxScore(root.ComputeMbb(data.dim()), weights);
+    e.mbb = NodeSelfMbb(tree, root);
+    e.key = scoring.MaxScore(e.mbb, weights);
     e.is_node = true;
     e.id = static_cast<int32_t>(tree.root());
-    e.mbb = root.ComputeMbb(data.dim());
     heap.push(std::move(e));
   }
+  ScoreBuffer buf;
   std::vector<RecordId> fetched_records;
   while (!heap.empty() && out.result.size() < k) {
     HeapEntry top = heap.top();
@@ -54,23 +56,25 @@ Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
       out.scores.push_back(top.key);
       continue;
     }
-    const RTreeNode& node = tree.ReadNode(static_cast<PageId>(top.id));
-    if (node.is_leaf) {
-      for (const RTreeEntry& e : node.entries) {
+    decltype(auto) node = tree.ReadNode(static_cast<PageId>(top.id));
+    const size_t count = NodeEntryCount(node);
+    ComputeEntryScores(scoring, data, node, weights, &buf);
+    if (NodeIsLeaf(node)) {
+      for (size_t i = 0; i < count; ++i) {
         HeapEntry he;
-        he.key = scoring.Score(data.Get(e.child), weights);
+        he.key = buf.scores[i];
         he.is_node = false;
-        he.id = e.child;
+        he.id = NodeChild(node, i);
         heap.push(std::move(he));
-        fetched_records.push_back(e.child);
+        fetched_records.push_back(NodeChild(node, i));
       }
     } else {
-      for (const RTreeEntry& e : node.entries) {
+      for (size_t i = 0; i < count; ++i) {
         HeapEntry he;
-        he.key = scoring.MaxScore(e.mbb, weights);
+        he.key = buf.scores[i];
         he.is_node = true;
-        he.id = e.child;
-        he.mbb = e.mbb;
+        he.id = NodeChild(node, i);
+        he.mbb = NodeEntryMbb(node, i);
         heap.push(std::move(he));
       }
     }
@@ -99,6 +103,19 @@ Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
                       std::back_inserter(out.encountered));
   out.io = DiskManager::ThreadStats() - before;
   return out;
+}
+
+}  // namespace
+
+Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
+                          VecView weights, size_t k) {
+  return RunBrsImpl(tree, scoring, weights, k);
+}
+
+Result<TopKResult> RunBrs(const FlatRTree& tree,
+                          const ScoringFunction& scoring, VecView weights,
+                          size_t k) {
+  return RunBrsImpl(tree, scoring, weights, k);
 }
 
 }  // namespace gir

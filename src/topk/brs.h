@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "index/flat_rtree.h"
 #include "index/rtree.h"
 #include "storage/io_stats.h"
 #include "topk/scoring.h"
@@ -44,6 +45,14 @@ struct TopKResult {
 // When the dataset has fewer than k records, returns them all.
 Result<TopKResult> RunBrs(const RTree& tree, const ScoringFunction& scoring,
                           VecView weights, size_t k);
+
+// Same search over the frozen representation, using the batched SoA
+// score kernels. Output (result, scores, encountered, pending, io) is
+// bit-identical to the mutable-tree run on the tree the image was
+// frozen from.
+Result<TopKResult> RunBrs(const FlatRTree& tree,
+                          const ScoringFunction& scoring, VecView weights,
+                          size_t k);
 
 }  // namespace gir
 

@@ -20,6 +20,11 @@ double ScoringFunction::Score(VecView p, VecView weights) const {
   return s;
 }
 
+void ScoringFunction::TransformDimBatch(size_t i, const double* x, size_t n,
+                                        double* out) const {
+  for (size_t e = 0; e < n; ++e) out[e] = TransformDim(i, x[e]);
+}
+
 double ScoringFunction::MaxScore(const Mbb& box, VecView weights) const {
   double s = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
@@ -41,6 +46,12 @@ double PolynomialScoring::TransformDim(size_t i, double x) const {
   return std::pow(x, exponents_[i]);
 }
 
+void PolynomialScoring::TransformDimBatch(size_t i, const double* x, size_t n,
+                                          double* out) const {
+  const double exponent = exponents_[i];
+  for (size_t e = 0; e < n; ++e) out[e] = std::pow(x[e], exponent);
+}
+
 double MixedScoring::TransformDim(size_t i, double x) const {
   switch (i % 4) {
     case 0:
@@ -51,6 +62,24 @@ double MixedScoring::TransformDim(size_t i, double x) const {
       return std::log(x + 1e-3);
     default:
       return std::sqrt(x);
+  }
+}
+
+void MixedScoring::TransformDimBatch(size_t i, const double* x, size_t n,
+                                     double* out) const {
+  switch (i % 4) {
+    case 0:
+      for (size_t e = 0; e < n; ++e) out[e] = x[e] * x[e];
+      break;
+    case 1:
+      for (size_t e = 0; e < n; ++e) out[e] = std::exp(x[e]);
+      break;
+    case 2:
+      for (size_t e = 0; e < n; ++e) out[e] = std::log(x[e] + 1e-3);
+      break;
+    default:
+      for (size_t e = 0; e < n; ++e) out[e] = std::sqrt(x[e]);
+      break;
   }
 }
 

@@ -27,6 +27,16 @@ class ScoringFunction {
   // g_i(x): monotone increasing per-dimension transform.
   virtual double TransformDim(size_t i, double x) const = 0;
 
+  // g_i over a contiguous batch (an SoA plane): out[e] = g_i(x[e]).
+  // Overridden by the concrete scorings with branch-light loops; the
+  // default falls back to per-element TransformDim calls.
+  virtual void TransformDimBatch(size_t i, const double* x, size_t n,
+                                 double* out) const;
+
+  // True when every g_i is the identity, letting batched kernels skip
+  // the transform pass entirely (LinearScoring).
+  virtual bool IsIdentityTransform() const { return false; }
+
   // g(p) as a vector: the coordinates used for all GIR half-spaces.
   Vec Transform(VecView p) const;
 
@@ -46,6 +56,11 @@ class LinearScoring : public ScoringFunction {
   std::string name() const override { return "Linear"; }
   size_t dim() const override { return dim_; }
   double TransformDim(size_t, double x) const override { return x; }
+  void TransformDimBatch(size_t, const double* x, size_t n,
+                         double* out) const override {
+    for (size_t e = 0; e < n; ++e) out[e] = x[e];
+  }
+  bool IsIdentityTransform() const override { return true; }
 
  private:
   size_t dim_;
@@ -59,6 +74,8 @@ class PolynomialScoring : public ScoringFunction {
   std::string name() const override { return "Polynomial"; }
   size_t dim() const override { return dim_; }
   double TransformDim(size_t i, double x) const override;
+  void TransformDimBatch(size_t i, const double* x, size_t n,
+                         double* out) const override;
 
  private:
   size_t dim_;
@@ -75,6 +92,8 @@ class MixedScoring : public ScoringFunction {
   std::string name() const override { return "Mixed"; }
   size_t dim() const override { return dim_; }
   double TransformDim(size_t i, double x) const override;
+  void TransformDimBatch(size_t i, const double* x, size_t n,
+                         double* out) const override;
 
  private:
   size_t dim_;

@@ -1,0 +1,43 @@
+#include "topk/tree_kernels.h"
+
+namespace gir {
+
+void ComputeEntryScores(const ScoringFunction& scoring, const Dataset& data,
+                        const RTreeNode& node, VecView weights,
+                        ScoreBuffer* buf) {
+  const size_t n = node.entries.size();
+  buf->scores.resize(n);
+  if (node.is_leaf) {
+    for (size_t e = 0; e < n; ++e) {
+      buf->scores[e] = scoring.Score(data.Get(node.entries[e].child), weights);
+    }
+  } else {
+    for (size_t e = 0; e < n; ++e) {
+      buf->scores[e] = scoring.MaxScore(node.entries[e].mbb, weights);
+    }
+  }
+}
+
+void ComputeEntryScores(const ScoringFunction& scoring, const Dataset& data,
+                        const FlatRTree::NodeView& node, VecView weights,
+                        ScoreBuffer* buf) {
+  (void)data;
+  const size_t n = node.count();
+  buf->scores.assign(n, 0.0);
+  double* out = buf->scores.data();
+  const bool identity = scoring.IsIdentityTransform();
+  if (!identity) buf->scratch.resize(n);
+  for (size_t j = 0; j < weights.size(); ++j) {
+    const double wj = weights[j];
+    const double* hi = node.hi(j);
+    if (identity) {
+      for (size_t e = 0; e < n; ++e) out[e] += wj * hi[e];
+    } else {
+      scoring.TransformDimBatch(j, hi, n, buf->scratch.data());
+      const double* g = buf->scratch.data();
+      for (size_t e = 0; e < n; ++e) out[e] += wj * g[e];
+    }
+  }
+}
+
+}  // namespace gir

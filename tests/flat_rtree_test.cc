@@ -1,0 +1,250 @@
+// Layout-equivalence property tests: the frozen FlatRTree must be
+// indistinguishable from the mutable R*-tree it was frozen from — same
+// structure, same RangeQuery answers, and bit-identical traversal
+// output (BRS results/scores/pending heap, Phase-2 GIR constraints,
+// simulated IoStats) on random IND/COR/ANTI datasets, both bulk-loaded
+// and incrementally inserted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/cp.h"
+#include "gir/fp2d.h"
+#include "gir/fpnd.h"
+#include "gir/gir_star.h"
+#include "gir/phase1.h"
+#include "gir/sp.h"
+#include "index/flat_rtree.h"
+#include "index/rtree.h"
+#include "topk/brs.h"
+
+namespace gir {
+namespace {
+
+Dataset MakeData(const std::string& dist, size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Result<Dataset> data = GenerateByName(dist, n, d, rng);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+RTree BuildTree(const Dataset& data, DiskManager* disk, bool bulk) {
+  if (bulk) return RTree::BulkLoad(&data, disk);
+  RTree tree(&data, disk);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(static_cast<RecordId>(i));
+  }
+  return tree;
+}
+
+Vec Query(Rng& rng, size_t d) {
+  Vec w(d);
+  for (size_t j = 0; j < d; ++j) w[j] = rng.Uniform(0.05, 1.0);
+  return w;
+}
+
+// Runs BRS + Phase 1 + the given Phase-2 method on either tree
+// representation and returns everything the equivalence check compares.
+struct PipelineRun {
+  TopKResult topk;
+  std::vector<GirConstraint> constraints;
+  uint64_t phase2_reads = 0;
+};
+
+template <typename Tree>
+PipelineRun RunPipeline(const Tree& tree, const ScoringFunction& scoring,
+                        VecView w, size_t k, const std::string& method,
+                        bool order_sensitive) {
+  PipelineRun out;
+  Result<TopKResult> topk = RunBrs(tree, scoring, w, k);
+  EXPECT_TRUE(topk.ok());
+  out.topk = std::move(topk).value();
+  GirRegion region(tree.dataset().dim(), Vec(w.begin(), w.end()),
+                   out.topk.result);
+  if (order_sensitive) {
+    AddPhase1Constraints(tree.dataset(), scoring, out.topk.result, &region);
+    Result<Phase2Output> p2 = [&]() -> Result<Phase2Output> {
+      if (method == "SP") {
+        return RunSpPhase2(tree, scoring, w, out.topk, &region);
+      }
+      if (method == "CP") {
+        return RunCpPhase2(tree, scoring, w, out.topk, &region);
+      }
+      if (tree.dataset().dim() == 2) {
+        return RunFp2dPhase2(tree, scoring, w, out.topk, &region);
+      }
+      return RunFpNdPhase2(tree, scoring, w, out.topk, &region, FpOptions{});
+    }();
+    EXPECT_TRUE(p2.ok());
+    out.phase2_reads = p2->io.reads;
+  } else {
+    Result<Phase2Output> p2 = RunGirStarPhase2(tree, scoring, w, out.topk,
+                                               method, &region, FpOptions{});
+    EXPECT_TRUE(p2.ok());
+    out.phase2_reads = p2->io.reads;
+  }
+  out.constraints = region.constraints();
+  return out;
+}
+
+void ExpectBitIdentical(const PipelineRun& a, const PipelineRun& b,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  // BRS output.
+  EXPECT_EQ(a.topk.result, b.topk.result);
+  ASSERT_EQ(a.topk.scores.size(), b.topk.scores.size());
+  for (size_t i = 0; i < a.topk.scores.size(); ++i) {
+    EXPECT_EQ(a.topk.scores[i], b.topk.scores[i]) << "score " << i;
+  }
+  EXPECT_EQ(a.topk.encountered, b.topk.encountered);
+  ASSERT_EQ(a.topk.pending.size(), b.topk.pending.size());
+  for (size_t i = 0; i < a.topk.pending.size(); ++i) {
+    EXPECT_EQ(a.topk.pending[i].page, b.topk.pending[i].page) << "pend " << i;
+    EXPECT_EQ(a.topk.pending[i].maxscore, b.topk.pending[i].maxscore)
+        << "pend " << i;
+  }
+  EXPECT_EQ(a.topk.io.reads, b.topk.io.reads);
+  // Phase-2 I/O.
+  EXPECT_EQ(a.phase2_reads, b.phase2_reads);
+  // Region constraints, bitwise.
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  for (size_t i = 0; i < a.constraints.size(); ++i) {
+    const GirConstraint& ca = a.constraints[i];
+    const GirConstraint& cb = b.constraints[i];
+    EXPECT_EQ(ca.provenance.kind, cb.provenance.kind) << "constraint " << i;
+    EXPECT_EQ(ca.provenance.position, cb.provenance.position)
+        << "constraint " << i;
+    EXPECT_EQ(ca.provenance.challenger, cb.provenance.challenger)
+        << "constraint " << i;
+    ASSERT_EQ(ca.normal.size(), cb.normal.size());
+    for (size_t j = 0; j < ca.normal.size(); ++j) {
+      EXPECT_EQ(ca.normal[j], cb.normal[j])
+          << "constraint " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(FlatRTreeTest, StructureMatchesSource) {
+  for (bool bulk : {true, false}) {
+    Dataset data = MakeData("IND", 1500, 3, 42);
+    DiskManager disk;
+    RTree tree = BuildTree(data, &disk, bulk);
+    FlatRTree flat = FlatRTree::Freeze(tree);
+    ASSERT_EQ(flat.node_count(), tree.node_count());
+    EXPECT_EQ(flat.root(), tree.root());
+    EXPECT_EQ(flat.height(), tree.height());
+    EXPECT_EQ(flat.size(), tree.size());
+    EXPECT_EQ(flat.Capacity(), tree.Capacity());
+    for (size_t p = 0; p < tree.node_count(); ++p) {
+      const RTreeNode& node = tree.PeekNode(static_cast<PageId>(p));
+      FlatRTree::NodeView view = flat.PeekNode(static_cast<PageId>(p));
+      ASSERT_EQ(view.count(), node.entries.size());
+      EXPECT_EQ(view.is_leaf(), node.is_leaf);
+      EXPECT_EQ(view.level(), node.level);
+      for (size_t e = 0; e < node.entries.size(); ++e) {
+        EXPECT_EQ(view.child(e), node.entries[e].child);
+        for (size_t j = 0; j < data.dim(); ++j) {
+          EXPECT_EQ(view.lo(j)[e], node.entries[e].mbb.lo[j]);
+          EXPECT_EQ(view.hi(j)[e], node.entries[e].mbb.hi[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatRTreeTest, RangeQueryMatchesSource) {
+  Rng boxes(7);
+  for (const char* dist : {"IND", "COR", "ANTI"}) {
+    for (bool bulk : {true, false}) {
+      Dataset data = MakeData(dist, 1200, 3, 99);
+      DiskManager disk;
+      RTree tree = BuildTree(data, &disk, bulk);
+      FlatRTree flat = FlatRTree::Freeze(tree);
+      for (int q = 0; q < 8; ++q) {
+        Mbb box = Mbb::EmptyBox(3);
+        for (size_t j = 0; j < 3; ++j) {
+          double a = boxes.Uniform();
+          double b = boxes.Uniform();
+          box.lo[j] = std::min(a, b);
+          box.hi[j] = std::max(a, b);
+        }
+        std::vector<RecordId> expect = tree.RangeQuery(box);
+        std::vector<RecordId> got = flat.RangeQuery(box);
+        std::sort(expect.begin(), expect.end());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expect) << dist << " bulk=" << bulk << " q=" << q;
+      }
+    }
+  }
+}
+
+// The acceptance property: GirRegion constraints and IoStats are
+// bit-identical between the mutable and frozen paths, across datasets,
+// dimensionalities, build methods and Phase-2 methods.
+TEST(FlatRTreeEquivalenceTest, GirPipelineBitIdentical) {
+  const size_t n = 1200;
+  const size_t k = 10;
+  for (const char* dist : {"IND", "COR", "ANTI"}) {
+    for (size_t d : {2, 3, 4}) {
+      Dataset data = MakeData(dist, n, d, 1000 + d);
+      for (bool bulk : {true, false}) {
+        DiskManager disk;
+        RTree tree = BuildTree(data, &disk, bulk);
+        FlatRTree flat = FlatRTree::Freeze(tree);
+        LinearScoring scoring(d);
+        Rng qrng(2014 + d);
+        for (int q = 0; q < 2; ++q) {
+          Vec w = Query(qrng, d);
+          for (const char* method : {"SP", "CP", "FP"}) {
+            PipelineRun mut =
+                RunPipeline(tree, scoring, w, k, method, true);
+            PipelineRun frz =
+                RunPipeline(flat, scoring, w, k, method, true);
+            ExpectBitIdentical(mut, frz,
+                               std::string(dist) + " d=" + std::to_string(d) +
+                                   (bulk ? " bulk " : " insert ") + method);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatRTreeEquivalenceTest, GirStarBitIdentical) {
+  Dataset data = MakeData("ANTI", 1000, 3, 77);
+  DiskManager disk;
+  RTree tree = BuildTree(data, &disk, /*bulk=*/true);
+  FlatRTree flat = FlatRTree::Freeze(tree);
+  LinearScoring scoring(3);
+  Rng qrng(31);
+  Vec w = Query(qrng, 3);
+  for (const char* method : {"SP", "CP", "FP"}) {
+    PipelineRun mut = RunPipeline(tree, scoring, w, 8, method, false);
+    PipelineRun frz = RunPipeline(flat, scoring, w, 8, method, false);
+    ExpectBitIdentical(mut, frz, std::string("GIR* ") + method);
+  }
+}
+
+// Non-linear scorings exercise the TransformDimBatch kernel path.
+TEST(FlatRTreeEquivalenceTest, NonLinearScoringBitIdentical) {
+  Dataset data = MakeData("IND", 1000, 4, 55);
+  DiskManager disk;
+  RTree tree = BuildTree(data, &disk, /*bulk=*/true);
+  FlatRTree flat = FlatRTree::Freeze(tree);
+  Rng qrng(17);
+  Vec w = Query(qrng, 4);
+  for (const char* name : {"Polynomial", "Mixed"}) {
+    std::unique_ptr<ScoringFunction> scoring = MakeScoring(name, 4);
+    for (const char* method : {"SP", "FP"}) {
+      PipelineRun mut = RunPipeline(tree, *scoring, w, 12, method, true);
+      PipelineRun frz = RunPipeline(flat, *scoring, w, 12, method, true);
+      ExpectBitIdentical(mut, frz, std::string(name) + " " + method);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,101 @@
+// Tests for the performance-substrate plumbing added with the flat
+// layout: the dataset's column mirror, the batched scoring transforms,
+// the DiskManager reset semantics and the warm-started feasibility
+// helper.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "geom/lp.h"
+#include "storage/disk_manager.h"
+#include "topk/scoring.h"
+
+namespace gir {
+namespace {
+
+TEST(DatasetColumnsTest, MirrorsRows) {
+  Rng rng(5);
+  Dataset data = GenerateIndependent(500, 3, rng);
+  for (size_t j = 0; j < 3; ++j) {
+    const double* col = data.Column(j);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(col[i], data.Get(static_cast<RecordId>(i))[j]);
+    }
+  }
+  // Mutation invalidates and rebuilds the mirror.
+  Vec extra = {0.25, 0.5, 0.75};
+  data.Append(extra);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(data.Column(j)[data.size() - 1], extra[j]);
+  }
+}
+
+TEST(ScoringBatchTest, MatchesScalarTransform) {
+  Rng rng(9);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = rng.Uniform();
+  std::vector<double> batch(xs.size());
+  for (const char* name : {"Linear", "Polynomial", "Mixed"}) {
+    std::unique_ptr<ScoringFunction> s = MakeScoring(name, 4);
+    for (size_t j = 0; j < 4; ++j) {
+      s->TransformDimBatch(j, xs.data(), xs.size(), batch.data());
+      for (size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(batch[i], s->TransformDim(j, xs[i]))
+            << name << " dim " << j << " i " << i;
+      }
+    }
+  }
+  EXPECT_TRUE(LinearScoring(4).IsIdentityTransform());
+  EXPECT_FALSE(MixedScoring(4).IsIdentityTransform());
+}
+
+TEST(DiskManagerTest, ResetStatsClearsThreadDelta) {
+  DiskManager disk;
+  disk.NoteRead();
+  disk.NoteRead();
+  disk.NoteWrite();
+  EXPECT_GE(DiskManager::ThreadStats().reads, 2u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);
+  // The calling thread's accumulator is cleared too, so a fresh
+  // before/after diff starting at the reset point is exact.
+  EXPECT_EQ(DiskManager::ThreadStats().reads, 0u);
+  EXPECT_EQ(DiskManager::ThreadStats().writes, 0u);
+  IoStats before = DiskManager::ThreadStats();
+  disk.NoteRead();
+  IoStats delta = DiskManager::ThreadStats() - before;
+  EXPECT_EQ(delta.reads, 1u);
+}
+
+TEST(RefreshFeasiblePointTest, ReusesSurvivingWitness) {
+  // x >= 0.2 in both dimensions (as half-spaces) within the unit box.
+  std::vector<Halfspace> ge;
+  ge.push_back(Halfspace{{1.0, 0.0}, 0.2});
+  ge.push_back(Halfspace{{0.0, 1.0}, 0.2});
+  Vec point;  // empty: first call must solve the LP
+  Result<bool> r = RefreshFeasiblePoint(ge, 0.0, 1.0, 1e-6, &point);
+  ASSERT_TRUE(r.ok() && *r);
+  ASSERT_EQ(point.size(), 2u);
+  Vec warm = point;
+  // A constraint the witness already satisfies: the point is untouched.
+  ge.push_back(Halfspace{{1.0, 1.0}, 0.5});
+  ASSERT_GT(warm[0] + warm[1], 0.5);
+  r = RefreshFeasiblePoint(ge, 0.0, 1.0, 1e-6, &point);
+  ASSERT_TRUE(r.ok() && *r);
+  EXPECT_EQ(point, warm);
+  // A constraint that cuts the witness off forces a re-solve.
+  ge.push_back(Halfspace{{-1.0, 0.0}, -0.21});  // x <= 0.21
+  r = RefreshFeasiblePoint(ge, 0.0, 1.0, 1e-6, &point);
+  ASSERT_TRUE(r.ok() && *r);
+  EXPECT_LE(point[0], 0.21);
+  EXPECT_GE(point[0], 0.2);
+  // An infeasible system reports "no" without erroring.
+  ge.push_back(Halfspace{{1.0, 0.0}, 0.9});  // x >= 0.9 contradicts x <= 0.21
+  r = RefreshFeasiblePoint(ge, 0.0, 1.0, 1e-6, &point);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+}  // namespace
+}  // namespace gir
