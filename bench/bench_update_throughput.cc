@@ -1,0 +1,329 @@
+// Mixed read/write workload driver for the dynamic update subsystem:
+// interleaves ApplyUpdates batches (inserts + deletes, epoch-snapshot
+// refreeze) with cached batch queries and reports sustained QPS,
+// refreeze latency, and cache-survival rate. The same workload runs
+// under two invalidation policies — the incremental point-vs-region LP
+// test and the invalidate-all strawman — so the JSON shows, per the
+// acceptance bar, that incremental invalidation recomputes strictly
+// fewer GIRs.
+//
+//   ./bench_update_throughput [--n 40000] [--k 20] [--rounds 8]
+//                             [--updates 32] [--pool 16] [--queries 48]
+//                             [--seed S] [--out BENCH_PR3.json]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gir/batch_engine.h"
+
+using namespace gir;
+using namespace gir::bench;
+
+namespace {
+
+struct RoundMetrics {
+  double apply_ms = 0.0;
+  double refreeze_ms = 0.0;
+  double invalidate_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  uint64_t entries_before = 0;
+  uint64_t lp_tests = 0;
+  uint64_t evicted = 0;
+  uint64_t survived = 0;
+};
+
+struct ScenarioResult {
+  std::vector<RoundMetrics> rounds;
+  double sustained_qps = 0.0;     // queries / total query wall time
+  double refreeze_p50_ms = 0.0;
+  double refreeze_p99_ms = 0.0;
+  double updates_per_second = 0.0;
+  uint64_t total_entries_before = 0;
+  uint64_t total_lp_tests = 0;
+  uint64_t total_evicted = 0;
+  uint64_t total_survived = 0;
+  double survival_rate = 0.0;
+  double mean_hit_rate = 0.0;
+};
+
+double PercentileOf(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// One full mixed workload: warm the cache from a fixed query pool, then
+// `rounds` times apply an update batch and serve a query burst. With
+// `incremental` the update flows through BatchEngine::ApplyUpdates
+// (LP invalidation, survivors keep serving); without it the cache is
+// dropped wholesale after each update (every cached GIR becomes a
+// recompute).
+ScenarioResult RunScenario(bool incremental, int64_t n, int64_t d, int64_t k,
+                           int64_t rounds, int64_t updates, int64_t pool_size,
+                           int64_t queries, int64_t seed) {
+  Rng data_rng(static_cast<uint64_t>(seed));
+  Dataset data = GenerateIndependent(static_cast<size_t>(n),
+                                     static_cast<size_t>(d), data_rng);
+  DiskManager disk;
+  GirEngine engine(&data, &disk,
+                   MakeScoring("Linear", static_cast<size_t>(d)));
+  BatchOptions opts;
+  opts.cache_capacity = 256;
+  BatchEngine batch(&engine, opts);
+
+  Rng rng(static_cast<uint64_t>(seed) * 7 + 3);
+  std::vector<Vec> pool;
+  for (int64_t i = 0; i < pool_size; ++i) {
+    pool.push_back(RandomQuery(rng, static_cast<size_t>(d)));
+  }
+  auto draw_burst = [&](Rng& r) {
+    std::vector<Vec> ws;
+    for (int64_t q = 0; q < queries; ++q) {
+      ws.push_back(pool[r.UniformInt(pool.size())]);
+    }
+    return ws;
+  };
+
+  // Warm-up: every pool query computed and cached once.
+  Result<BatchResult> warm =
+      batch.ComputeBatch(pool, static_cast<size_t>(k), Phase2Method::kFP);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warm-up failed: %s\n",
+                 warm.status().message().c_str());
+    std::exit(1);
+  }
+
+  // The writer is the only mutator, so it tracks live ids itself.
+  std::vector<RecordId> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    live.push_back(static_cast<RecordId>(i));
+  }
+
+  ScenarioResult out;
+  double total_query_ms = 0.0;
+  double total_update_ms = 0.0;
+  uint64_t total_queries = 0;
+  uint64_t total_updates_applied = 0;
+  Rng burst_rng(static_cast<uint64_t>(seed) * 13 + 1);
+  for (int64_t r = 0; r < rounds; ++r) {
+    RoundMetrics m;
+    UpdateBatch ub;
+    for (int64_t i = 0; i < updates; ++i) {
+      Vec p(static_cast<size_t>(d));
+      for (double& x : p) x = rng.Uniform();
+      ub.inserts.push_back(std::move(p));
+    }
+    for (int64_t i = 0; i < updates && !live.empty(); ++i) {
+      size_t at = static_cast<size_t>(rng.UniformInt(live.size()));
+      ub.deletes.push_back(live[at]);
+      live[at] = live.back();
+      live.pop_back();
+    }
+
+    if (!incremental) m.entries_before = batch.cache().size();
+    Result<UpdateStats> applied = incremental
+                                      ? batch.ApplyUpdates(ub)
+                                      : engine.ApplyUpdates(ub, nullptr);
+    if (!incremental) {
+      // Invalidate-all strawman: every cached GIR is a recompute.
+      m.evicted = m.entries_before;
+      batch.mutable_cache()->Clear();
+    }
+    if (!applied.ok()) {
+      std::fprintf(stderr, "update failed: %s\n",
+                   applied.status().message().c_str());
+      std::exit(1);
+    }
+    for (size_t i = data.size() - ub.inserts.size(); i < data.size(); ++i) {
+      live.push_back(static_cast<RecordId>(i));
+    }
+    total_updates_applied += ub.inserts.size() + ub.deletes.size();
+    m.apply_ms = applied->apply_ms;
+    m.refreeze_ms = applied->refreeze_ms;
+    m.invalidate_ms = applied->invalidate_ms;
+    if (incremental) {
+      m.entries_before = applied->cache_entries_before;
+      m.lp_tests = applied->cache_lp_tests;
+      m.evicted = applied->cache_stale_evicted +
+                  applied->cache_delete_evicted +
+                  applied->cache_insert_evicted;
+      m.survived = applied->cache_survived;
+    }
+    total_update_ms += m.apply_ms + m.refreeze_ms + m.invalidate_ms;
+
+    Result<BatchResult> br = batch.ComputeBatch(
+        draw_burst(burst_rng), static_cast<size_t>(k), Phase2Method::kFP);
+    if (!br.ok()) {
+      std::fprintf(stderr, "query burst failed: %s\n",
+                   br.status().message().c_str());
+      std::exit(1);
+    }
+    m.qps = br->stats.QueriesPerSecond();
+    m.p50_ms = br->stats.p50_ms;
+    m.p99_ms = br->stats.p99_ms;
+    m.hit_rate = br->stats.HitRate();
+    total_query_ms += br->stats.wall_ms;
+    total_queries += br->stats.queries;
+    out.rounds.push_back(m);
+  }
+
+  std::vector<double> refreezes;
+  for (const RoundMetrics& m : out.rounds) {
+    refreezes.push_back(m.refreeze_ms);
+    out.total_entries_before += m.entries_before;
+    out.total_lp_tests += m.lp_tests;
+    out.total_evicted += m.evicted;
+    out.total_survived += m.survived;
+    out.mean_hit_rate += m.hit_rate;
+  }
+  out.mean_hit_rate /= static_cast<double>(out.rounds.size());
+  out.refreeze_p50_ms = PercentileOf(refreezes, 0.50);
+  out.refreeze_p99_ms = PercentileOf(refreezes, 0.99);
+  out.sustained_qps = total_query_ms <= 0.0
+                          ? 0.0
+                          : 1000.0 * static_cast<double>(total_queries) /
+                                total_query_ms;
+  out.updates_per_second =
+      total_update_ms <= 0.0
+          ? 0.0
+          : 1000.0 * static_cast<double>(total_updates_applied) /
+                total_update_ms;
+  out.survival_rate =
+      out.total_entries_before == 0
+          ? 0.0
+          : static_cast<double>(out.total_survived) /
+                static_cast<double>(out.total_entries_before);
+  return out;
+}
+
+void PrintScenario(const char* name, const ScenarioResult& s) {
+  std::printf("\n### %s\n", name);
+  std::printf("%-6s %10s %10s %10s %10s %8s %8s %8s\n", "round", "apply_ms",
+              "freeze_ms", "inval_ms", "qps", "hit", "evict", "keep");
+  for (size_t i = 0; i < s.rounds.size(); ++i) {
+    const RoundMetrics& m = s.rounds[i];
+    std::printf("%-6zu %10.3f %10.3f %10.3f %10.1f %8.3f %8llu %8llu\n", i,
+                m.apply_ms, m.refreeze_ms, m.invalidate_ms, m.qps, m.hit_rate,
+                static_cast<unsigned long long>(m.evicted),
+                static_cast<unsigned long long>(m.survived));
+  }
+  std::printf("sustained_qps=%.1f refreeze_p50=%.3fms p99=%.3fms "
+              "survival=%.3f evicted=%llu lp_tests=%llu\n",
+              s.sustained_qps, s.refreeze_p50_ms, s.refreeze_p99_ms,
+              s.survival_rate,
+              static_cast<unsigned long long>(s.total_evicted),
+              static_cast<unsigned long long>(s.total_lp_tests));
+}
+
+void JsonRound(FILE* f, const RoundMetrics& m, bool last) {
+  std::fprintf(
+      f,
+      "      {\"apply_ms\": %.4f, \"refreeze_ms\": %.4f, "
+      "\"invalidate_ms\": %.4f, \"qps\": %.2f, \"p50_ms\": %.4f, "
+      "\"p99_ms\": %.4f, \"hit_rate\": %.4f, \"entries_before\": %llu, "
+      "\"lp_tests\": %llu, \"evicted\": %llu, \"survived\": %llu}%s\n",
+      m.apply_ms, m.refreeze_ms, m.invalidate_ms, m.qps, m.p50_ms, m.p99_ms,
+      m.hit_rate, static_cast<unsigned long long>(m.entries_before),
+      static_cast<unsigned long long>(m.lp_tests),
+      static_cast<unsigned long long>(m.evicted),
+      static_cast<unsigned long long>(m.survived), last ? "" : ",");
+}
+
+void JsonScenario(FILE* f, const char* key, const ScenarioResult& s,
+                  bool last) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"rounds\": [\n");
+  for (size_t i = 0; i < s.rounds.size(); ++i) {
+    JsonRound(f, s.rounds[i], i + 1 == s.rounds.size());
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"sustained_qps\": %.2f,\n", s.sustained_qps);
+  std::fprintf(f, "    \"refreeze_p50_ms\": %.4f,\n", s.refreeze_p50_ms);
+  std::fprintf(f, "    \"refreeze_p99_ms\": %.4f,\n", s.refreeze_p99_ms);
+  std::fprintf(f, "    \"updates_per_second\": %.2f,\n", s.updates_per_second);
+  std::fprintf(f, "    \"entries_before\": %llu,\n",
+               static_cast<unsigned long long>(s.total_entries_before));
+  std::fprintf(f, "    \"lp_tests\": %llu,\n",
+               static_cast<unsigned long long>(s.total_lp_tests));
+  std::fprintf(f, "    \"evicted\": %llu,\n",
+               static_cast<unsigned long long>(s.total_evicted));
+  std::fprintf(f, "    \"survived\": %llu,\n",
+               static_cast<unsigned long long>(s.total_survived));
+  std::fprintf(f, "    \"survival_rate\": %.4f,\n", s.survival_rate);
+  std::fprintf(f, "    \"mean_hit_rate\": %.4f\n", s.mean_hit_rate);
+  std::fprintf(f, "  }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 40000;
+  int64_t d = 4;
+  int64_t k = 20;
+  int64_t rounds = 8;
+  int64_t updates = 32;
+  int64_t pool = 16;
+  int64_t queries = 48;
+  int64_t seed = 2014;
+  std::string out_path = "BENCH_PR3.json";
+  FlagSet flags;
+  flags.AddInt("n", &n, "dataset cardinality");
+  flags.AddInt("d", &d, "dimensionality");
+  flags.AddInt("k", &k, "top-k result size");
+  flags.AddInt("rounds", &rounds, "update/query rounds");
+  flags.AddInt("updates", &updates, "inserts (and deletes) per round");
+  flags.AddInt("pool", &pool, "distinct query vectors in the pool");
+  flags.AddInt("queries", &queries, "queries per round (drawn from pool)");
+  flags.AddInt("seed", &seed, "RNG seed");
+  flags.AddString("out", &out_path, "output JSON path");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) return s.code() == StatusCode::kNotFound ? 0 : 1;
+
+  ScenarioResult incremental =
+      RunScenario(true, n, d, k, rounds, updates, pool, queries, seed);
+  PrintScenario("incremental LP invalidation", incremental);
+  ScenarioResult invalidate_all =
+      RunScenario(false, n, d, k, rounds, updates, pool, queries, seed);
+  PrintScenario("invalidate-all strawman", invalidate_all);
+
+  const bool strictly_fewer =
+      incremental.total_evicted < invalidate_all.total_evicted;
+  std::printf("\nincremental recomputes %llu vs invalidate-all %llu (%s)\n",
+              static_cast<unsigned long long>(incremental.total_evicted),
+              static_cast<unsigned long long>(invalidate_all.total_evicted),
+              strictly_fewer ? "strictly fewer" : "NOT FEWER");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_update_throughput\",\n");
+  std::fprintf(f,
+               "  \"params\": {\"n\": %lld, \"d\": %lld, \"k\": %lld, "
+               "\"rounds\": %lld, \"updates\": %lld, \"pool\": %lld, "
+               "\"queries\": %lld, \"seed\": %lld},\n",
+               static_cast<long long>(n), static_cast<long long>(d),
+               static_cast<long long>(k), static_cast<long long>(rounds),
+               static_cast<long long>(updates), static_cast<long long>(pool),
+               static_cast<long long>(queries), static_cast<long long>(seed));
+  JsonScenario(f, "incremental", incremental, /*last=*/false);
+  JsonScenario(f, "invalidate_all", invalidate_all, /*last=*/false);
+  std::fprintf(f, "  \"comparison\": {\n");
+  std::fprintf(f, "    \"incremental_evicted\": %llu,\n",
+               static_cast<unsigned long long>(incremental.total_evicted));
+  std::fprintf(f, "    \"invalidate_all_evicted\": %llu,\n",
+               static_cast<unsigned long long>(invalidate_all.total_evicted));
+  std::fprintf(f, "    \"incremental_strictly_fewer\": %s\n",
+               strictly_fewer ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return strictly_fewer ? 0 : 2;
+}

@@ -17,7 +17,22 @@ Dataset Dataset::FromRows(const std::vector<Vec>& rows) {
 void Dataset::Append(VecView record) {
   assert(record.size() == dim_);
   flat_.insert(flat_.end(), record.begin(), record.end());
+  if (!dead_.empty()) dead_.push_back(0);
   columns_fresh_ = false;
+}
+
+RecordId Dataset::AppendRecord(VecView record) {
+  Append(record);
+  return static_cast<RecordId>(size() - 1);
+}
+
+void Dataset::MarkDeleted(RecordId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < size());
+  if (dead_.empty()) dead_.assign(size(), 0);
+  uint8_t& flag = dead_[static_cast<size_t>(id)];
+  if (flag != 0) return;
+  flag = 1;
+  ++dead_count_;
 }
 
 const double* Dataset::Column(size_t j) const {

@@ -15,6 +15,13 @@ using RecordId = int32_t;
 // are zero-copy spans) plus a lazily built column-major mirror so the
 // hot kernels — dominance tests, linear scoring sweeps — can stream one
 // dimension across many records from contiguous memory.
+//
+// Deletion is by tombstone: MarkDeleted keeps the record's slot (and
+// coordinates) so every RecordId stays stable across an update stream —
+// cached GIR results, provenance records and the R-tree all key records
+// by id. size() counts slots including tombstones; live_size() counts
+// the records an index should serve. The column mirror never needs a
+// rebuild on deletion because coordinates are untouched.
 class Dataset {
  public:
   explicit Dataset(size_t dim) : dim_(dim) {}
@@ -23,9 +30,19 @@ class Dataset {
 
   size_t dim() const { return dim_; }
   size_t size() const { return dim_ == 0 ? 0 : flat_.size() / dim_; }
+  size_t live_size() const { return size() - dead_count_; }
 
   void Append(VecView record);
+  // Append that hands back the id of the new record (== size() - 1).
+  RecordId AppendRecord(VecView record);
   void Reserve(size_t n) { flat_.reserve(n * dim_); }
+
+  // Tombstones a live record; id keeps resolving via Get (the slot is
+  // not reused). No-op on an already-dead id.
+  void MarkDeleted(RecordId id);
+  bool IsLive(RecordId id) const {
+    return dead_.empty() ? true : dead_[static_cast<size_t>(id)] == 0;
+  }
 
   VecView Get(RecordId id) const {
     return VecView(flat_.data() + static_cast<size_t>(id) * dim_, dim_);
@@ -49,6 +66,10 @@ class Dataset {
  private:
   size_t dim_;
   std::vector<double> flat_;
+  // Tombstone flags, allocated lazily on the first MarkDeleted (empty
+  // means every record is live); kept in lockstep with flat_ by Append.
+  std::vector<uint8_t> dead_;
+  size_t dead_count_ = 0;
   // Column-major mirror: columns_[j * n + i] == flat_[i * d + j].
   mutable std::vector<double> columns_;
   mutable bool columns_fresh_ = false;

@@ -36,7 +36,10 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
     Stopwatch sw;
     IoStats before = DiskManager::ThreadStats();
     if (use_cache) {
-      ShardedGirCache::Lookup hit = cache_.Probe(weights[i], k);
+      // Probe at the current epoch; entries from other epochs are
+      // unservable by construction (stale-hit backstop).
+      ShardedGirCache::Lookup hit =
+          cache_.Probe(weights[i], k, engine_->dataset_version());
       item.cache = hit.kind;
       if (hit.kind == ShardedGirCache::HitKind::kExact) {
         item.topk = std::move(hit.records);
@@ -52,7 +55,10 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
     }
     item.topk = gir->topk.result;
     if (use_cache && options_.populate_cache) {
-      cache_.Insert(k, gir->topk.result, gir->region);
+      // Stamp with the epoch the computation actually ran against — a
+      // concurrent update between probe and insert then simply leaves
+      // this entry unservable rather than stale.
+      cache_.Insert(k, gir->topk.result, gir->region, gir->snapshot_version);
     }
     item.computed = std::move(*gir);
     item.reads = (DiskManager::ThreadStats() - before).reads;
@@ -87,6 +93,14 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
   out.stats.p99_ms = Percentile(latencies, 0.99);
   out.stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
   return out;
+}
+
+Result<UpdateStats> BatchEngine::ApplyUpdates(const UpdateBatch& batch) {
+  if (mutable_engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "BatchEngine was constructed over a read-only engine");
+  }
+  return mutable_engine_->ApplyUpdates(batch, &cache_);
 }
 
 }  // namespace gir

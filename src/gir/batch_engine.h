@@ -72,22 +72,30 @@ struct BatchResult {
   BatchStats stats;
 };
 
-// Multi-threaded batch query layer over a (shared, read-only) GirEngine:
-// fans the weight vectors of a batch across a fixed thread pool, answers
-// repeats and near-repeats from a sharded GIR cache without touching the
+// Multi-threaded batch query layer over a (shared) GirEngine: fans the
+// weight vectors of a batch across a fixed thread pool, answers repeats
+// and near-repeats from a sharded GIR cache without touching the
 // R-tree, and aggregates per-batch serving statistics. Results come back
 // in input order and are bit-identical to issuing the same sequence of
 // ComputeGir calls sequentially: a cache hit returns the exact cached
 // top-k order, which the containment guarantee makes equal to what a
 // fresh computation would produce.
 //
+// Cache coherence under updates: every entry is stamped with the
+// dataset epoch it was computed at, probes only accept the current
+// epoch, and ApplyUpdates (below) runs the incremental LP invalidation
+// over this cache — so a batch racing an update serves each query
+// either from the old epoch (computed before the swap) or the new one,
+// never a stale mix.
+//
 // The engine must outlive the BatchEngine. One BatchEngine may serve
 // many ComputeBatch calls; the cache persists and warms across batches.
 // ComputeBatch itself is not reentrant (one batch at a time per
-// BatchEngine).
+// BatchEngine), but it may run concurrently with ApplyUpdates.
 class BatchEngine {
  public:
-  explicit BatchEngine(const GirEngine* engine, const BatchOptions& options = {})
+  explicit BatchEngine(const GirEngine* engine,
+                       const BatchOptions& options = {})
       : engine_(engine),
         options_(options),
         cache_(options.cache_capacity, options.cache_shards),
@@ -96,18 +104,33 @@ class BatchEngine {
                                               std::thread::
                                                   hardware_concurrency())) {}
 
+  // Updatable variant: also keeps the mutable engine handle so
+  // ApplyUpdates can be routed through this BatchEngine's cache.
+  BatchEngine(GirEngine* engine, const BatchOptions& options = {})
+      : BatchEngine(static_cast<const GirEngine*>(engine), options) {
+    mutable_engine_ = engine;
+  }
+
   // Computes the order-sensitive GIR top-k for every weight vector.
   // Per-query errors (e.g. k out of range) land in the corresponding
   // item's status; the call itself only fails on malformed batch input.
   Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
                                    Phase2Method method);
 
+  // Forwards the batch to GirEngine::ApplyUpdates with this engine's
+  // cache attached, so cached GIRs are incrementally invalidated and
+  // survivors keep serving across the epoch swap. FailedPrecondition
+  // when constructed over a const engine.
+  Result<UpdateStats> ApplyUpdates(const UpdateBatch& batch);
+
   size_t threads() const { return pool_.size(); }
   const ShardedGirCache& cache() const { return cache_; }
+  ShardedGirCache* mutable_cache() { return &cache_; }
   const GirEngine& engine() const { return *engine_; }
 
  private:
   const GirEngine* engine_;
+  GirEngine* mutable_engine_ = nullptr;
   BatchOptions options_;
   ShardedGirCache cache_;
   ThreadPool pool_;

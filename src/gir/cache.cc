@@ -2,9 +2,19 @@
 
 namespace gir {
 
-GirCache::Lookup GirCache::Probe(VecView q, size_t k) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (!it->region.Contains(q)) continue;
+GirCache::Lookup GirCache::Probe(VecView q, size_t k, uint64_t version) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->version < version) {
+      // Stale epoch: unservable forever, drop in place. Entries with a
+      // *newer* stamp are skipped, not dropped (a probe may race the
+      // version bump of an in-flight update).
+      it = entries_.erase(it);
+      continue;
+    }
+    if (it->version > version || !it->region.Contains(q)) {
+      ++it;
+      continue;
+    }
     Lookup out;
     if (k <= it->k) {
       out.kind = HitKind::kExact;
@@ -24,8 +34,8 @@ GirCache::Lookup GirCache::Probe(VecView q, size_t k) {
 }
 
 void GirCache::Insert(size_t k, std::vector<RecordId> result,
-                      GirRegion region) {
-  entries_.push_front(Entry{k, std::move(result), std::move(region)});
+                      GirRegion region, uint64_t version) {
+  entries_.push_front(Entry{k, std::move(result), std::move(region), version});
   while (entries_.size() > capacity_) entries_.pop_back();
 }
 

@@ -13,6 +13,13 @@ namespace gir {
 // "result caching" application): a new query vector that falls inside
 // the GIR of a cached result can reuse it outright — including its
 // exact score order. LRU-evicted at `capacity` entries.
+//
+// Entries carry the dataset version (epoch) they were computed at, and
+// Probe only serves entries whose stamp matches the caller's current
+// version — a hard backstop that makes stale hits impossible after a
+// dataset mutation even when incremental invalidation missed (or was
+// never run on) an entry. Callers that never mutate can ignore
+// versioning entirely: everything defaults to version 0.
 class GirCache {
  public:
   explicit GirCache(size_t capacity = 128) : capacity_(capacity) {}
@@ -21,6 +28,8 @@ class GirCache {
     size_t k = 0;
     std::vector<RecordId> result;
     GirRegion region;
+    // Dataset epoch the result is valid for.
+    uint64_t version = 0;
   };
 
   enum class HitKind {
@@ -38,11 +47,15 @@ class GirCache {
     std::vector<RecordId> records;  // valid prefix of the true top-k
   };
 
-  // Probes the cache for query vector q with result size k.
-  Lookup Probe(VecView q, size_t k);
+  // Probes the cache for query vector q with result size k at dataset
+  // version `version`. Entries stamped with a different version are
+  // evicted on sight (they can never be served again).
+  Lookup Probe(VecView q, size_t k, uint64_t version = 0);
 
-  // Inserts a computed GIR. The region is copied.
-  void Insert(size_t k, std::vector<RecordId> result, GirRegion region);
+  // Inserts a computed GIR stamped with the dataset version it was
+  // computed at. The region is copied.
+  void Insert(size_t k, std::vector<RecordId> result, GirRegion region,
+              uint64_t version = 0);
 
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }

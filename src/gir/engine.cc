@@ -1,11 +1,14 @@
 #include "gir/engine.h"
 
+#include <unordered_set>
+
 #include "common/stopwatch.h"
 #include "gir/brute_force.h"
 #include "gir/cp.h"
 #include "gir/fp2d.h"
 #include "gir/gir_star.h"
 #include "gir/phase1.h"
+#include "gir/sharded_cache.h"
 #include "gir/sp.h"
 
 namespace gir {
@@ -32,20 +35,51 @@ std::string Phase2MethodName(Phase2Method method) {
   return "?";
 }
 
-GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
+GirEngine::GirEngine(const Dataset* dataset, Dataset* mutable_dataset,
+                     DiskManager* disk,
                      std::unique_ptr<ScoringFunction> scoring,
                      const GirEngineOptions& options)
     : dataset_(dataset),
+      mutable_dataset_(mutable_dataset),
       disk_(disk),
       scoring_(std::move(scoring)),
       options_(options),
-      tree_(RTree::BulkLoad(dataset, disk)),
-      flat_(FlatRTree::Freeze(tree_)) {}
+      tree_(RTree::BulkLoad(dataset, disk)) {
+  // Epoch 0. A read-only engine's image reads the caller's dataset
+  // directly (nothing can mutate it through this engine); an updatable
+  // engine's must not alias the mutable master — an ApplyUpdates append
+  // can reallocate the master's storage under an in-flight epoch-0
+  // reader — so it owns a copy, like every later epoch.
+  auto snap = std::make_shared<Snapshot>();
+  snap->dataset =
+      mutable_dataset_ == nullptr
+          ? std::shared_ptr<const Dataset>(dataset_, [](const Dataset*) {})
+          : std::make_shared<const Dataset>(*dataset_);
+  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  snap->version = 0;
+  snapshot_ = std::move(snap);
+}
+
+GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
+                     std::unique_ptr<ScoringFunction> scoring,
+                     const GirEngineOptions& options)
+    : GirEngine(dataset, nullptr, disk, std::move(scoring), options) {}
+
+GirEngine::GirEngine(Dataset* dataset, DiskManager* disk,
+                     std::unique_ptr<ScoringFunction> scoring,
+                     const GirEngineOptions& options)
+    : GirEngine(dataset, dataset, disk, std::move(scoring), options) {}
 
 Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
                                           Phase2Method method,
                                           bool order_sensitive) const {
-  if (k == 0 || k > dataset_->size()) {
+  // Pin the current epoch: everything below reads this snapshot's
+  // dataset image and flat arena, so a concurrent ApplyUpdates can
+  // neither block nor tear this query.
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  const Dataset& data = *snap->dataset;
+  const FlatRTree& flat = snap->flat;
+  if (k == 0 || k > flat.size()) {
     return Status::InvalidArgument("k out of range");
   }
   GirStats stats;
@@ -53,18 +87,18 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   // Top-k retrieval (BRS), ahead of GIR computation proper. All
   // traversals run on the frozen image.
   Stopwatch sw;
-  Result<TopKResult> topk = RunBrs(flat_, *scoring_, weights, k);
+  Result<TopKResult> topk = RunBrs(flat, *scoring_, weights, k);
   if (!topk.ok()) return topk.status();
   stats.topk_cpu_ms = sw.ElapsedMillis();
   stats.topk_reads = topk->io.reads;
 
-  GirRegion region(dataset_->dim(), Vec(weights.begin(), weights.end()),
+  GirRegion region(data.dim(), Vec(weights.begin(), weights.end()),
                    topk->result);
 
   // Phase 1 (order-sensitive only; GIR* has no ordering constraints).
   if (order_sensitive) {
     sw.Restart();
-    AddPhase1Constraints(*dataset_, *scoring_, topk->result, &region);
+    AddPhase1Constraints(data, *scoring_, topk->result, &region);
     stats.phase1_cpu_ms = sw.ElapsedMillis();
   }
 
@@ -74,54 +108,63 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   if (order_sensitive) {
     switch (method) {
       case Phase2Method::kSP:
-        p2 = RunSpPhase2(flat_, *scoring_, weights, *topk, &region);
+        p2 = RunSpPhase2(flat, *scoring_, weights, *topk, &region);
         break;
       case Phase2Method::kCP:
-        p2 = RunCpPhase2(flat_, *scoring_, weights, *topk, &region);
+        p2 = RunCpPhase2(flat, *scoring_, weights, *topk, &region);
         break;
       case Phase2Method::kFP: {
         Result<Phase2Output> r =
-            dataset_->dim() == 2
-                ? RunFp2dPhase2(flat_, *scoring_, weights, *topk, &region)
-                : RunFpNdPhase2(flat_, *scoring_, weights, *topk, &region,
+            data.dim() == 2
+                ? RunFp2dPhase2(flat, *scoring_, weights, *topk, &region)
+                : RunFpNdPhase2(flat, *scoring_, weights, *topk, &region,
                                 options_.fp);
         if (!r.ok()) return r.status();
         p2 = *r;
         break;
       }
       case Phase2Method::kBruteForce: {
-        // Reference path: scan the dataset (charging the equivalent
-        // page reads) and add every non-result constraint.
+        // Reference path: scan the live records (charging the
+        // equivalent page reads) and add every non-result constraint.
         IoStats before = DiskManager::ThreadStats();
         const RecordId pk = topk->result.back();
-        Vec gk = scoring_->Transform(dataset_->Get(pk));
-        std::vector<bool> in_result(dataset_->size(), false);
+        Vec gk = scoring_->Transform(data.Get(pk));
+        std::vector<bool> in_result(data.size(), false);
         for (RecordId id : topk->result) in_result[id] = true;
         ConstraintProvenance prov;
         prov.kind = ConstraintProvenance::Kind::kOvertake;
         prov.position = static_cast<int>(k) - 1;
-        for (size_t i = 0; i < dataset_->size(); ++i) {
-          if (in_result[i]) continue;
+        for (size_t i = 0; i < data.size(); ++i) {
+          if (in_result[i] || !data.IsLive(static_cast<RecordId>(i))) {
+            continue;
+          }
           prov.challenger = static_cast<RecordId>(i);
           region.AddConstraint(
-              Sub(gk, scoring_->Transform(dataset_->Get(prov.challenger))),
-              prov);
+              Sub(gk, scoring_->Transform(data.Get(prov.challenger))), prov);
         }
         // Simulate the full-scan I/O the paper ascribes to this
-        // approach: every leaf page is read.
-        for (size_t n = 0; n < tree_.node_count(); ++n) {
-          if (tree_.PeekNode(static_cast<PageId>(n)).is_leaf) {
+        // approach: every reachable leaf page is read (freed pages of
+        // the update path never count).
+        std::vector<PageId> stack = {flat.root()};
+        while (!stack.empty()) {
+          const FlatRTree::NodeView node = flat.PeekNode(stack.back());
+          stack.pop_back();
+          if (node.is_leaf()) {
             disk_->NoteRead();
+            continue;
+          }
+          for (size_t e = 0; e < node.count(); ++e) {
+            stack.push_back(static_cast<PageId>(node.child(e)));
           }
         }
-        p2.candidates = dataset_->size() - k;
+        p2.candidates = data.live_size() - k;
         p2.io = DiskManager::ThreadStats() - before;
         break;
       }
     }
   } else {
     Result<Phase2Output> r =
-        RunGirStarPhase2(flat_, *scoring_, weights, *topk,
+        RunGirStarPhase2(flat, *scoring_, weights, *topk,
                          Phase2MethodName(method), &region, options_.fp);
     if (!r.ok()) return r.status();
     p2 = *r;
@@ -140,8 +183,105 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
     stats.intersect_cpu_ms = sw.ElapsedMillis();
   }
 
-  GirComputation out{std::move(*topk), std::move(region), stats};
+  GirComputation out{std::move(*topk), std::move(region), stats,
+                     snap->version};
   return out;
+}
+
+Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
+                                            ShardedGirCache* cache) {
+  if (mutable_dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine is read-only; updates need the Dataset* constructor");
+  }
+  std::lock_guard<std::mutex> lock(update_mu_);
+
+  // Validate the whole batch before mutating anything.
+  const size_t dim = dataset_->dim();
+  for (const Vec& p : batch.inserts) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("insert dimensionality mismatch");
+    }
+    for (double x : p) {
+      if (!(x >= 0.0 && x <= 1.0)) {
+        return Status::InvalidArgument(
+            "insert outside the normalized [0,1]^d domain");
+      }
+    }
+  }
+  std::unordered_set<RecordId> delete_set;
+  for (RecordId id : batch.deletes) {
+    if (id < 0 || static_cast<size_t>(id) >= dataset_->size()) {
+      return Status::InvalidArgument("delete id out of range");
+    }
+    if (!dataset_->IsLive(id)) {
+      return Status::InvalidArgument("delete of an already-dead record");
+    }
+    if (!delete_set.insert(id).second) {
+      return Status::InvalidArgument("duplicate delete id in batch");
+    }
+  }
+  UpdateStats stats;
+  Stopwatch sw;
+
+  // 1. Mutate the master index + dataset (deletes before inserts).
+  for (RecordId id : batch.deletes) {
+    if (!tree_.Delete(id)) {
+      return Status::Internal("live record missing from the R*-tree");
+    }
+    mutable_dataset_->MarkDeleted(id);
+  }
+  std::vector<RecordId> new_ids;
+  new_ids.reserve(batch.inserts.size());
+  for (const Vec& p : batch.inserts) {
+    const RecordId id = mutable_dataset_->AppendRecord(p);
+    tree_.Insert(id);
+    new_ids.push_back(id);
+  }
+  stats.apply_ms = sw.ElapsedMillis();
+
+  // 2. Refreeze into a fresh epoch: an immutable dataset image plus a
+  // flat arena bound to it. Readers of older epochs are untouched.
+  sw.Restart();
+  auto snap = std::make_shared<Snapshot>();
+  snap->dataset = std::make_shared<const Dataset>(*mutable_dataset_);
+  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  const uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
+  snap->version = new_version;
+  stats.refreeze_ms = sw.ElapsedMillis();
+
+  // 3. Incremental cache invalidation, before the epoch flips: doomed
+  // entries disappear while the old epoch is still current (probes just
+  // miss and recompute), and survivors become servable exactly when the
+  // version bumps below.
+  sw.Restart();
+  if (cache != nullptr) {
+    std::vector<Vec> inserted_g;
+    inserted_g.reserve(new_ids.size());
+    for (RecordId id : new_ids) {
+      inserted_g.push_back(scoring_->Transform(snap->dataset->Get(id)));
+    }
+    const UpdateInvalidation inv = cache->InvalidateForUpdates(
+        batch.deletes, inserted_g, *snap->dataset, *scoring_, new_version);
+    stats.cache_entries_before = inv.entries_before;
+    stats.cache_lp_tests = inv.lp_tests;
+    stats.cache_stale_evicted = inv.stale_evicted;
+    stats.cache_delete_evicted = inv.delete_evicted;
+    stats.cache_insert_evicted = inv.insert_evicted;
+    stats.cache_survived = inv.survived;
+  }
+  stats.invalidate_ms = sw.ElapsedMillis();
+
+  // 4. Publish the epoch.
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const Snapshot>(std::move(snap)),
+                             std::memory_order_release);
+  version_.store(new_version, std::memory_order_release);
+
+  stats.applied_inserts = batch.inserts.size();
+  stats.applied_deletes = batch.deletes.size();
+  stats.version = new_version;
+  return stats;
 }
 
 Result<GirComputation> GirEngine::ComputeGir(VecView weights, size_t k,

@@ -1,7 +1,9 @@
 #ifndef GIR_GIR_ENGINE_H_
 #define GIR_GIR_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -12,6 +14,8 @@
 #include "topk/brs.h"
 
 namespace gir {
+
+class ShardedGirCache;
 
 // Phase-2 algorithm selector (paper §5-§6).
 enum class Phase2Method {
@@ -49,6 +53,38 @@ struct GirComputation {
   TopKResult topk;
   GirRegion region;
   GirStats stats;
+  // Dataset epoch the computation ran against (0 until the first
+  // ApplyUpdates batch); what cache inserts must stamp entries with.
+  uint64_t snapshot_version = 0;
+};
+
+// One batch of mutations for GirEngine::ApplyUpdates. Deletes are
+// applied before inserts; records are deleted by id (ids are stable
+// tombstones, never reused) and inserted points must already live in
+// the normalized [0,1]^d domain of the dataset.
+struct UpdateBatch {
+  std::vector<Vec> inserts;
+  std::vector<RecordId> deletes;
+};
+
+// Outcome and cost breakdown of one ApplyUpdates call.
+struct UpdateStats {
+  size_t applied_inserts = 0;
+  size_t applied_deletes = 0;
+  uint64_t version = 0;        // epoch published by this batch
+  double apply_ms = 0.0;       // R*-tree + dataset mutation
+  double refreeze_ms = 0.0;    // dataset copy + FlatRTree::Freeze
+  double invalidate_ms = 0.0;  // incremental cache invalidation
+  // Cache invalidation accounting (all zero when no cache was passed);
+  // tests-vs-recomputes is the headline: lp_tests LPs were solved so
+  // that only delete_evicted + insert_evicted regions need recomputing
+  // instead of entries_before.
+  size_t cache_entries_before = 0;
+  size_t cache_lp_tests = 0;
+  size_t cache_stale_evicted = 0;
+  size_t cache_delete_evicted = 0;
+  size_t cache_insert_evicted = 0;
+  size_t cache_survived = 0;
 };
 
 struct GirEngineOptions {
@@ -68,19 +104,38 @@ struct GirEngineOptions {
 //
 // The dataset and disk manager must outlive the engine.
 //
-// Thread safety: after construction, ComputeGir / ComputeGirStar only
-// read the tree, dataset and scoring function, and the DiskManager's
-// accounting is atomic with thread-local per-query deltas — so any
-// number of threads may compute queries on one engine concurrently
-// (this is what BatchEngine does).
+// Thread safety: ComputeGir / ComputeGirStar only read an immutable
+// epoch snapshot (see below) plus the scoring function, and the
+// DiskManager's accounting is atomic with thread-local per-query deltas
+// — so any number of threads may compute queries on one engine
+// concurrently (this is what BatchEngine does), including concurrently
+// with one ApplyUpdates writer.
 //
-// Index lifecycle: the constructor bulk-loads the mutable R*-tree and
-// immediately Freeze()s it into a FlatRTree; every query runs against
-// the frozen image (same page ids, same simulated I/O, bit-identical
-// output — see flat_rtree.h) with the batched SoA score kernels.
+// Index lifecycle (epoch snapshots): the constructor bulk-loads the
+// mutable R*-tree and immediately Freeze()s it into a FlatRTree; every
+// query runs against the frozen image (same page ids, same simulated
+// I/O, bit-identical output — see flat_rtree.h) with the batched SoA
+// score kernels. An engine constructed over a mutable `Dataset*`
+// additionally accepts ApplyUpdates batches: under a single writer
+// lock, the batch mutates the R*-tree (R* insert + delete with
+// condense/reinsert) and the master dataset (append + tombstone), then
+// refreezes into a *fresh* snapshot — an immutable dataset copy plus a
+// new flat arena — published with an atomic shared_ptr swap. In-flight
+// readers keep the snapshot they loaded alive until they finish, so
+// they are never blocked and never observe a torn index; new queries
+// see the new epoch. Snapshot versions count epochs (0 = construction)
+// and stamp every GirComputation for cache coherence.
 class GirEngine {
  public:
+  // Read-only engine: serves the dataset frozen at construction;
+  // ApplyUpdates fails with FailedPrecondition.
   GirEngine(const Dataset* dataset, DiskManager* disk,
+            std::unique_ptr<ScoringFunction> scoring,
+            const GirEngineOptions& options = {});
+
+  // Updatable engine: same construction, but keeps the mutable handle
+  // so ApplyUpdates can mutate the dataset between epochs.
+  GirEngine(Dataset* dataset, DiskManager* disk,
             std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options = {});
 
@@ -92,23 +147,82 @@ class GirEngine {
   Result<GirComputation> ComputeGirStar(VecView weights, size_t k,
                                         Phase2Method method) const;
 
+  // Applies one update batch and publishes a new epoch snapshot:
+  //   1. mutate — deletes leave the R*-tree (condense + reinsert) and
+  //      tombstone their dataset slot; inserts append and R*-insert.
+  //   2. refreeze — the updated tree is frozen into a fresh FlatRTree
+  //      arena bound to an immutable copy of the dataset.
+  //   3. invalidate — when `cache` is non-null, cached GIRs are
+  //      incrementally invalidated with the point-vs-region max-score
+  //      LP test (see ShardedGirCache::InvalidateForUpdates): only
+  //      regions the batch can actually pierce are evicted, survivors
+  //      are re-stamped to the new epoch.
+  //   4. publish — the snapshot pointer is swapped atomically and
+  //      dataset_version() starts returning the new epoch.
+  // Concurrent readers are never blocked; writers are serialized.
+  // Returns InvalidArgument (without mutating) on malformed batches:
+  // wrong-dimension or out-of-cube inserts, dead/out-of-range/duplicate
+  // delete ids. An Internal error (a live record missing from the
+  // master tree) signals a broken index invariant; the engine state is
+  // unspecified after it.
+  Result<UpdateStats> ApplyUpdates(const UpdateBatch& batch,
+                                   ShardedGirCache* cache = nullptr);
+
+  // Epoch of the currently-published snapshot.
+  uint64_t dataset_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   const RTree& tree() const { return tree_; }
-  const FlatRTree& flat_tree() const { return flat_; }
+  // The currently-published frozen image. The reference stays valid
+  // until the *next* ApplyUpdates retires the snapshot — single-epoch
+  // callers (tests, static benches) may hold it freely. Any caller that
+  // might hold the image across an ApplyUpdates must use PinFlatTree()
+  // instead (ComputeGir pins internally).
+  const FlatRTree& flat_tree() const { return LoadSnapshot()->flat; }
+  // Pins the current epoch: the returned pointer keeps the whole
+  // snapshot (arena + dataset image) alive across any number of
+  // subsequent updates.
+  std::shared_ptr<const FlatRTree> PinFlatTree() const {
+    std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+    return std::shared_ptr<const FlatRTree>(snap, &snap->flat);
+  }
   const Dataset& dataset() const { return *dataset_; }
   const ScoringFunction& scoring() const { return *scoring_; }
   DiskManager* disk() const { return disk_; }
 
  private:
+  // One immutable epoch: a frozen arena over a dataset image that no
+  // writer will ever touch. Readers pin it with shared_ptr.
+  struct Snapshot {
+    std::shared_ptr<const Dataset> dataset;
+    FlatRTree flat;
+    uint64_t version = 0;
+  };
+
+  // Shared implementation of the two public constructors;
+  // `mutable_dataset` is null for the read-only variant.
+  GirEngine(const Dataset* dataset, Dataset* mutable_dataset,
+            DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
+            const GirEngineOptions& options);
+
+  std::shared_ptr<const Snapshot> LoadSnapshot() const {
+    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  }
+
   Result<GirComputation> Compute(VecView weights, size_t k,
                                  Phase2Method method, bool order_sensitive)
       const;
 
   const Dataset* dataset_;
+  Dataset* mutable_dataset_ = nullptr;  // non-null iff updatable
   DiskManager* disk_;
   std::unique_ptr<ScoringFunction> scoring_;
   GirEngineOptions options_;
-  RTree tree_;
-  FlatRTree flat_;  // frozen query-time image of tree_
+  RTree tree_;  // mutable master index; touched only under update_mu_
+  std::shared_ptr<const Snapshot> snapshot_;  // atomic publish point
+  std::atomic<uint64_t> version_{0};
+  std::mutex update_mu_;  // serializes ApplyUpdates writers
 };
 
 }  // namespace gir

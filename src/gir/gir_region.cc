@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "geom/lp.h"
+
 namespace gir {
 
 std::string ConstraintProvenance::Describe(
@@ -60,6 +62,43 @@ GirRegion::RaySpan GirRegion::ClipRay(VecView x, VecView dir) const {
     return RaySpan{0.0, 0.0};
   }
   return RaySpan{t_min, t_max};
+}
+
+bool GirRegion::AdmitsGain(VecView gain, double eps) const {
+  // Fast paths that skip the simplex solve. The region's own query
+  // vector is feasible by construction, so a positive advantage there
+  // settles the test immediately; a gain with no positive component
+  // can never attain a positive dot product over the non-negative cube.
+  if (Dot(gain, query_) > eps) return true;
+  bool any_positive = false;
+  for (double g : gain) {
+    if (g > 0.0) {
+      any_positive = true;
+      break;
+    }
+  }
+  if (!any_positive) return false;
+
+  LpProblem lp;
+  lp.c = Vec(gain.begin(), gain.end());
+  lp.a.reserve(constraints_.size() + 2 * dim_);
+  for (const GirConstraint& c : constraints_) {
+    // normal·x >= 0  →  -normal·x <= 0.
+    lp.a.push_back(Scale(c.normal, -1.0));
+    lp.b.push_back(0.0);
+  }
+  for (size_t j = 0; j < dim_; ++j) {
+    Vec row(dim_, 0.0);
+    row[j] = 1.0;  // x_j <= 1
+    lp.a.push_back(row);
+    lp.b.push_back(1.0);
+    row[j] = -1.0;  // -x_j <= 0
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(0.0);
+  }
+  LpSolution sol = SolveLp(lp);
+  if (sol.status != LpStatus::kOptimal) return true;
+  return sol.objective > eps;
 }
 
 std::vector<Halfspace> GirRegion::AsHalfspaces() const {

@@ -104,6 +104,18 @@ class GirRegion {
   // cube), with their human-readable result perturbations.
   std::vector<BoundaryEvent> BoundaryEvents() const;
 
+  // Max of gain·q' over the region (constraints ∩ unit cube), solved as
+  // a small LP. Returns true when the maximum exceeds `eps` — i.e. some
+  // weight vector inside the region gives `gain` a strictly positive
+  // score advantage. With gain = g(p) − g(p_k) this is the update
+  // subsystem's point-vs-region piercing test: an inserted record p can
+  // enter the cached top-k somewhere in the region iff it can outscore
+  // the k-th result record there. Because every constraint passes
+  // through the origin, the origin (score tie) is always feasible, so
+  // the test is for a *strictly* positive advantage. Solver failures
+  // return true (conservative: callers treat "pierced" as "recompute").
+  bool AdmitsGain(VecView gain, double eps = 1e-9) const;
+
   // Constraint views for the geometry helpers.
   std::vector<Halfspace> AsHalfspaces() const;
 

@@ -31,13 +31,24 @@ size_t ShardedGirCache::HomeShard(VecView q) const {
 }
 
 bool ShardedGirCache::ProbeShardExact(Shard& shard, size_t shard_index,
-                                      VecView q, size_t k, Lookup* out,
-                                      int* partial_shard) {
+                                      VecView q, size_t k, uint64_t version,
+                                      Lookup* out, int* partial_shard) {
   std::lock_guard<std::mutex> lock(shard.mu);
-  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
-    if (!it->region.Contains(q)) continue;
+  for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+    if (it->version < version) {
+      it = shard.entries.erase(it);  // stale epoch, unservable forever
+      continue;
+    }
+    if (it->version > version || !it->region.Contains(q)) {
+      // A *newer* stamp means this probe raced an in-flight update
+      // (survivors are re-stamped just before the version bump): skip,
+      // never erase — the next-epoch probes will serve it.
+      ++it;
+      continue;
+    }
     if (k > it->k) {
       if (*partial_shard < 0) *partial_shard = static_cast<int>(shard_index);
+      ++it;
       continue;
     }
     out->kind = HitKind::kExact;
@@ -50,10 +61,10 @@ bool ShardedGirCache::ProbeShardExact(Shard& shard, size_t shard_index,
 }
 
 bool ShardedGirCache::ProbeShardAny(Shard& shard, VecView q, size_t k,
-                                    Lookup* out) {
+                                    uint64_t version, Lookup* out) {
   std::lock_guard<std::mutex> lock(shard.mu);
   for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
-    if (!it->region.Contains(q)) continue;
+    if (it->version != version || !it->region.Contains(q)) continue;
     if (k <= it->k) {
       out->kind = HitKind::kExact;
       out->records.assign(it->result.begin(), it->result.begin() + k);
@@ -69,7 +80,8 @@ bool ShardedGirCache::ProbeShardAny(Shard& shard, VecView q, size_t k,
   return false;
 }
 
-ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k) {
+ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k,
+                                               uint64_t version) {
   Lookup out;
   const size_t home = HomeShard(q);
   const size_t n = shards_.size();
@@ -78,7 +90,8 @@ ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k) {
   int partial_shard = -1;
   for (size_t i = 0; i < n; ++i) {
     const size_t idx = (home + i) % n;
-    if (ProbeShardExact(*shards_[idx], idx, q, k, &out, &partial_shard)) {
+    if (ProbeShardExact(*shards_[idx], idx, q, k, version, &out,
+                        &partial_shard)) {
       return out;
     }
   }
@@ -86,7 +99,7 @@ ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k) {
   // have been evicted concurrently since the first pass; that demotes
   // the probe to a miss, which is safe (the query just recomputes).
   if (partial_shard >= 0 &&
-      ProbeShardAny(*shards_[partial_shard], q, k, &out)) {
+      ProbeShardAny(*shards_[partial_shard], q, k, version, &out)) {
     return out;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -94,7 +107,7 @@ ShardedGirCache::Lookup ShardedGirCache::Probe(VecView q, size_t k) {
 }
 
 void ShardedGirCache::Insert(size_t k, std::vector<RecordId> result,
-                             const GirRegion& region) {
+                             const GirRegion& region, uint64_t version) {
   Shard& shard = *shards_[HomeShard(region.query())];
   // Skip the insert when the shard already covers this query at least
   // as well — concurrent identical queries would otherwise fill the
@@ -102,16 +115,103 @@ void ShardedGirCache::Insert(size_t k, std::vector<RecordId> result,
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const Entry& e : shard.entries) {
-      if (e.k >= k && e.region.Contains(region.query())) return;
+      if (e.k >= k && e.version == version &&
+          e.region.Contains(region.query())) {
+        return;
+      }
     }
   }
   // Copy the constraints outside the lock: sharding is supposed to
   // bound lock hold times, and a region can carry thousands of normals.
   // A duplicate slipping in between the check and this push is benign.
-  Entry entry{k, std::move(result), region.ConstraintsOnly()};
+  Entry entry{k, std::move(result), region.ConstraintsOnly(), version};
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.entries.push_front(std::move(entry));
   while (shard.entries.size() > per_shard_capacity_) shard.entries.pop_back();
+}
+
+UpdateInvalidation ShardedGirCache::InvalidateForUpdates(
+    const std::vector<RecordId>& deleted, const std::vector<Vec>& inserted_g,
+    const Dataset& dataset, const ScoringFunction& scoring,
+    uint64_t new_version) {
+  UpdateInvalidation out;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    // Splice the shard's list out under the lock and run the (possibly
+    // many) piercing LPs unlocked: concurrent probes see an empty shard
+    // and just miss — indistinguishable from eviction, and it keeps the
+    // "sharding bounds lock hold times" promise during updates. Entries
+    // inserted while we work land in the live list and are merged back
+    // under at the end (they carry the old epoch's stamp, so the *next*
+    // invalidation pass retires them as laggards).
+    std::list<Entry> working;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      working.splice(working.begin(), shard.entries);
+    }
+    for (auto it = working.begin(); it != working.end();) {
+      ++out.entries_before;
+      // Only entries at the currently-published epoch were validated
+      // against every batch so far; older stamps were inserted by
+      // queries that computed on a retired snapshot and must not be
+      // resurrected by a re-stamp they never earned.
+      if (it->version + 1 != new_version) {
+        ++out.stale_evicted;
+        it = working.erase(it);
+        continue;
+      }
+      bool evict = false;
+      // Deletes: a result that lost a member is wrong everywhere.
+      for (RecordId d : deleted) {
+        for (RecordId r : it->result) {
+          if (r == d) {
+            evict = true;
+            break;
+          }
+        }
+        if (evict) break;
+      }
+      if (evict) {
+        ++out.delete_evicted;
+        it = working.erase(it);
+        continue;
+      }
+      // Inserts: evict iff some insert can outscore the cached k-th
+      // record somewhere inside the region (max-score LP per pair).
+      if (!inserted_g.empty()) {
+        const Vec gk = scoring.Transform(dataset.Get(it->result.back()));
+        for (const Vec& gp : inserted_g) {
+          ++out.lp_tests;
+          if (it->region.AdmitsGain(Sub(gp, gk))) {
+            evict = true;
+            break;
+          }
+        }
+      }
+      if (evict) {
+        ++out.insert_evicted;
+        it = working.erase(it);
+        continue;
+      }
+      it->version = new_version;
+      ++out.survived;
+      ++it;
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Survivors keep MRU priority over entries that raced in meanwhile.
+    shard.entries.splice(shard.entries.begin(), working);
+    while (shard.entries.size() > per_shard_capacity_) {
+      shard.entries.pop_back();
+    }
+  }
+  return out;
+}
+
+void ShardedGirCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
 }
 
 size_t ShardedGirCache::size() const {

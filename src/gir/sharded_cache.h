@@ -10,8 +10,19 @@
 
 #include "gir/cache.h"
 #include "gir/gir_region.h"
+#include "topk/scoring.h"
 
 namespace gir {
+
+// Outcome of one incremental invalidation pass over the cache.
+struct UpdateInvalidation {
+  size_t entries_before = 0;
+  size_t stale_evicted = 0;   // entries from an epoch older than current
+  size_t delete_evicted = 0;  // entries whose result held a deleted record
+  size_t lp_tests = 0;        // point-vs-region piercing LPs solved
+  size_t insert_evicted = 0;  // entries some insert can pierce
+  size_t survived = 0;        // entries re-stamped to the new version
+};
 
 // Thread-safe variant of GirCache for the batch engine: entries are
 // spread across independently-locked shards, each an LRU list. Inserts
@@ -34,18 +45,56 @@ class ShardedGirCache {
   explicit ShardedGirCache(size_t capacity = 256, size_t num_shards = 8);
 
   // Probes every shard (home shard first) for a cached region
-  // containing q. Semantics match GirCache::Probe — exact hit when the
-  // cached k covers the request, partial hit when the cached prefix is
-  // shorter, miss otherwise — except that an exact hit anywhere is
-  // preferred over an earlier shard's partial one. The hit entry
-  // becomes MRU in its shard.
-  Lookup Probe(VecView q, size_t k);
+  // containing q, stamped with dataset version `version`. Semantics
+  // match GirCache::Probe — exact hit when the cached k covers the
+  // request, partial hit when the cached prefix is shorter, miss
+  // otherwise — except that an exact hit anywhere is preferred over an
+  // earlier shard's partial one. Entries from a different epoch are
+  // evicted on sight (the version stamp is the stale-hit backstop; see
+  // GirCache). The hit entry becomes MRU in its shard.
+  Lookup Probe(VecView q, size_t k, uint64_t version = 0);
 
   // Inserts a computed GIR into the home shard of its query vector,
-  // evicting that shard's LRU tail beyond the per-shard capacity. Only
-  // the constraint system of the region is copied; any materialized
-  // polytope stays with the caller (containment probes never need it).
-  void Insert(size_t k, std::vector<RecordId> result, const GirRegion& region);
+  // stamped with the dataset version it was computed at, evicting that
+  // shard's LRU tail beyond the per-shard capacity. Only the constraint
+  // system of the region is copied; any materialized polytope stays
+  // with the caller (containment probes never need it).
+  void Insert(size_t k, std::vector<RecordId> result, const GirRegion& region,
+              uint64_t version = 0);
+
+  // Incremental invalidation after an update batch: walks every entry
+  // once and decides, with the existing halfspace/LP machinery instead
+  // of a recompute, whether the update stream can perturb it.
+  //   - An entry whose cached result contains a deleted record is
+  //     evicted (the result is certainly wrong everywhere).
+  //   - For each inserted record p (given as its transformed
+  //     coordinates g(p)), an entry is evicted iff p can outscore the
+  //     entry's k-th record somewhere inside the cached region —
+  //     GirRegion::AdmitsGain(g(p) − g(p_k)), one small LP per
+  //     (entry, insert) pair, short-circuited on the first pierce.
+  //   - Surviving entries are re-stamped to `new_version`: deleting a
+  //     non-result record or inserting a non-piercing one provably
+  //     leaves the cached top-k exact everywhere inside its region.
+  // Only entries stamped with the currently-published epoch
+  // (new_version - 1) are eligible to survive: an entry carrying any
+  // older stamp was never tested against the intermediate batches (it
+  // was inserted by a query that computed against a retired snapshot),
+  // so it is evicted outright rather than resurrected.
+  // `dataset` must resolve the entries' record ids (the post-update
+  // snapshot: tombstones keep deleted coordinates readable). The LPs
+  // run outside the shard locks (each shard's list is spliced out and
+  // merged back), so concurrent probes are never stalled — they miss
+  // on the in-flight shard, which is safe. Returns the
+  // tests-vs-evictions accounting.
+  UpdateInvalidation InvalidateForUpdates(const std::vector<RecordId>& deleted,
+                                          const std::vector<Vec>& inserted_g,
+                                          const Dataset& dataset,
+                                          const ScoringFunction& scoring,
+                                          uint64_t new_version);
+
+  // Drops every entry (the invalidate-all strawman the bench compares
+  // incremental invalidation against).
+  void Clear();
 
   size_t size() const;
   size_t shard_count() const { return shards_.size(); }
@@ -69,9 +118,10 @@ class ShardedGirCache {
   // returns true when found. Remembers in *partial_shard (when it is
   // still unset) that this shard holds a shorter containing entry.
   bool ProbeShardExact(Shard& shard, size_t shard_index, VecView q, size_t k,
-                       Lookup* out, int* partial_shard);
+                       uint64_t version, Lookup* out, int* partial_shard);
   // Second pass: takes any containing entry (exact or partial).
-  bool ProbeShardAny(Shard& shard, VecView q, size_t k, Lookup* out);
+  bool ProbeShardAny(Shard& shard, VecView q, size_t k, uint64_t version,
+                     Lookup* out);
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -20,9 +20,11 @@ void FlatRTree::NodeView::EntryTopCorner(size_t e, Vec* out) const {
   for (size_t j = 0; j < dim_; ++j) (*out)[j] = hi(j)[e];
 }
 
-FlatRTree FlatRTree::Freeze(const RTree& tree) {
+FlatRTree FlatRTree::Freeze(const RTree& tree,
+                            const Dataset* dataset_override) {
   FlatRTree flat;
-  flat.dataset_ = &tree.dataset();
+  flat.dataset_ = dataset_override != nullptr ? dataset_override
+                                              : &tree.dataset();
   flat.disk_ = tree.disk();
   flat.dim_ = tree.dataset().dim();
   flat.capacity_ = tree.Capacity();

@@ -80,10 +80,22 @@ class FlatRTree {
     size_t cap_;
   };
 
+  // An empty image (no nodes, invalid root); assign a Freeze result to
+  // make it usable. Lets snapshot holders default-construct in place.
+  FlatRTree() = default;
+
   // Compacts `tree` into the flat arena. The source tree, its dataset
   // and disk manager must outlive the frozen image; the freeze itself
   // charges no simulated I/O (it repacks pages already written).
-  static FlatRTree Freeze(const RTree& tree);
+  //
+  // `dataset_override` (when non-null) is the dataset the image — and
+  // every query over it — will read instead of the tree's own: the
+  // update subsystem freezes against an immutable per-epoch dataset
+  // copy so in-flight readers never observe the master mutating. The
+  // override must hold bit-identical coordinates for every record id in
+  // the tree.
+  static FlatRTree Freeze(const RTree& tree,
+                          const Dataset* dataset_override = nullptr);
 
   // Node access, charging one simulated page read (same accounting as
   // RTree::ReadNode).
@@ -112,8 +124,6 @@ class FlatRTree {
   DiskManager* disk() const { return disk_; }
 
  private:
-  FlatRTree() = default;
-
   const Dataset* dataset_ = nullptr;
   DiskManager* disk_ = nullptr;
   size_t dim_ = 0;

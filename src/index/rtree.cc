@@ -34,14 +34,26 @@ RTree::RTree(const Dataset* dataset, DiskManager* disk,
 }
 
 PageId RTree::NewNode(bool is_leaf, int level) {
-  PageId page = disk_->Allocate();
-  assert(page == nodes_.size());
-  RTreeNode node;
-  node.is_leaf = is_leaf;
-  node.level = level;
-  nodes_.push_back(std::move(node));
+  PageId page;
+  if (!free_pages_.empty()) {
+    // Reuse a page dissolved by CondenseTree (FreeNode left it empty);
+    // no fresh allocation.
+    page = free_pages_.back();
+    free_pages_.pop_back();
+  } else {
+    page = disk_->Allocate();
+    assert(page == nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[page].is_leaf = is_leaf;
+  nodes_[page].level = level;
   disk_->NoteWrite();
   return page;
+}
+
+void RTree::FreeNode(PageId page) {
+  nodes_[page].entries.clear();
+  free_pages_.push_back(page);
 }
 
 const RTreeNode& RTree::ReadNode(PageId page) const {
@@ -129,6 +141,109 @@ void RTree::Insert(RecordId id) {
   InsertEntry(std::move(entry), /*target_level=*/0, /*reinsert_depth=*/0);
   ++record_count_;
   t_reinserted_levels = nullptr;
+}
+
+bool RTree::FindLeaf(PageId page, const Mbb& point, RecordId id,
+                     std::vector<PageId>* path) const {
+  path->push_back(page);
+  const RTreeNode& node = nodes_[page];
+  if (node.is_leaf) {
+    for (const RTreeEntry& e : node.entries) {
+      if (e.child == id) return true;
+    }
+  } else {
+    for (const RTreeEntry& e : node.entries) {
+      if (!e.mbb.Intersects(point)) continue;
+      if (FindLeaf(static_cast<PageId>(e.child), point, id, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void RTree::CondenseTree(std::vector<PageId> path) {
+  // Walk from the leaf upward. A node that fell below the fill floor is
+  // dissolved: its entry is removed from the parent and its surviving
+  // entries queue for reinsertion at their original level (Guttman's
+  // CondenseTree, with the R* insertion doing the reinsert work).
+  struct Orphan {
+    RTreeEntry entry;
+    int target_level;
+  };
+  std::vector<Orphan> orphans;
+  while (path.size() > 1) {
+    PageId page = path.back();
+    path.pop_back();
+    PageId parent = path.back();
+    RTreeNode& node = nodes_[page];
+    std::vector<RTreeEntry>& up = nodes_[parent].entries;
+    if (node.entries.size() < min_entries_) {
+      for (size_t i = 0; i < up.size(); ++i) {
+        if (up[i].child == static_cast<int32_t>(page)) {
+          up.erase(up.begin() + i);
+          break;
+        }
+      }
+      for (RTreeEntry& e : node.entries) {
+        orphans.push_back(Orphan{std::move(e), node.level});
+      }
+      FreeNode(page);
+    } else {
+      Mbb tight = node.ComputeMbb(dataset_->dim());
+      for (RTreeEntry& e : up) {
+        if (e.child == static_cast<int32_t>(page)) {
+          e.mbb = tight;
+          break;
+        }
+      }
+    }
+  }
+  // Higher-level orphans first: reattaching a subtree before its records
+  // keeps ChooseSubtree's target levels reachable.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Orphan& a, const Orphan& b) {
+              return a.target_level > b.target_level;
+            });
+  for (Orphan& o : orphans) {
+    InsertEntry(std::move(o.entry), o.target_level, /*reinsert_depth=*/0);
+  }
+}
+
+bool RTree::Delete(RecordId id) {
+  if (root_ == kInvalidPage) return false;
+  const Mbb point = Mbb::OfPoint(dataset_->Get(id));
+  std::vector<PageId> path;
+  if (!FindLeaf(root_, point, id, &path)) return false;
+
+  RTreeNode& leaf = nodes_[path.back()];
+  for (size_t i = 0; i < leaf.entries.size(); ++i) {
+    if (leaf.entries[i].child == id) {
+      leaf.entries.erase(leaf.entries.begin() + i);
+      break;
+    }
+  }
+  --record_count_;
+
+  // Orphan reinsertion may overflow nodes; give OverflowTreatment the
+  // same once-per-level reinsert bookkeeping as Insert.
+  std::set<int> reinserted;
+  t_reinserted_levels = &reinserted;
+  CondenseTree(std::move(path));
+  t_reinserted_levels = nullptr;
+
+  // Collapse a root that lost all but one subtree.
+  while (root_ != kInvalidPage && !nodes_[root_].is_leaf &&
+         nodes_[root_].entries.size() == 1) {
+    PageId old_root = root_;
+    root_ = static_cast<PageId>(nodes_[root_].entries[0].child);
+    FreeNode(old_root);
+  }
+  if (record_count_ == 0 && nodes_[root_].is_leaf &&
+      nodes_[root_].entries.empty()) {
+    FreeNode(root_);
+    root_ = kInvalidPage;
+  }
+  return true;
 }
 
 void RTree::InsertEntry(RTreeEntry entry, int target_level,
@@ -352,13 +467,19 @@ RTree RTree::BulkLoad(const Dataset* dataset, DiskManager* disk,
                       const RTreeOptions& options) {
   RTree tree(dataset, disk, options);
   tree.bulk_loaded_ = true;
-  const size_t n = dataset->size();
   const size_t dim = dataset->dim();
-  if (n == 0) return tree;
 
-  // Leaf level.
-  std::vector<int32_t> ids(n);
-  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int32_t>(i);
+  // Only live records are indexed; tombstoned slots stay out of the
+  // tree (their ids remain resolvable through the dataset).
+  std::vector<int32_t> ids;
+  ids.reserve(dataset->live_size());
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    if (dataset->IsLive(static_cast<RecordId>(i))) {
+      ids.push_back(static_cast<int32_t>(i));
+    }
+  }
+  const size_t n = ids.size();
+  if (n == 0) return tree;
   std::vector<std::pair<size_t, size_t>> runs;
   StrTile(
       ids, 0, n, 0, dim, tree.capacity_,
@@ -424,6 +545,30 @@ RTree RTree::FromParts(const Dataset* dataset, DiskManager* disk,
   tree.root_ = root;
   tree.record_count_ = record_count;
   tree.bulk_loaded_ = true;  // fill invariants are unknown; be lenient
+  // Recover the free list: pages a pre-persist Delete dissolved are
+  // exactly the ones unreachable from the root (the codec serializes
+  // every page slot to keep ids stable). Without this, churn on a
+  // restored tree would leak those slots forever.
+  std::vector<bool> reachable(tree.nodes_.size(), false);
+  if (tree.root_ != kInvalidPage) {
+    std::vector<PageId> stack = {tree.root_};
+    reachable[tree.root_] = true;
+    while (!stack.empty()) {
+      const RTreeNode& node = tree.nodes_[stack.back()];
+      stack.pop_back();
+      if (node.is_leaf) continue;
+      for (const RTreeEntry& e : node.entries) {
+        reachable[e.child] = true;
+        stack.push_back(static_cast<PageId>(e.child));
+      }
+    }
+  }
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    if (!reachable[i]) {
+      tree.nodes_[i].entries.clear();
+      tree.free_pages_.push_back(static_cast<PageId>(i));
+    }
+  }
   return tree;
 }
 

@@ -52,13 +52,25 @@ class RTree {
   // Inserts one record (R* insertion with forced reinsert).
   void Insert(RecordId id);
 
-  // Sort-Tile-Recursive bulk load of the full dataset.
+  // Removes one record (Guttman FindLeaf + CondenseTree with R*
+  // reinsertion of orphaned entries): underfull nodes along the
+  // deletion path are dissolved and their entries reinserted at their
+  // original level; a single-child root is collapsed. Freed pages go on
+  // a free list and are reused by later splits, so the page arena stays
+  // bounded under sustained update churn. Returns false when the record
+  // is not in the tree.
+  bool Delete(RecordId id);
+
+  // Sort-Tile-Recursive bulk load of the live records of the dataset
+  // (tombstoned records are skipped).
   static RTree BulkLoad(const Dataset* dataset, DiskManager* disk,
                         const RTreeOptions& options = {});
 
   // Reassembles a tree from explicit nodes (used by the page codec when
   // restoring a persisted image; not part of the query API). Page ids
-  // are re-allocated densely in node order.
+  // are re-allocated densely in node order; pages unreachable from the
+  // root (slots a pre-persist Delete dissolved) are recovered onto the
+  // free list.
   static RTree FromParts(const Dataset* dataset, DiskManager* disk,
                          std::vector<RTreeNode> nodes, PageId root,
                          size_t record_count);
@@ -91,7 +103,13 @@ class RTree {
 
  private:
   PageId NewNode(bool is_leaf, int level);
+  void FreeNode(PageId page);
   Mbb EntryMbbOf(const RTreeNode& node) const;
+
+  // Deletion machinery.
+  bool FindLeaf(PageId page, const Mbb& point, RecordId id,
+                std::vector<PageId>* path) const;
+  void CondenseTree(std::vector<PageId> path);
 
   // R* machinery.
   PageId ChooseSubtree(const Mbb& box, int target_level,
@@ -113,6 +131,7 @@ class RTree {
   size_t capacity_;
   size_t min_entries_;
   std::vector<RTreeNode> nodes_;
+  std::vector<PageId> free_pages_;  // dissolved by CondenseTree, reusable
   PageId root_ = kInvalidPage;
   size_t record_count_ = 0;
   bool bulk_loaded_ = false;

@@ -141,7 +141,13 @@ Result<RTree> LoadRTreeImage(const Dataset* dataset, DiskManager* disk,
     if (!node.ok()) return node.status();
     nodes.push_back(std::move(node).value());
   }
-  if (node_count > 0 && root >= node_count) {
+  // A drained tree (every record deleted) legitimately has no root
+  // while its freed pages are still serialized.
+  if (root == kInvalidPage) {
+    if (record_count != 0) {
+      return Status::InvalidArgument("rootless image with records");
+    }
+  } else if (root >= node_count) {
     return Status::InvalidArgument("root page out of range");
   }
   return RTree::FromParts(dataset, disk, std::move(nodes),

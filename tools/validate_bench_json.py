@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON artifact against a checked-in JSON schema.
+
+Stdlib-only implementation of the JSON-Schema subset the bench schemas
+use -- type / properties / required / items / $ref into #/definitions --
+so CI needs no pip installs. Exits non-zero with a path-qualified error
+on the first violation.
+
+Usage: validate_bench_json.py <schema.json> <instance.json>
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def resolve_ref(schema, root):
+    while "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/"):
+            raise ValidationError(f"unsupported $ref {ref!r}")
+        node = root
+        for part in ref[2:].split("/"):
+            if part not in node:
+                raise ValidationError(f"dangling $ref {ref!r}")
+            node = node[part]
+        schema = node
+    return schema
+
+
+def check(instance, schema, root, path):
+    schema = resolve_ref(schema, root)
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = TYPES.get(expected)
+        if py_type is None:
+            raise ValidationError(f"{path}: unknown schema type {expected!r}")
+        ok = isinstance(instance, py_type)
+        # bool is an int subclass in Python; keep integer/number strict.
+        if expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        # Doubles that happen to be integral are fine as "integer"
+        # (printf-produced counters never carry fractions).
+        if expected == "integer" and isinstance(instance, float):
+            ok = instance.is_integer()
+        if not ok:
+            raise ValidationError(
+                f"{path}: expected {expected}, got "
+                f"{type(instance).__name__} ({instance!r})")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise ValidationError(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                check(instance[key], sub, root, f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            check(item, schema["items"], root, f"{path}[{i}]")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        instance = json.load(f)
+    try:
+        check(instance, schema, schema, "$")
+    except ValidationError as e:
+        print(f"{argv[2]}: INVALID: {e}", file=sys.stderr)
+        return 1
+    print(f"{argv[2]}: ok (schema {argv[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
