@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "dataset/generators.h"
 #include "geom/convex_hull.h"
 #include "geom/halfspace_intersection.h"
@@ -100,6 +101,109 @@ void BM_ChebyshevLp(benchmark::State& state) {
 }
 BENCHMARK(BM_ChebyshevLp)->Arg(3)->Arg(5)->Arg(8)->Unit(
     benchmark::kMillisecond);
+
+// Shared constraint system, many objectives: per-call SolveLp vs
+// SolveLpBatch (one Prepare, warm phase-2 re-solves). Arg is the batch
+// size; the paired timings are the invalidation LP phase ablation.
+void BM_LpBatchVsPerCall(benchmark::State& state) {
+  const size_t d = 4;
+  const size_t count = state.range(0);
+  const bool batch = state.range(1) != 0;
+  Rng rng(g_seed + 19);
+  LpProblem lp;
+  for (int i = 0; i < 40; ++i) {
+    Vec n(d);
+    for (size_t j = 0; j < d; ++j) n[j] = rng.Uniform(-1.0, 0.3);
+    lp.a.push_back(std::move(n));
+    lp.b.push_back(0.0);
+  }
+  for (size_t j = 0; j < d; ++j) {
+    Vec up(d, 0.0);
+    up[j] = 1.0;
+    lp.a.push_back(up);
+    lp.b.push_back(1.0);
+    Vec down(d, 0.0);
+    down[j] = -1.0;
+    lp.a.push_back(std::move(down));
+    lp.b.push_back(0.0);
+  }
+  const size_t m = lp.a.size();
+  std::vector<double> a(m * d);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < d; ++j) a[i * d + j] = lp.a[i][j];
+  }
+  std::vector<double> objectives(count * d);
+  for (double& x : objectives) x = rng.Uniform(-1.0, 1.0);
+  std::vector<LpBatchItem> items(count);
+  LpWorkspace ws;
+  for (auto _ : state) {
+    if (batch) {
+      SolveLpBatch(a.data(), lp.b.data(), m, d, objectives.data(), count,
+                   &ws, items.data());
+      benchmark::DoNotOptimize(items[count - 1].objective);
+    } else {
+      double sink = 0.0;
+      for (size_t t = 0; t < count; ++t) {
+        lp.c.assign(objectives.begin() + t * d,
+                    objectives.begin() + (t + 1) * d);
+        sink += SolveLp(lp).objective;
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_LpBatchVsPerCall)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Dual-simplex AddConstraint re-solve vs a cold solve of the grown
+// system (the one-constraint-changed warm-start entry point).
+void BM_LpAddConstraintResolve(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const bool warm = state.range(1) != 0;
+  Rng rng(g_seed + 23);
+  LpProblem lp;
+  for (size_t j = 0; j < d; ++j) {
+    Vec up(d, 0.0);
+    up[j] = 1.0;
+    lp.a.push_back(up);
+    lp.b.push_back(1.0);
+    Vec down(d, 0.0);
+    down[j] = -1.0;
+    lp.a.push_back(std::move(down));
+    lp.b.push_back(0.0);
+  }
+  lp.c.assign(d, 1.0);
+  Vec cut(d);
+  for (size_t j = 0; j < d; ++j) cut[j] = rng.Uniform(0.2, 1.0);
+  const double bound = 0.6 * Dot(cut, Vec(d, 1.0));
+  LpWorkspace ws;
+  for (auto _ : state) {
+    if (warm) {
+      LpSolution base = SolveLpWith(&ws, lp);
+      benchmark::DoNotOptimize(base.objective);
+      ws.AddConstraint(cut.data(), bound);
+      benchmark::DoNotOptimize(ws.objective());
+    } else {
+      LpProblem grown = lp;
+      grown.a.push_back(cut);
+      grown.b.push_back(bound);
+      LpSolution base = SolveLp(lp);
+      benchmark::DoNotOptimize(base.objective);
+      benchmark::DoNotOptimize(SolveLp(grown).objective);
+    }
+  }
+}
+BENCHMARK(BM_LpAddConstraintResolve)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_RtreeBulkLoad(benchmark::State& state) {
   Rng rng(g_seed + 17);
@@ -265,6 +369,49 @@ BENCHMARK(BM_NodeEntryScores)
     ->Args({1, 4})
     ->Args({0, 6})
     ->Args({1, 6})
+    ->Unit(benchmark::kMillisecond);
+
+// The SoA kernel under each forced dispatch tier (Arg(0): 0=scalar,
+// 1=sse2, 2=avx2; clamped to what the CPU supports). Isolates what the
+// runtime dispatch layer buys in *this* build, no ISA flags needed.
+void BM_NodeEntryScoresTier(benchmark::State& state) {
+  const simd::Tier saved = simd::ActiveTier();
+  const simd::Tier tier =
+      simd::ForceTier(static_cast<simd::Tier>(state.range(0)));
+  const size_t d = state.range(1);
+  Rng rng(g_seed + 41);
+  Dataset data = GenerateIndependent(100000, d, rng);
+  DiskManager disk;
+  RTree tree = RTree::BulkLoad(&data, &disk);
+  FlatRTree flat = FlatRTree::Freeze(tree);
+  LinearScoring scoring(d);
+  Rng qrng(g_seed + 43);
+  Vec w(d);
+  for (size_t j = 0; j < d; ++j) w[j] = qrng.Uniform(0.05, 1.0);
+  size_t entries = 0;
+  for (size_t p = 0; p < flat.node_count(); ++p) {
+    entries += flat.PeekNode(static_cast<PageId>(p)).count();
+  }
+  ScoreBuffer buf;
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (size_t p = 0; p < flat.node_count(); ++p) {
+      ComputeEntryScores(scoring, data, flat.PeekNode(static_cast<PageId>(p)),
+                         w, &buf);
+      sink += buf.scores[0];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["ns/entry"] = benchmark::Counter(
+      static_cast<double>(entries) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(simd::TierName(tier));
+  simd::ForceTier(saved);
+}
+BENCHMARK(BM_NodeEntryScoresTier)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({2, 4})
     ->Unit(benchmark::kMillisecond);
 
 // Incremental skyline (the k-dominance hot loop): Arg(0)=0 replays the

@@ -1,0 +1,649 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+// x86 vector paths: SSE2 is part of the x86-64 baseline, AVX2 bodies
+// are compiled with a function-level target attribute so this
+// translation unit builds (and the binary runs) without -march flags.
+// Everything else falls back to the scalar loops.
+#if defined(__x86_64__) || defined(_M_X64)
+#define GIR_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GIR_SIMD_X86 0
+#endif
+
+#if GIR_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+#define GIR_SIMD_HAVE_AVX2_TARGET 1
+#define GIR_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define GIR_SIMD_HAVE_AVX2_TARGET 0
+#define GIR_TARGET_AVX2
+#endif
+
+namespace gir {
+namespace simd {
+
+namespace {
+
+Tier Detect() {
+#if GIR_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+  return Tier::kSse2;  // baseline for x86-64
+#elif GIR_SIMD_X86
+  return Tier::kSse2;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ClampToDetected(Tier t) {
+  return static_cast<int>(t) <= static_cast<int>(DetectedTier())
+             ? t
+             : DetectedTier();
+}
+
+Tier TierFromEnv() {
+  const char* env = std::getenv("GIR_SIMD");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+      std::strcmp(env, "") == 0) {
+    return DetectedTier();
+  }
+  if (std::strcmp(env, "scalar") == 0) return Tier::kScalar;
+  if (std::strcmp(env, "sse2") == 0) return ClampToDetected(Tier::kSse2);
+  if (std::strcmp(env, "avx2") == 0) return ClampToDetected(Tier::kAvx2);
+  return DetectedTier();  // unknown value: ignore
+}
+
+std::atomic<int>& ActiveTierStorage() {
+  static std::atomic<int> tier{static_cast<int>(TierFromEnv())};
+  return tier;
+}
+
+}  // namespace
+
+Tier DetectedTier() {
+  static const Tier detected = Detect();
+  return detected;
+}
+
+Tier ActiveTier() {
+  return static_cast<Tier>(
+      ActiveTierStorage().load(std::memory_order_relaxed));
+}
+
+Tier ForceTier(Tier t) {
+  Tier effective = ClampToDetected(t);
+  ActiveTierStorage().store(static_cast<int>(effective),
+                            std::memory_order_relaxed);
+  return effective;
+}
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+// ----- Axpy -----
+
+namespace {
+
+void AxpyScalar(double w, const double* x, double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += w * x[i];
+}
+
+#if GIR_SIMD_X86
+void AxpySse2(double w, const double* x, double* acc, size_t n) {
+  const __m128d vw = _mm_set1_pd(w);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128d a0 = _mm_loadu_pd(acc + i);
+    __m128d a1 = _mm_loadu_pd(acc + i + 2);
+    __m128d a2 = _mm_loadu_pd(acc + i + 4);
+    __m128d a3 = _mm_loadu_pd(acc + i + 6);
+    a0 = _mm_add_pd(a0, _mm_mul_pd(vw, _mm_loadu_pd(x + i)));
+    a1 = _mm_add_pd(a1, _mm_mul_pd(vw, _mm_loadu_pd(x + i + 2)));
+    a2 = _mm_add_pd(a2, _mm_mul_pd(vw, _mm_loadu_pd(x + i + 4)));
+    a3 = _mm_add_pd(a3, _mm_mul_pd(vw, _mm_loadu_pd(x + i + 6)));
+    _mm_storeu_pd(acc + i, a0);
+    _mm_storeu_pd(acc + i + 2, a1);
+    _mm_storeu_pd(acc + i + 4, a2);
+    _mm_storeu_pd(acc + i + 6, a3);
+  }
+  for (; i + 2 <= n; i += 2) {
+    __m128d a = _mm_loadu_pd(acc + i);
+    a = _mm_add_pd(a, _mm_mul_pd(vw, _mm_loadu_pd(x + i)));
+    _mm_storeu_pd(acc + i, a);
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void AxpyAvx2(double w, const double* x, double* acc,
+                              size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256d a0 = _mm256_loadu_pd(acc + i);
+    __m256d a1 = _mm256_loadu_pd(acc + i + 4);
+    __m256d a2 = _mm256_loadu_pd(acc + i + 8);
+    __m256d a3 = _mm256_loadu_pd(acc + i + 12);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(vw, _mm256_loadu_pd(x + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(vw, _mm256_loadu_pd(x + i + 4)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(vw, _mm256_loadu_pd(x + i + 8)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(vw, _mm256_loadu_pd(x + i + 12)));
+    _mm256_storeu_pd(acc + i, a0);
+    _mm256_storeu_pd(acc + i + 4, a1);
+    _mm256_storeu_pd(acc + i + 8, a2);
+    _mm256_storeu_pd(acc + i + 12, a3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d a = _mm256_loadu_pd(acc + i);
+    a = _mm256_add_pd(a, _mm256_mul_pd(vw, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(acc + i, a);
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+#endif
+
+}  // namespace
+
+void Axpy(double w, const double* x, double* acc, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      AxpyAvx2(w, x, acc, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      AxpySse2(w, x, acc, n);
+      return;
+#endif
+    default:
+      AxpyScalar(w, x, acc, n);
+      return;
+  }
+}
+
+// ----- Square -----
+
+namespace {
+
+void SquareScalar(const double* x, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * x[i];
+}
+
+#if GIR_SIMD_X86
+void SquareSse2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d v = _mm_loadu_pd(x + i);
+    _mm_storeu_pd(out + i, _mm_mul_pd(v, v));
+  }
+  for (; i < n; ++i) out[i] = x[i] * x[i];
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void SquareAvx2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(v, v));
+  }
+  for (; i < n; ++i) out[i] = x[i] * x[i];
+}
+#endif
+
+}  // namespace
+
+void Square(const double* x, double* out, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      SquareAvx2(x, out, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      SquareSse2(x, out, n);
+      return;
+#endif
+    default:
+      SquareScalar(x, out, n);
+      return;
+  }
+}
+
+// ----- Sqrt -----
+
+namespace {
+
+void SqrtScalar(const double* x, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::sqrt(x[i]);
+}
+
+#if GIR_SIMD_X86
+void SqrtSse2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_sqrt_pd(_mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = std::sqrt(x[i]);
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void SqrtAvx2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = std::sqrt(x[i]);
+}
+#endif
+
+}  // namespace
+
+void Sqrt(const double* x, double* out, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      SqrtAvx2(x, out, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      SqrtSse2(x, out, n);
+      return;
+#endif
+    default:
+      SqrtScalar(x, out, n);
+      return;
+  }
+}
+
+// ----- PowIter -----
+
+namespace {
+
+void PowIterScalar(const double* x, int e, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double r = x[i];
+    for (int t = 1; t < e; ++t) r *= x[i];
+    out[i] = r;
+  }
+}
+
+#if GIR_SIMD_X86
+void PowIterSse2(const double* x, int e, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d v = _mm_loadu_pd(x + i);
+    __m128d r = v;
+    for (int t = 1; t < e; ++t) r = _mm_mul_pd(r, v);
+    _mm_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) {
+    double r = x[i];
+    for (int t = 1; t < e; ++t) r *= x[i];
+    out[i] = r;
+  }
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void PowIterAvx2(const double* x, int e, double* out,
+                                 size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_loadu_pd(x + i);
+    __m256d r = v;
+    for (int t = 1; t < e; ++t) r = _mm256_mul_pd(r, v);
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) {
+    double r = x[i];
+    for (int t = 1; t < e; ++t) r *= x[i];
+    out[i] = r;
+  }
+}
+#endif
+
+}  // namespace
+
+void PowIter(const double* x, int e, double* out, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      PowIterAvx2(x, e, out, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      PowIterSse2(x, e, out, n);
+      return;
+#endif
+    default:
+      PowIterScalar(x, e, out, n);
+      return;
+  }
+}
+
+// ----- MaxDotPlane / MinDotPlane -----
+
+namespace {
+
+void MaxDotPlaneScalar(double w, const double* lo, const double* hi,
+                       double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += std::max(w * lo[i], w * hi[i]);
+}
+
+void MinDotPlaneScalar(double w, const double* lo, const double* hi,
+                       double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += std::min(w * lo[i], w * hi[i]);
+}
+
+#if GIR_SIMD_X86
+void MaxDotPlaneSse2(double w, const double* lo, const double* hi, double* acc,
+                     size_t n) {
+  const __m128d vw = _mm_set1_pd(w);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d a = _mm_mul_pd(vw, _mm_loadu_pd(lo + i));
+    __m128d b = _mm_mul_pd(vw, _mm_loadu_pd(hi + i));
+    __m128d acc_v = _mm_loadu_pd(acc + i);
+    _mm_storeu_pd(acc + i, _mm_add_pd(acc_v, _mm_max_pd(a, b)));
+  }
+  for (; i < n; ++i) acc[i] += std::max(w * lo[i], w * hi[i]);
+}
+
+void MinDotPlaneSse2(double w, const double* lo, const double* hi, double* acc,
+                     size_t n) {
+  const __m128d vw = _mm_set1_pd(w);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d a = _mm_mul_pd(vw, _mm_loadu_pd(lo + i));
+    __m128d b = _mm_mul_pd(vw, _mm_loadu_pd(hi + i));
+    __m128d acc_v = _mm_loadu_pd(acc + i);
+    _mm_storeu_pd(acc + i, _mm_add_pd(acc_v, _mm_min_pd(a, b)));
+  }
+  for (; i < n; ++i) acc[i] += std::min(w * lo[i], w * hi[i]);
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void MaxDotPlaneAvx2(double w, const double* lo,
+                                     const double* hi, double* acc, size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d a = _mm256_mul_pd(vw, _mm256_loadu_pd(lo + i));
+    __m256d b = _mm256_mul_pd(vw, _mm256_loadu_pd(hi + i));
+    __m256d acc_v = _mm256_loadu_pd(acc + i);
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(acc_v, _mm256_max_pd(a, b)));
+  }
+  for (; i < n; ++i) acc[i] += std::max(w * lo[i], w * hi[i]);
+}
+
+GIR_TARGET_AVX2 void MinDotPlaneAvx2(double w, const double* lo,
+                                     const double* hi, double* acc, size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d a = _mm256_mul_pd(vw, _mm256_loadu_pd(lo + i));
+    __m256d b = _mm256_mul_pd(vw, _mm256_loadu_pd(hi + i));
+    __m256d acc_v = _mm256_loadu_pd(acc + i);
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(acc_v, _mm256_min_pd(a, b)));
+  }
+  for (; i < n; ++i) acc[i] += std::min(w * lo[i], w * hi[i]);
+}
+#endif
+
+}  // namespace
+
+void MaxDotPlane(double w, const double* lo, const double* hi, double* acc,
+                 size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      MaxDotPlaneAvx2(w, lo, hi, acc, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      MaxDotPlaneSse2(w, lo, hi, acc, n);
+      return;
+#endif
+    default:
+      MaxDotPlaneScalar(w, lo, hi, acc, n);
+      return;
+  }
+}
+
+void MinDotPlane(double w, const double* lo, const double* hi, double* acc,
+                 size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      MinDotPlaneAvx2(w, lo, hi, acc, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      MinDotPlaneSse2(w, lo, hi, acc, n);
+      return;
+#endif
+    default:
+      MinDotPlaneScalar(w, lo, hi, acc, n);
+      return;
+  }
+}
+
+// ----- IntervalOverlapMask -----
+
+namespace {
+
+void OverlapScalar(const double* lo, const double* hi, double qlo, double qhi,
+                   uint8_t* mask, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(hi[i] >= qlo && lo[i] <= qhi);
+  }
+}
+
+#if GIR_SIMD_X86
+void OverlapSse2(const double* lo, const double* hi, double qlo, double qhi,
+                 uint8_t* mask, size_t n) {
+  const __m128d vlo = _mm_set1_pd(qlo);
+  const __m128d vhi = _mm_set1_pd(qhi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d ge = _mm_cmpge_pd(_mm_loadu_pd(hi + i), vlo);
+    __m128d le = _mm_cmple_pd(_mm_loadu_pd(lo + i), vhi);
+    int bits = _mm_movemask_pd(_mm_and_pd(ge, le));
+    mask[i] &= static_cast<uint8_t>(bits & 1);
+    mask[i + 1] &= static_cast<uint8_t>((bits >> 1) & 1);
+  }
+  for (; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(hi[i] >= qlo && lo[i] <= qhi);
+  }
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void OverlapAvx2(const double* lo, const double* hi,
+                                 double qlo, double qhi, uint8_t* mask,
+                                 size_t n) {
+  const __m256d vlo = _mm256_set1_pd(qlo);
+  const __m256d vhi = _mm256_set1_pd(qhi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d ge = _mm256_cmp_pd(_mm256_loadu_pd(hi + i), vlo, _CMP_GE_OQ);
+    __m256d le = _mm256_cmp_pd(_mm256_loadu_pd(lo + i), vhi, _CMP_LE_OQ);
+    int bits = _mm256_movemask_pd(_mm256_and_pd(ge, le));
+    mask[i] &= static_cast<uint8_t>(bits & 1);
+    mask[i + 1] &= static_cast<uint8_t>((bits >> 1) & 1);
+    mask[i + 2] &= static_cast<uint8_t>((bits >> 2) & 1);
+    mask[i + 3] &= static_cast<uint8_t>((bits >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    mask[i] &= static_cast<uint8_t>(hi[i] >= qlo && lo[i] <= qhi);
+  }
+}
+#endif
+
+}  // namespace
+
+void IntervalOverlapMask(const double* lo, const double* hi, double qlo,
+                         double qhi, uint8_t* mask, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      OverlapAvx2(lo, hi, qlo, qhi, mask, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      OverlapSse2(lo, hi, qlo, qhi, mask, n);
+      return;
+#endif
+    default:
+      OverlapScalar(lo, hi, qlo, qhi, mask, n);
+      return;
+  }
+}
+
+// ----- dominance -----
+
+namespace {
+
+bool DominatesScalar(const double* p, const double* q, size_t dim) {
+  bool all_ge = true;
+  bool any_gt = false;
+  for (size_t j = 0; j < dim; ++j) {
+    all_ge &= p[j] >= q[j];
+    any_gt |= p[j] > q[j];
+  }
+  return all_ge && any_gt;
+}
+
+#if GIR_SIMD_X86
+// Vectorized across dimensions: accumulate a "every dim >= " mask and
+// an "any dim >" mask over 2-wide chunks, scalar tail. Comparisons are
+// exact, so the verdict matches the scalar predicate on every input.
+bool DominatesSse2(const double* p, const double* q, size_t dim) {
+  size_t j = 0;
+  int ge_bits = 3;
+  int gt_bits = 0;
+  for (; j + 2 <= dim; j += 2) {
+    __m128d vp = _mm_loadu_pd(p + j);
+    __m128d vq = _mm_loadu_pd(q + j);
+    ge_bits &= _mm_movemask_pd(_mm_cmpge_pd(vp, vq));
+    gt_bits |= _mm_movemask_pd(_mm_cmpgt_pd(vp, vq));
+  }
+  bool all_ge = ge_bits == 3;
+  bool any_gt = gt_bits != 0;
+  for (; j < dim; ++j) {
+    all_ge &= p[j] >= q[j];
+    any_gt |= p[j] > q[j];
+  }
+  return all_ge && any_gt;
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 bool DominatesAvx2(const double* p, const double* q,
+                                   size_t dim) {
+  size_t j = 0;
+  int ge_bits = 0xF;
+  int gt_bits = 0;
+  for (; j + 4 <= dim; j += 4) {
+    __m256d vp = _mm256_loadu_pd(p + j);
+    __m256d vq = _mm256_loadu_pd(q + j);
+    ge_bits &= _mm256_movemask_pd(_mm256_cmp_pd(vp, vq, _CMP_GE_OQ));
+    gt_bits |= _mm256_movemask_pd(_mm256_cmp_pd(vp, vq, _CMP_GT_OQ));
+  }
+  bool all_ge = ge_bits == 0xF;
+  bool any_gt = gt_bits != 0;
+  for (; j < dim; ++j) {
+    all_ge &= p[j] >= q[j];
+    any_gt |= p[j] > q[j];
+  }
+  return all_ge && any_gt;
+}
+
+GIR_TARGET_AVX2 size_t FindDominatorAvx2(const double* rows, size_t count,
+                                         const double* p, size_t dim) {
+  for (size_t m = 0; m < count; ++m) {
+    if (DominatesAvx2(rows + m * dim, p, dim)) return m;
+  }
+  return count;
+}
+#endif
+
+size_t FindDominatorScalar(const double* rows, size_t count, const double* p,
+                           size_t dim) {
+  for (size_t m = 0; m < count; ++m) {
+    if (DominatesScalar(rows + m * dim, p, dim)) return m;
+  }
+  return count;
+}
+
+#if GIR_SIMD_X86
+size_t FindDominatorSse2(const double* rows, size_t count, const double* p,
+                         size_t dim) {
+  for (size_t m = 0; m < count; ++m) {
+    if (DominatesSse2(rows + m * dim, p, dim)) return m;
+  }
+  return count;
+}
+#endif
+
+}  // namespace
+
+bool DominatesRow(const double* p, const double* q, size_t dim) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      return DominatesAvx2(p, q, dim);
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      return DominatesSse2(p, q, dim);
+#endif
+    default:
+      return DominatesScalar(p, q, dim);
+  }
+}
+
+size_t FindDominatorInRows(const double* rows, size_t count, const double* p,
+                           size_t dim) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      return FindDominatorAvx2(rows, count, p, dim);
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      return FindDominatorSse2(rows, count, p, dim);
+#endif
+    default:
+      return FindDominatorScalar(rows, count, p, dim);
+  }
+}
+
+}  // namespace simd
+}  // namespace gir

@@ -1,0 +1,102 @@
+#ifndef GIR_COMMON_SIMD_H_
+#define GIR_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gir {
+namespace simd {
+
+// Runtime-dispatched SIMD kernels for the SoA hot loops (entry scoring,
+// dimension transforms, dominance scans, plane sweeps). The widest
+// instruction set the CPU supports is detected once at startup, so the
+// vector paths run in *default* Release builds — no -march=native
+// required — while the same binary stays runnable on baseline-ISA
+// machines via the scalar fallback.
+//
+// Bit-identity contract: every kernel is element-wise (each output lane
+// depends on exactly one input lane) and uses only operations that are
+// identical across tiers — IEEE +, *, max, correctly-rounded sqrt, and
+// exact comparisons. Vectorizing across lanes therefore reproduces the
+// scalar loop bit for bit, which is what lets the PR 2 flat-vs-mutable
+// equivalence property tests extend unchanged across dispatch tiers
+// (tests force each tier via ForceTier and assert bitwise equality).
+//
+// Dispatch override: the GIR_SIMD environment variable ("scalar",
+// "sse2", "avx2", "auto"; read once at startup) or ForceTier() pin the
+// tier, clamped to what the CPU supports.
+
+enum class Tier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+// Widest tier the running CPU supports (constant per process).
+Tier DetectedTier();
+
+// Tier the kernels currently dispatch to: DetectedTier() clamped by the
+// GIR_SIMD environment variable and any ForceTier() override.
+Tier ActiveTier();
+
+// Pins dispatch to `t` (clamped to DetectedTier(); requesting AVX2 on
+// an SSE2-only machine yields SSE2). Returns the tier actually in
+// effect. Intended for the bit-identity tests and tier-vs-tier
+// microbenchmarks; thread-safe but not meant to race hot loops.
+Tier ForceTier(Tier t);
+
+// "scalar" / "sse2" / "avx2".
+const char* TierName(Tier t);
+
+// ----- element-wise kernels (bit-identical across tiers) -----
+
+// acc[i] += w * x[i]. The fused accumulation step of every batched
+// score kernel: one call per dimension plane preserves the scalar
+// reference's per-dimension accumulation order.
+void Axpy(double w, const double* x, double* acc, size_t n);
+
+// out[i] = x[i] * x[i].
+void Square(const double* x, double* out, size_t n);
+
+// out[i] = sqrt(x[i]) (IEEE correctly rounded — identical to
+// std::sqrt on every tier).
+void Sqrt(const double* x, double* out, size_t n);
+
+// out[i] = x[i]^e by left-to-right repeated multiplication
+// (r = x; r *= x, e-1 times). The scalar reference for the Polynomial
+// scoring transform uses the same iteration, so all tiers agree
+// bitwise. Requires e >= 1.
+void PowIter(const double* x, int e, double* out, size_t n);
+
+// acc[i] += max(w * lo[i], w * hi[i]): one dimension plane of the
+// batched Mbb::MaxDot sweep (general-sign weights).
+void MaxDotPlane(double w, const double* lo, const double* hi, double* acc,
+                 size_t n);
+
+// acc[i] += min(w * lo[i], w * hi[i]): minimum-score counterpart.
+void MinDotPlane(double w, const double* lo, const double* hi, double* acc,
+                 size_t n);
+
+// mask[i] &= (hi[i] >= qlo) & (lo[i] <= qhi): one dimension plane of
+// the SoA interval-overlap sweep (FlatRTree::RangeQuery). mask bytes
+// are 0 or 1.
+void IntervalOverlapMask(const double* lo, const double* hi, double qlo,
+                         double qhi, uint8_t* mask, size_t n);
+
+// ----- dominance kernels (exact comparisons; identical verdicts) -----
+
+// True when p dominates q ("larger is better": p >= q in every
+// dimension, p > q in at least one). Same predicate as
+// skyline/dominance.h's Dominates(), vectorized across dimensions.
+bool DominatesRow(const double* p, const double* q, size_t dim);
+
+// Index of the first row of `rows` (row-major, `dim` doubles per row)
+// that dominates `p`, or `count` when none does. First-match semantics
+// preserved on every tier.
+size_t FindDominatorInRows(const double* rows, size_t count, const double* p,
+                           size_t dim);
+
+}  // namespace simd
+}  // namespace gir
+
+#endif  // GIR_COMMON_SIMD_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace gir {
@@ -9,155 +10,168 @@ namespace gir {
 namespace {
 
 constexpr double kPivotEps = 1e-11;
+constexpr double kRatioTieEps = 1e-15;
+constexpr double kDualFeasEps = 1e-11;
 
-// Dense tableau for the standard-form program
-//   maximize c'·y  s.t.  T y = rhs, y >= 0
-// produced from the caller's free-variable <= form by variable splitting
-// (x = u - v) and slack insertion.
-class Tableau {
- public:
-  Tableau(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0) {}
+}  // namespace
 
-  double& At(size_t r, size_t c) { return data_[r * (cols_ + 1) + c]; }
-  double& Rhs(size_t r) { return data_[r * (cols_ + 1) + cols_]; }
-
-  // Pivot on (row, col): make column `col` the basic column of `row`.
-  void Pivot(size_t row, size_t col) {
-    double p = At(row, col);
-    assert(std::fabs(p) > 0);
-    for (size_t c = 0; c <= cols_; ++c) data_[row * (cols_ + 1) + c] /= p;
-    for (size_t r = 0; r < rows_; ++r) {
-      if (r == row) continue;
-      double f = At(r, col);
-      if (f == 0.0) continue;
-      for (size_t c = 0; c <= cols_; ++c) {
-        data_[r * (cols_ + 1) + c] -= f * data_[row * (cols_ + 1) + c];
-      }
-    }
+// Pivot on (row, col): make column `col` the basic column of `row`.
+void LpWorkspace::Pivot(size_t row, size_t col) {
+  const size_t stride = cols_ + 1;
+  double p = At(row, col);
+  assert(std::fabs(p) > 0);
+  double* prow = data_.data() + row * stride;
+  for (size_t c = 0; c < stride; ++c) prow[c] /= p;
+  for (size_t r = 0; r < m_; ++r) {
+    if (r == row) continue;
+    double f = At(r, col);
+    if (f == 0.0) continue;
+    double* rrow = data_.data() + r * stride;
+    for (size_t c = 0; c < stride; ++c) rrow[c] -= f * prow[c];
   }
+}
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-
- private:
-  size_t rows_;
-  size_t cols_;
-  std::vector<double> data_;
-};
-
-// Runs simplex iterations on `t` maximizing the objective in
-// `objective` (reduced-cost row maintained by the caller as row-vector
-// `z`), with Bland's rule. Returns kOptimal/kUnbounded/kIterationLimit.
-// `basis[r]` tracks the basic column of each row.
-LpStatus RunSimplex(Tableau& t, std::vector<double>& z, double& z_rhs,
-                    std::vector<size_t>& basis, int max_iterations,
-                    size_t usable_cols) {
+// Primal simplex on the current tableau maximizing the objective whose
+// reduced-cost row is z_ (maintained here), with Bland's rule. Columns
+// >= usable_cols (the artificial block) never enter.
+LpStatus LpWorkspace::RunPrimal(int max_iterations, size_t usable_cols) {
   for (int iter = 0; iter < max_iterations; ++iter) {
     // Bland: entering column = smallest index with positive reduced cost.
     size_t enter = usable_cols;
     for (size_t c = 0; c < usable_cols; ++c) {
-      if (z[c] > kPivotEps) {
+      if (z_[c] > kPivotEps) {
         enter = c;
         break;
       }
     }
     if (enter == usable_cols) return LpStatus::kOptimal;
     // Ratio test; Bland ties broken by smallest basic column index.
-    size_t leave = t.rows();
+    size_t leave = m_;
     double best_ratio = std::numeric_limits<double>::infinity();
-    for (size_t r = 0; r < t.rows(); ++r) {
-      double a = t.At(r, enter);
+    for (size_t r = 0; r < m_; ++r) {
+      double a = At(r, enter);
       if (a > kPivotEps) {
-        double ratio = t.Rhs(r) / a;
-        if (ratio < best_ratio - 1e-15 ||
-            (std::fabs(ratio - best_ratio) <= 1e-15 &&
-             (leave == t.rows() || basis[r] < basis[leave]))) {
+        double ratio = Rhs(r) / a;
+        if (ratio < best_ratio - kRatioTieEps ||
+            (std::fabs(ratio - best_ratio) <= kRatioTieEps &&
+             (leave == m_ || basis_[r] < basis_[leave]))) {
           best_ratio = ratio;
           leave = r;
         }
       }
     }
-    if (leave == t.rows()) return LpStatus::kUnbounded;
-    t.Pivot(leave, enter);
+    if (leave == m_) return LpStatus::kUnbounded;
+    Pivot(leave, enter);
     // Update the reduced-cost row.
-    double f = z[enter];
-    for (size_t c = 0; c < z.size(); ++c) z[c] -= f * t.At(leave, c);
-    z_rhs -= f * t.Rhs(leave);
-    basis[leave] = enter;
+    double f = z_[enter];
+    for (size_t c = 0; c < z_.size(); ++c) z_[c] -= f * At(leave, c);
+    z_rhs_ -= f * Rhs(leave);
+    basis_[leave] = enter;
   }
   return LpStatus::kIterationLimit;
 }
 
-}  // namespace
+// Dual simplex from a dual-feasible (z_ <= ~0) basis: restores primal
+// feasibility after AddConstraint introduced a negative rhs. Bland-style
+// selection on both the leaving row and the entering column.
+LpStatus LpWorkspace::RunDual(int max_iterations, size_t usable_cols) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    size_t leave = m_;
+    for (size_t r = 0; r < m_; ++r) {
+      if (Rhs(r) < -kDualFeasEps) {
+        leave = r;
+        break;
+      }
+    }
+    if (leave == m_) return LpStatus::kOptimal;
+    size_t enter = usable_cols;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < usable_cols; ++c) {
+      double a = At(leave, c);
+      if (a < -kPivotEps) {
+        double ratio = z_[c] / a;  // z_ <= ~0, a < 0  =>  ratio >= ~0
+        if (ratio < best_ratio - kRatioTieEps ||
+            (std::fabs(ratio - best_ratio) <= kRatioTieEps &&
+             c < enter)) {
+          best_ratio = ratio;
+          enter = c;
+        }
+      }
+    }
+    if (enter == usable_cols) return LpStatus::kInfeasible;
+    Pivot(leave, enter);
+    double f = z_[enter];
+    for (size_t c = 0; c < z_.size(); ++c) z_[c] -= f * At(leave, c);
+    z_rhs_ -= f * Rhs(leave);
+    basis_[leave] = enter;
+  }
+  return LpStatus::kIterationLimit;
+}
 
-LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
-  const size_t m = problem.a.size();
-  const size_t n = problem.c.size();
-  LpSolution out;
+LpStatus LpWorkspace::Prepare(const double* a, const double* b, size_t m,
+                              size_t n, int max_iterations) {
+  m_ = m;
+  n_ = n;
+  feasible_ = false;
+  optimal_ = false;
 
-  // Columns: u (n), v (n), slack (m), artificial (m at most).
+  // Columns: u (n), v (n), slack (m), artificial (m at most, last).
   // Row i:  a_i·u - a_i·v + s_i = b_i  (row negated when b_i < 0, which
   // turns s_i's coefficient to -1 and requires an artificial).
-  std::vector<bool> negated(m, false);
-  size_t num_art = 0;
+  GrowTo(&negated_, m);
+  num_art_ = 0;
   for (size_t i = 0; i < m; ++i) {
-    if (problem.b[i] < 0) {
-      negated[i] = true;
-      ++num_art;
-    }
+    negated_[i] = b[i] < 0 ? 1 : 0;
+    num_art_ += negated_[i];
   }
-  const size_t cols = 2 * n + m + num_art;
-  Tableau t(m, cols);
-  std::vector<size_t> basis(m);
+  cols_ = 2 * n + m + num_art_;
+  const size_t stride = cols_ + 1;
+  GrowTo(&data_, m * stride);
+  std::fill(data_.begin(), data_.begin() + m * stride, 0.0);
+  GrowTo(&basis_, m);
   size_t art_next = 2 * n + m;
   for (size_t i = 0; i < m; ++i) {
-    double sign = negated[i] ? -1.0 : 1.0;
+    double sign = negated_[i] ? -1.0 : 1.0;
+    const double* row = a + i * n;
     for (size_t j = 0; j < n; ++j) {
-      t.At(i, j) = sign * problem.a[i][j];
-      t.At(i, n + j) = -sign * problem.a[i][j];
+      At(i, j) = sign * row[j];
+      At(i, n + j) = -sign * row[j];
     }
-    t.At(i, 2 * n + i) = sign;  // slack
-    t.Rhs(i) = sign * problem.b[i];
-    if (negated[i]) {
-      t.At(i, art_next) = 1.0;
-      basis[i] = art_next;
+    At(i, 2 * n + i) = sign;  // slack
+    Rhs(i) = sign * b[i];
+    if (negated_[i]) {
+      At(i, art_next) = 1.0;
+      basis_[i] = art_next;
       ++art_next;
     } else {
-      basis[i] = 2 * n + i;
+      basis_[i] = 2 * n + i;
     }
   }
 
   // Phase 1: maximize -(sum of artificials). Reduced costs start as the
   // sum of the artificial rows (since artificials are basic).
-  if (num_art > 0) {
-    std::vector<double> z(cols, 0.0);
-    double z_rhs = 0.0;
+  if (num_art_ > 0) {
+    GrowTo(&z_, cols_);
+    std::fill(z_.begin(), z_.end(), 0.0);
+    z_rhs_ = 0.0;
     for (size_t i = 0; i < m; ++i) {
-      if (basis[i] >= 2 * n + m) {
-        for (size_t c = 0; c < cols; ++c) z[c] += t.At(i, c);
-        z_rhs += t.Rhs(i);
+      if (basis_[i] >= 2 * n + m) {
+        for (size_t c = 0; c < cols_; ++c) z_[c] += At(i, c);
+        z_rhs_ += Rhs(i);
       }
     }
     // Artificial columns must not re-enter.
-    for (size_t c = 2 * n + m; c < cols; ++c) z[c] = 0.0;
-    LpStatus s =
-        RunSimplex(t, z, z_rhs, basis, max_iterations, 2 * n + m);
-    if (s == LpStatus::kIterationLimit) {
-      out.status = s;
-      return out;
-    }
-    if (z_rhs > 1e-7) {
-      out.status = LpStatus::kInfeasible;
-      return out;
-    }
+    for (size_t c = 2 * n + m; c < cols_; ++c) z_[c] = 0.0;
+    LpStatus s = RunPrimal(max_iterations, 2 * n + m);
+    if (s == LpStatus::kIterationLimit) return s;
+    if (z_rhs_ > 1e-7) return LpStatus::kInfeasible;
     // Drive any degenerate artificial out of the basis if possible.
     for (size_t r = 0; r < m; ++r) {
-      if (basis[r] >= 2 * n + m) {
+      if (basis_[r] >= 2 * n + m) {
         for (size_t c = 0; c < 2 * n + m; ++c) {
-          if (std::fabs(t.At(r, c)) > kPivotEps) {
-            t.Pivot(r, c);
-            basis[r] = c;
+          if (std::fabs(At(r, c)) > kPivotEps) {
+            Pivot(r, c);
+            basis_[r] = c;
             break;
           }
         }
@@ -166,41 +180,178 @@ LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
       }
     }
   }
+  feasible_ = true;
+  return LpStatus::kOptimal;
+}
 
-  // Phase 2: maximize c·x = c·u - c·v. Build reduced costs relative to
-  // the current basis: z = c_col - c_B * B^{-1} A (computed by
-  // eliminating basic columns).
-  std::vector<double> z(cols, 0.0);
-  for (size_t j = 0; j < n; ++j) {
-    z[j] = problem.c[j];
-    z[n + j] = -problem.c[j];
+// Reduced costs of objective `c` relative to the current basis:
+// z = c_col - c_B * B^{-1} A (computed by eliminating basic columns).
+void LpWorkspace::BuildReducedCosts(const double* c) {
+  GrowTo(&z_, cols_);
+  std::fill(z_.begin(), z_.end(), 0.0);
+  for (size_t j = 0; j < n_; ++j) {
+    z_[j] = c[j];
+    z_[n_ + j] = -c[j];
   }
-  double z_rhs = 0.0;
-  for (size_t r = 0; r < m; ++r) {
-    size_t bcol = basis[r];
-    double f = z[bcol];
+  z_rhs_ = 0.0;
+  for (size_t r = 0; r < m_; ++r) {
+    size_t bcol = basis_[r];
+    double f = z_[bcol];
     if (f == 0.0) continue;
-    for (size_t c = 0; c < cols; ++c) z[c] -= f * t.At(r, c);
-    z_rhs -= f * t.Rhs(r);
+    for (size_t col = 0; col < cols_; ++col) z_[col] -= f * At(r, col);
+    z_rhs_ -= f * Rhs(r);
   }
-  for (size_t c = 2 * n + m; c < cols; ++c) z[c] = -1.0;  // keep art out
-  LpStatus s = RunSimplex(t, z, z_rhs, basis, max_iterations, 2 * n + m);
-  out.status = s;
-  if (s != LpStatus::kOptimal) return out;
+  for (size_t col = 2 * n_ + m_; col < cols_; ++col) z_[col] = -1.0;
+}
 
-  Vec u(n, 0.0);
-  Vec v(n, 0.0);
-  for (size_t r = 0; r < m; ++r) {
-    if (basis[r] < n) {
-      u[basis[r]] = t.Rhs(r);
-    } else if (basis[r] < 2 * n) {
-      v[basis[r] - n] = t.Rhs(r);
+void LpWorkspace::ExtractSolution(const double* c) {
+  // Split-variable recombination, kept identical to the historical
+  // allocating solver (u and v materialized, then subtracted).
+  static thread_local Vec u, v;
+  u.assign(n_, 0.0);
+  v.assign(n_, 0.0);
+  for (size_t r = 0; r < m_; ++r) {
+    if (basis_[r] < n_) {
+      u[basis_[r]] = Rhs(r);
+    } else if (basis_[r] < 2 * n_) {
+      v[basis_[r] - n_] = Rhs(r);
     }
   }
-  out.x.resize(n);
-  for (size_t j = 0; j < n; ++j) out.x[j] = u[j] - v[j];
-  out.objective = Dot(problem.c, out.x);
+  GrowTo(&x_, n_);
+  for (size_t j = 0; j < n_; ++j) x_[j] = u[j] - v[j];
+  objective_ = Dot(VecView(c, n_), x_);
+}
+
+LpStatus LpWorkspace::Maximize(const double* c, int max_iterations) {
+  if (!feasible_) return LpStatus::kInfeasible;
+  optimal_ = false;
+  GrowTo(&c_, n_);
+  if (c_.data() != c) std::memcpy(c_.data(), c, n_ * sizeof(double));
+  BuildReducedCosts(c_.data());
+  LpStatus s = RunPrimal(max_iterations, 2 * n_ + m_);
+  if (s != LpStatus::kOptimal) return s;
+  ExtractSolution(c_.data());
+  optimal_ = true;
+  return s;
+}
+
+LpStatus LpWorkspace::AddConstraint(const double* a_row, double b_new,
+                                    int max_iterations) {
+  if (!feasible_ || !optimal_) return LpStatus::kIterationLimit;
+  optimal_ = false;
+
+  // Re-layout: one more row, and one more column — the new slack —
+  // inserted at index 2n+m (before the artificial block, so entering
+  // candidates stay a prefix). Rows move back to front so the wider
+  // stride never overwrites unread data.
+  const size_t old_m = m_;
+  const size_t old_cols = cols_;
+  const size_t old_stride = old_cols + 1;
+  const size_t slack_insert = 2 * n_ + old_m;
+  const size_t new_cols = old_cols + 1;
+  const size_t new_stride = new_cols + 1;
+  GrowTo(&data_, (old_m + 1) * new_stride);
+  for (size_t r = old_m; r-- > 0;) {
+    const double* src = data_.data() + r * old_stride;
+    double* dst = data_.data() + r * new_stride;
+    dst[new_cols] = src[old_cols];  // rhs
+    for (size_t c = old_cols; c-- > slack_insert;) dst[c + 1] = src[c];
+    dst[slack_insert] = 0.0;
+    if (dst != src) {
+      std::memmove(dst, src, slack_insert * sizeof(double));
+    }
+  }
+  GrowTo(&z_, new_cols);
+  std::memmove(z_.data() + slack_insert + 1, z_.data() + slack_insert,
+               (old_cols - slack_insert) * sizeof(double));
+  z_[slack_insert] = 0.0;
+  GrowTo(&basis_, old_m + 1);
+  for (size_t r = 0; r < old_m; ++r) {
+    if (basis_[r] >= slack_insert) ++basis_[r];
+  }
+  m_ = old_m + 1;
+  cols_ = new_cols;
+
+  // New row in original variables: a·u - a·v + s_new = b, then reduced
+  // against the current basis (eliminate every basic column).
+  double* row = data_.data() + old_m * new_stride;
+  std::fill(row, row + new_stride, 0.0);
+  for (size_t j = 0; j < n_; ++j) {
+    row[j] = a_row[j];
+    row[n_ + j] = -a_row[j];
+  }
+  row[slack_insert] = 1.0;
+  row[new_cols] = b_new;
+  for (size_t r = 0; r < old_m; ++r) {
+    double f = row[basis_[r]];
+    if (f == 0.0) continue;
+    const double* brow = data_.data() + r * new_stride;
+    for (size_t c = 0; c < new_stride; ++c) row[c] -= f * brow[c];
+  }
+  basis_[old_m] = slack_insert;
+
+  // A non-negative reduced rhs means the old optimum survives the cut:
+  // basis unchanged, objective unchanged, no pivots.
+  if (Rhs(old_m) >= 0.0) {
+    optimal_ = true;
+    return LpStatus::kOptimal;
+  }
+  LpStatus s = RunDual(max_iterations, 2 * n_ + m_);
+  if (s != LpStatus::kOptimal) {
+    // The tableau is primal-infeasible (the cut emptied the region, or
+    // the dual pass ran out of iterations); a later Maximize must not
+    // run primal simplex from it and report a bogus optimum.
+    feasible_ = false;
+    return s;
+  }
+  ExtractSolution(c_.data());
+  optimal_ = true;
+  return s;
+}
+
+LpSolution SolveLpWith(LpWorkspace* workspace, const LpProblem& problem,
+                       int max_iterations) {
+  const size_t m = problem.a.size();
+  const size_t n = problem.c.size();
+  LpSolution out;
+  workspace->GrowTo(&workspace->a_scratch_, m * n);
+  for (size_t i = 0; i < m; ++i) {
+    std::memcpy(workspace->a_scratch_.data() + i * n, problem.a[i].data(),
+                n * sizeof(double));
+  }
+  LpStatus s = workspace->Prepare(workspace->a_scratch_.data(),
+                                  problem.b.data(), m, n, max_iterations);
+  if (s != LpStatus::kOptimal) {
+    out.status = s;
+    return out;
+  }
+  s = workspace->Maximize(problem.c.data(), max_iterations);
+  out.status = s;
+  if (s != LpStatus::kOptimal) return out;
+  out.x = workspace->x();
+  out.objective = workspace->objective();
   return out;
+}
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
+  static thread_local LpWorkspace workspace;
+  return SolveLpWith(&workspace, problem, max_iterations);
+}
+
+void SolveLpBatch(const double* a, const double* b, size_t m, size_t n,
+                  const double* objectives, size_t count,
+                  LpWorkspace* workspace, LpBatchItem* out,
+                  int max_iterations) {
+  LpStatus s = workspace->Prepare(a, b, m, n, max_iterations);
+  if (s != LpStatus::kOptimal) {
+    for (size_t t = 0; t < count; ++t) out[t] = LpBatchItem{s, 0.0};
+    return;
+  }
+  for (size_t t = 0; t < count; ++t) {
+    LpStatus ms = workspace->Maximize(objectives + t * n, max_iterations);
+    out[t].status = ms;
+    out[t].objective = ms == LpStatus::kOptimal ? workspace->objective() : 0.0;
+  }
 }
 
 Result<ChebyshevResult> ChebyshevCenter(const std::vector<Halfspace>& ge,

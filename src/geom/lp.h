@@ -1,6 +1,7 @@
 #ifndef GIR_GEOM_LP_H_
 #define GIR_GEOM_LP_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -36,7 +37,138 @@ struct LpProblem {
   Vec c;
 };
 
-LpSolution SolveLp(const LpProblem& problem, int max_iterations = 20000);
+inline constexpr int kDefaultLpIterations = 20000;
+
+// Reusable solver state: the dense tableau, basis, reduced-cost row and
+// solution buffers, recycled across solves so the steady state performs
+// zero heap allocation (buffers only grow to the high-water shape —
+// grow_events() counts exactly those growths). Beyond memory recycling
+// the workspace retains the final simplex basis, which is what the
+// warm-start entry points re-solve from:
+//
+//   Prepare(a, b, m, n)   build the tableau for {a·x <= b} and find a
+//                         feasible basis (phase 1 runs only when some
+//                         b < 0). The per-solve analogue of phase 1 +
+//                         tableau construction, paid once per system.
+//   Maximize(c)           maximize c·x from the current basis — after
+//                         Prepare this is the classic phase 2; after a
+//                         previous Maximize it is an objective-change
+//                         re-solve that starts at the old optimum (few
+//                         pivots when optima are near, no rebuild).
+//   AddConstraint(a, b)   append one constraint to the prepared system
+//                         and restore optimality by dual simplex from
+//                         the current basis (requires a prior
+//                         successful Maximize). The constraint-change
+//                         re-solve: a cut that leaves the old optimum
+//                         feasible costs one row reduction, no pivots.
+//
+// The first Maximize after Prepare reproduces SolveLp bit for bit
+// (same column layout, same Bland pivoting); later warm re-solves may
+// take a different pivot path to the same optimum, so objectives agree
+// up to roundoff, not bitwise.
+//
+// Not thread-safe; use one workspace per thread.
+class LpWorkspace {
+ public:
+  // Builds the standard-form tableau for the m×n system a·x <= b
+  // (row-major a, stride n) and pivots to a feasible basis. kOptimal
+  // means a feasible basis is ready for Maximize.
+  LpStatus Prepare(const double* a, const double* b, size_t m, size_t n,
+                   int max_iterations = kDefaultLpIterations);
+
+  // maximize c·x (c has n entries) over the prepared system, starting
+  // from the basis left by the previous Prepare/Maximize/AddConstraint.
+  // On kOptimal, objective() and x() hold the optimum. On kUnbounded or
+  // kIterationLimit the basis stays feasible, so another Maximize (or
+  // AddConstraint) may follow.
+  LpStatus Maximize(const double* c,
+                    int max_iterations = kDefaultLpIterations);
+
+  // Appends the constraint a_row·x <= b_new (a_row has n entries) and
+  // re-solves the *current* objective by dual simplex from the current
+  // basis. Precondition: the last Maximize on this workspace returned
+  // kOptimal. kInfeasible means the new constraint empties the region.
+  LpStatus AddConstraint(const double* a_row, double b_new,
+                         int max_iterations = kDefaultLpIterations);
+
+  double objective() const { return objective_; }
+  const Vec& x() const { return x_; }
+  size_t num_constraints() const { return m_; }
+  size_t num_vars() const { return n_; }
+
+  // Number of internal buffer growths since construction. Constant
+  // across solves of already-seen shapes — the hook the zero-allocation
+  // steady-state tests assert on.
+  uint64_t grow_events() const { return grow_events_; }
+
+ private:
+  friend LpSolution SolveLpWith(LpWorkspace* workspace,
+                                const LpProblem& problem, int max_iterations);
+
+  double& At(size_t r, size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double& Rhs(size_t r) { return data_[r * (cols_ + 1) + cols_]; }
+  void Pivot(size_t row, size_t col);
+  LpStatus RunPrimal(int max_iterations, size_t usable_cols);
+  LpStatus RunDual(int max_iterations, size_t usable_cols);
+  void BuildReducedCosts(const double* c);
+  void ExtractSolution(const double* c);
+  template <typename T>
+  void GrowTo(std::vector<T>* v, size_t size) {
+    if (v->capacity() < size) ++grow_events_;
+    v->resize(size);
+  }
+
+  // Tableau: m_ rows × (cols_ + 1) doubles (last column = rhs).
+  // Columns: u (n_), v (n_), slack (m_), artificial (num_art_, always
+  // last so the entering-candidate range stays a prefix).
+  std::vector<double> data_;
+  std::vector<double> z_;       // reduced-cost row of the last objective
+  std::vector<size_t> basis_;   // basic column of each row
+  std::vector<uint8_t> negated_;
+  std::vector<double> c_;       // last objective (for AddConstraint)
+  Vec x_;
+  double z_rhs_ = 0.0;
+  double objective_ = 0.0;
+  size_t m_ = 0;
+  size_t n_ = 0;
+  size_t cols_ = 0;
+  size_t num_art_ = 0;
+  bool feasible_ = false;       // Prepare succeeded
+  bool optimal_ = false;        // last Maximize/AddConstraint hit kOptimal
+  uint64_t grow_events_ = 0;
+
+  // Scratch for the SolveLp/SolveLpWith compatibility front-ends.
+  std::vector<double> a_scratch_;
+};
+
+// Solves via an internal thread-local workspace: same results as the
+// historical allocating implementation, bit for bit, but the tableau
+// memory is recycled across calls.
+LpSolution SolveLp(const LpProblem& problem,
+                   int max_iterations = kDefaultLpIterations);
+
+// Same, on a caller-owned workspace (one Prepare + one Maximize).
+LpSolution SolveLpWith(LpWorkspace* workspace, const LpProblem& problem,
+                       int max_iterations = kDefaultLpIterations);
+
+// One LP of a batch solve: status and optimal objective value (the
+// batch entry points never need the optimizer x itself).
+struct LpBatchItem {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+};
+
+// Solves max c_t·x s.t. a·x <= b for every objective c_t (count rows of
+// n doubles each, row-major). The tableau is built and made feasible
+// once; each objective then warm-starts phase 2 from the previous
+// optimal basis. This is what amortizes the per-(entry, insert)
+// AdmitsGain LPs of cache invalidation: one Prepare per cached region,
+// one warm Maximize per inserted record. Infeasible systems mark every
+// item kInfeasible. `out` must hold `count` items.
+void SolveLpBatch(const double* a, const double* b, size_t m, size_t n,
+                  const double* objectives, size_t count,
+                  LpWorkspace* workspace, LpBatchItem* out,
+                  int max_iterations = kDefaultLpIterations);
 
 // Largest ball inside the intersection of half-spaces `normal·x >= offset`
 // plus the bounding box [lo, hi]^d. Returns (center, radius); radius <= 0

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/simd.h"
 #include "gir/phase1.h"
 
 namespace gir {
@@ -24,10 +25,10 @@ Result<GirRegion> ComputeGirBruteForce(const Dataset& data,
     const double* column = data.Column(j);
     const double wj = weights[j];
     if (scoring.IsIdentityTransform()) {
-      for (size_t i = 0; i < n; ++i) scores[i] += wj * column[i];
+      simd::Axpy(wj, column, scores.data(), n);
     } else {
       scoring.TransformDimBatch(j, column, n, transformed.data());
-      for (size_t i = 0; i < n; ++i) scores[i] += wj * transformed[i];
+      simd::Axpy(wj, transformed.data(), scores.data(), n);
     }
   }
   std::vector<RecordId> ids(n);

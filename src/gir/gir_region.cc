@@ -64,41 +64,93 @@ GirRegion::RaySpan GirRegion::ClipRay(VecView x, VecView dir) const {
   return RaySpan{t_min, t_max};
 }
 
-bool GirRegion::AdmitsGain(VecView gain, double eps) const {
-  // Fast paths that skip the simplex solve. The region's own query
-  // vector is feasible by construction, so a positive advantage there
-  // settles the test immediately; a gain with no positive component
-  // can never attain a positive dot product over the non-negative cube.
-  if (Dot(gain, query_) > eps) return true;
-  bool any_positive = false;
-  for (double g : gain) {
-    if (g > 0.0) {
-      any_positive = true;
-      break;
-    }
-  }
-  if (!any_positive) return false;
+namespace {
 
-  LpProblem lp;
-  lp.c = Vec(gain.begin(), gain.end());
-  lp.a.reserve(constraints_.size() + 2 * dim_);
-  for (const GirConstraint& c : constraints_) {
-    // normal·x >= 0  →  -normal·x <= 0.
-    lp.a.push_back(Scale(c.normal, -1.0));
-    lp.b.push_back(0.0);
+// Dense rows of the AdmitsGain LP: the region's constraints as
+// `-normal·x <= 0`, then the cube rows `x_j <= 1`, `-x_j <= 0` — the
+// exact row order the historical per-call solver used, so pivoting (and
+// the verdicts) are unchanged. Assembled into reusable buffers.
+void AssembleGainLp(const std::vector<GirConstraint>& constraints, size_t dim,
+                    std::vector<double>* a, std::vector<double>* b) {
+  const size_t m = constraints.size() + 2 * dim;
+  a->resize(m * dim);
+  b->resize(m);
+  std::fill(a->begin(), a->end(), 0.0);
+  double* ap = a->data();
+  size_t i = 0;
+  for (const GirConstraint& c : constraints) {
+    for (size_t j = 0; j < dim; ++j) ap[i * dim + j] = -1.0 * c.normal[j];
+    (*b)[i] = 0.0;
+    ++i;
   }
-  for (size_t j = 0; j < dim_; ++j) {
-    Vec row(dim_, 0.0);
-    row[j] = 1.0;  // x_j <= 1
-    lp.a.push_back(row);
-    lp.b.push_back(1.0);
-    row[j] = -1.0;  // -x_j <= 0
-    lp.a.push_back(std::move(row));
-    lp.b.push_back(0.0);
+  for (size_t j = 0; j < dim; ++j) {
+    ap[i * dim + j] = 1.0;  // x_j <= 1
+    (*b)[i] = 1.0;
+    ++i;
+    ap[i * dim + j] = -1.0;  // -x_j <= 0
+    (*b)[i] = 0.0;
+    ++i;
   }
-  LpSolution sol = SolveLp(lp);
-  if (sol.status != LpStatus::kOptimal) return true;
-  return sol.objective > eps;
+}
+
+// Fast paths that skip the simplex solve. The region's own query
+// vector is feasible by construction, so a positive advantage there
+// settles the test immediately; a gain with no positive component can
+// never attain a positive dot product over the non-negative cube.
+// 1 = admitted, 0 = rejected, -1 = needs the LP.
+int GainFastPath(VecView gain, VecView query, double eps) {
+  if (Dot(gain, query) > eps) return 1;
+  for (double g : gain) {
+    if (g > 0.0) return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool GirRegion::AdmitsGain(VecView gain, double eps) const {
+  int fast = GainFastPath(gain, query_, eps);
+  if (fast >= 0) return fast != 0;
+
+  static thread_local std::vector<double> a;
+  static thread_local std::vector<double> b;
+  static thread_local LpWorkspace ws;
+  AssembleGainLp(constraints_, dim_, &a, &b);
+  LpBatchItem item;
+  SolveLpBatch(a.data(), b.data(), b.size(), dim_, gain.data(), 1, &ws,
+               &item);
+  // Solver failures return true (conservative: callers treat "pierced"
+  // as "recompute").
+  if (item.status != LpStatus::kOptimal) return true;
+  return item.objective > eps;
+}
+
+size_t GirRegion::FirstAdmittedGain(const double* gains, size_t count,
+                                    LpWorkspace* ws, double eps) const {
+  static thread_local std::vector<double> a;
+  static thread_local std::vector<double> b;
+  bool prepared = false;
+  bool prepare_failed = false;
+  for (size_t t = 0; t < count; ++t) {
+    VecView gain(gains + t * dim_, dim_);
+    int fast = GainFastPath(gain, query_, eps);
+    if (fast == 1) return t;
+    if (fast == 0) continue;
+    if (!prepared) {
+      AssembleGainLp(constraints_, dim_, &a, &b);
+      prepare_failed =
+          ws->Prepare(a.data(), b.data(), b.size(), dim_) !=
+          LpStatus::kOptimal;
+      prepared = true;
+    }
+    // The origin is always feasible, so Prepare can only fail by
+    // iteration limit — conservatively admitted, like AdmitsGain.
+    if (prepare_failed) return t;
+    LpStatus s = ws->Maximize(gain.data());
+    if (s != LpStatus::kOptimal) return t;  // conservative
+    if (ws->objective() > eps) return t;
+  }
+  return count;
 }
 
 std::vector<Halfspace> GirRegion::AsHalfspaces() const {

@@ -9,6 +9,7 @@
 #include "dataset/dataset.h"
 #include "geom/halfspace_intersection.h"
 #include "geom/hyperplane.h"
+#include "geom/lp.h"
 #include "geom/polytope.h"
 
 namespace gir {
@@ -115,6 +116,19 @@ class GirRegion {
   // the test is for a *strictly* positive advantage. Solver failures
   // return true (conservative: callers treat "pierced" as "recompute").
   bool AdmitsGain(VecView gain, double eps = 1e-9) const;
+
+  // Batched piercing test over `count` gain vectors (row-major, dim()
+  // doubles per row): the index of the first gain the region admits, or
+  // `count` when none does. Decision-equivalent to calling AdmitsGain
+  // on each row in order and stopping at the first true — same fast
+  // paths, same LP per remaining row — but the tableau for
+  // region ∩ cube is assembled and made feasible once, and every LP
+  // after the first warm-starts from the previous optimal basis held in
+  // `ws` (caller-owned, reused across regions; see SolveLpBatch). This
+  // is the shared-setup path InvalidateForUpdates amortizes its
+  // per-(entry, insert) LPs through.
+  size_t FirstAdmittedGain(const double* gains, size_t count, LpWorkspace* ws,
+                           double eps = 1e-9) const;
 
   // Constraint views for the geometry helpers.
   std::vector<Halfspace> AsHalfspaces() const;

@@ -135,6 +135,14 @@ UpdateInvalidation ShardedGirCache::InvalidateForUpdates(
     const Dataset& dataset, const ScoringFunction& scoring,
     uint64_t new_version) {
   UpdateInvalidation out;
+  // Member scratch, reused across every entry of every shard and across
+  // calls: the LP workspace (tableau recycled, each entry's piercing
+  // LPs share one Prepare and warm-start each other — see
+  // GirRegion::FirstAdmittedGain), the flattened gain matrix, and the
+  // transformed k-th record.
+  LpWorkspace& lp_ws = invalidate_ws_;
+  std::vector<double>& gains = invalidate_gains_;
+  Vec& gk = invalidate_gk_;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     // Splice the shard's list out under the lock and run the (possibly
@@ -177,16 +185,25 @@ UpdateInvalidation ShardedGirCache::InvalidateForUpdates(
         continue;
       }
       // Inserts: evict iff some insert can outscore the cached k-th
-      // record somewhere inside the region (max-score LP per pair).
+      // record somewhere inside the region — batched max-score LPs with
+      // shared setup, decision-equivalent to testing each insert in
+      // order and stopping at the first pierce.
       if (!inserted_g.empty()) {
-        const Vec gk = scoring.Transform(dataset.Get(it->result.back()));
-        for (const Vec& gp : inserted_g) {
-          ++out.lp_tests;
-          if (it->region.AdmitsGain(Sub(gp, gk))) {
-            evict = true;
-            break;
+        scoring.TransformInto(dataset.Get(it->result.back()), &gk);
+        const size_t dim = gk.size();
+        const size_t count = inserted_g.size();
+        gains.resize(count * dim);
+        for (size_t t = 0; t < count; ++t) {
+          for (size_t j = 0; j < dim; ++j) {
+            gains[t * dim + j] = inserted_g[t][j] - gk[j];
           }
         }
+        size_t first =
+            it->region.FirstAdmittedGain(gains.data(), count, &lp_ws);
+        // lp_tests keeps its historical meaning: (entry, insert) pairs
+        // examined before the verdict, not simplex solves.
+        out.lp_tests += first < count ? first + 1 : count;
+        evict = first < count;
       }
       if (evict) {
         ++out.insert_evicted;

@@ -24,8 +24,10 @@ struct UpdateInvalidation {
   size_t survived = 0;        // entries re-stamped to the new version
 };
 
-// Thread-safe variant of GirCache for the batch engine: entries are
-// spread across independently-locked shards, each an LRU list. Inserts
+// Thread-safe variant of GirCache for the batch engine (Probe/Insert/
+// Clear/size from any thread; InvalidateForUpdates is single-writer —
+// see its comment): entries are spread across independently-locked
+// shards, each an LRU list. Inserts
 // touch exactly one shard (chosen by hashing the query vector, so
 // clustered workloads spread while repeats co-locate); probes scan
 // shards starting from the inserting query's home shard, taking one
@@ -84,8 +86,12 @@ class ShardedGirCache {
   // snapshot: tombstones keep deleted coordinates readable). The LPs
   // run outside the shard locks (each shard's list is spliced out and
   // merged back), so concurrent probes are never stalled — they miss
-  // on the in-flight shard, which is safe. Returns the
-  // tests-vs-evictions accounting.
+  // on the in-flight shard, which is safe. Single writer: this method
+  // reuses unsynchronized member scratch (LP workspace, gain matrix),
+  // so at most one InvalidateForUpdates may run at a time — callers
+  // must serialize update application, as GirEngine::ApplyUpdates'
+  // writer mutex does. Probe/Insert stay safe to call concurrently.
+  // Returns the tests-vs-evictions accounting.
   UpdateInvalidation InvalidateForUpdates(const std::vector<RecordId>& deleted,
                                           const std::vector<Vec>& inserted_g,
                                           const Dataset& dataset,
@@ -125,6 +131,14 @@ class ShardedGirCache {
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Scratch reused across InvalidateForUpdates calls (single writer, as
+  // with the engine's update path): LP workspace with the recycled
+  // tableau, flattened gain matrix, transformed k-th record. With these
+  // warm, the steady-state invalidation loop performs zero heap
+  // allocations (asserted by lp_workspace_test).
+  LpWorkspace invalidate_ws_;
+  std::vector<double> invalidate_gains_;
+  Vec invalidate_gk_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> partial_hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/simd.h"
+
 namespace gir {
 
 Mbb FlatRTree::NodeView::EntryMbb(size_t e) const {
@@ -67,19 +69,22 @@ std::vector<RecordId> FlatRTree::RangeQuery(const Mbb& box) const {
   std::vector<RecordId> out;
   if (root_ == kInvalidPage) return out;
   std::vector<PageId> stack = {root_};
+  // Per-node interval-overlap sweep over the SoA planes: one
+  // SIMD-dispatched pass per dimension narrows the survivor mask, so
+  // the per-entry branch only runs for boxes that truly overlap.
+  std::vector<uint8_t> mask;
   while (!stack.empty()) {
     PageId page = stack.back();
     stack.pop_back();
     NodeView node = PeekNode(page);
-    for (size_t e = 0; e < node.count(); ++e) {
-      bool hit = true;
-      for (size_t j = 0; j < dim_; ++j) {
-        if (node.hi(j)[e] < box.lo[j] || node.lo(j)[e] > box.hi[j]) {
-          hit = false;
-          break;
-        }
-      }
-      if (!hit) continue;
+    const size_t count = node.count();
+    mask.assign(count, 1);
+    for (size_t j = 0; j < dim_; ++j) {
+      simd::IntervalOverlapMask(node.lo(j), node.hi(j), box.lo[j], box.hi[j],
+                                mask.data(), count);
+    }
+    for (size_t e = 0; e < count; ++e) {
+      if (!mask[e]) continue;
       if (node.is_leaf()) {
         out.push_back(node.child(e));
       } else {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/simd.h"
+
 namespace gir {
 
 Mbb Mbb::EmptyBox(size_t dim) {
@@ -113,6 +115,16 @@ double Mbb::CenterDistanceSquared(const Mbb& other) const {
     s += dc * dc;
   }
   return s;
+}
+
+void AccumulateMaxDotPlane(double w, const double* lo, const double* hi,
+                           double* acc, size_t n) {
+  simd::MaxDotPlane(w, lo, hi, acc, n);
+}
+
+void AccumulateMinDotPlane(double w, const double* lo, const double* hi,
+                           double* acc, size_t n) {
+  simd::MinDotPlane(w, lo, hi, acc, n);
 }
 
 }  // namespace gir

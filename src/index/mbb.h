@@ -48,6 +48,21 @@ struct Mbb {
   double CenterDistanceSquared(const Mbb& other) const;
 };
 
+// Batched SoA counterparts of MaxDot for a block of n boxes stored as
+// per-dimension planes (lo(j)[e], hi(j)[e] — the FlatRTree node
+// layout): one SIMD-dispatched accumulation pass per dimension, so the
+// per-box result has the same per-dimension accumulation order as
+// Mbb::MaxDot. `acc` must hold n zeros (or a running partial sum).
+//   acc[e] += max(w_j * lo_j[e], w_j * hi_j[e])    (AccumulateMaxDotPlane)
+//   acc[e] += min(w_j * lo_j[e], w_j * hi_j[e])    (AccumulateMinDotPlane)
+// Unlike the non-negative-weights maxscore kernel (which reads only the
+// hi planes), these handle general-sign weights — the min/max-score
+// sweep for arbitrary linear functionals over a node's boxes.
+void AccumulateMaxDotPlane(double w, const double* lo, const double* hi,
+                           double* acc, size_t n);
+void AccumulateMinDotPlane(double w, const double* lo, const double* hi,
+                           double* acc, size_t n);
+
 }  // namespace gir
 
 #endif  // GIR_INDEX_MBB_H_

@@ -2,76 +2,25 @@
 
 #include <cstring>
 
-#include "skyline/dominance.h"
+#include "common/simd.h"
 
 namespace gir {
-
-namespace {
-
-// Scan of the packed member block for a row dominating `p` (returns
-// `count` when none does). Specialized on the dimensionality so the
-// per-row compare chain is fully unrolled, branch-light straight-line
-// code; the paper's d range (2..8) is covered, anything else takes the
-// dynamic fallback. Same predicate as Dominates(), bit for bit.
-template <size_t D>
-size_t ScanForDominator(const double* rows, size_t count, const double* p) {
-  for (size_t m = 0; m < count; ++m) {
-    const double* r = rows + m * D;
-    bool all_ge = true;
-    bool any_gt = false;
-    for (size_t j = 0; j < D; ++j) {
-      all_ge &= r[j] >= p[j];
-      any_gt |= r[j] > p[j];
-    }
-    if (all_ge && any_gt) return m;
-  }
-  return count;
-}
-
-size_t ScanForDominatorDyn(const double* rows, size_t count, const double* p,
-                           size_t dim) {
-  for (size_t m = 0; m < count; ++m) {
-    if (DominatesBranchless(rows + m * dim, p, dim)) return m;
-  }
-  return count;
-}
-
-size_t FindDominator(const double* rows, size_t count, const double* p,
-                     size_t dim) {
-  switch (dim) {
-    case 2:
-      return ScanForDominator<2>(rows, count, p);
-    case 3:
-      return ScanForDominator<3>(rows, count, p);
-    case 4:
-      return ScanForDominator<4>(rows, count, p);
-    case 5:
-      return ScanForDominator<5>(rows, count, p);
-    case 6:
-      return ScanForDominator<6>(rows, count, p);
-    case 7:
-      return ScanForDominator<7>(rows, count, p);
-    case 8:
-      return ScanForDominator<8>(rows, count, p);
-    default:
-      return ScanForDominatorDyn(rows, count, p, dim);
-  }
-}
-
-}  // namespace
 
 bool SkylineSet::Insert(RecordId id) {
   VecView p = dataset_->Get(id);
   const size_t dim = dataset_->dim();
-  if (FindDominator(coords_.data(), members_.size(), p.data(), dim) <
-      members_.size()) {
+  // Scan of the packed member block for a dominating row — the hottest
+  // Phase-2 loop, dispatched to the widest SIMD tier the CPU supports
+  // (bit-identical verdicts on every tier: pure comparisons).
+  if (simd::FindDominatorInRows(coords_.data(), members_.size(), p.data(),
+                                dim) < members_.size()) {
     return false;
   }
   // Evict members dominated by the newcomer, compacting ids and the
   // packed coordinate block in lockstep.
   size_t kept = 0;
   for (size_t m = 0; m < members_.size(); ++m) {
-    if (!DominatesBranchless(p.data(), coords_.data() + m * dim, dim)) {
+    if (!simd::DominatesRow(p.data(), coords_.data() + m * dim, dim)) {
       if (kept != m) {
         members_[kept] = members_[m];
         std::memmove(coords_.data() + kept * dim, coords_.data() + m * dim,
@@ -89,8 +38,8 @@ bool SkylineSet::Insert(RecordId id) {
 
 bool SkylineSet::DominatedByMember(VecView p) const {
   const size_t dim = dataset_->dim();
-  return FindDominator(coords_.data(), members_.size(), p.data(), dim) <
-         members_.size();
+  return simd::FindDominatorInRows(coords_.data(), members_.size(), p.data(),
+                                   dim) < members_.size();
 }
 
 std::vector<RecordId> ComputeSkyline(const Dataset& dataset,

@@ -3,12 +3,19 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace gir {
 
 Vec ScoringFunction::Transform(VecView p) const {
   Vec g(p.size());
   for (size_t i = 0; i < p.size(); ++i) g[i] = TransformDim(i, p[i]);
   return g;
+}
+
+void ScoringFunction::TransformInto(VecView p, Vec* out) const {
+  out->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) (*out)[i] = TransformDim(i, p[i]);
 }
 
 double ScoringFunction::Score(VecView p, VecView weights) const {
@@ -37,19 +44,22 @@ double ScoringFunction::MaxScore(const Mbb& box, VecView weights) const {
 PolynomialScoring::PolynomialScoring(size_t dim) : dim_(dim) {
   exponents_.resize(dim);
   for (size_t i = 0; i < dim; ++i) {
-    exponents_[i] = static_cast<double>(
-        dim - i >= 1 ? dim - i : 1);  // d, d-1, ..., 1
+    exponents_[i] =
+        static_cast<int>(dim - i >= 1 ? dim - i : 1);  // d, d-1, ..., 1
   }
 }
 
 double PolynomialScoring::TransformDim(size_t i, double x) const {
-  return std::pow(x, exponents_[i]);
+  // Same multiplication chain as simd::PowIter, so per-element and
+  // batched evaluation are bitwise equal.
+  double r = x;
+  for (int t = 1; t < exponents_[i]; ++t) r *= x;
+  return r;
 }
 
 void PolynomialScoring::TransformDimBatch(size_t i, const double* x, size_t n,
                                           double* out) const {
-  const double exponent = exponents_[i];
-  for (size_t e = 0; e < n; ++e) out[e] = std::pow(x[e], exponent);
+  simd::PowIter(x, exponents_[i], out, n);
 }
 
 double MixedScoring::TransformDim(size_t i, double x) const {
@@ -69,16 +79,19 @@ void MixedScoring::TransformDimBatch(size_t i, const double* x, size_t n,
                                      double* out) const {
   switch (i % 4) {
     case 0:
-      for (size_t e = 0; e < n; ++e) out[e] = x[e] * x[e];
+      simd::Square(x, out, n);
       break;
     case 1:
+      // exp/log are not correctly rounded by libm, so there is no
+      // vector evaluation that matches the scalar reference bit for
+      // bit; these planes stay scalar on every tier.
       for (size_t e = 0; e < n; ++e) out[e] = std::exp(x[e]);
       break;
     case 2:
       for (size_t e = 0; e < n; ++e) out[e] = std::log(x[e] + 1e-3);
       break;
     default:
-      for (size_t e = 0; e < n; ++e) out[e] = std::sqrt(x[e]);
+      simd::Sqrt(x, out, n);
       break;
   }
 }

@@ -40,6 +40,12 @@ class ScoringFunction {
   // g(p) as a vector: the coordinates used for all GIR half-spaces.
   Vec Transform(VecView p) const;
 
+  // Allocation-free variant: resizes `out` to p.size() (no-op at steady
+  // state) and fills it with g(p). The invalidation loop transforms one
+  // k-th record per cached entry; reusing the destination keeps that
+  // loop heap-quiet.
+  void TransformInto(VecView p, Vec* out) const;
+
   // S(p, q) for non-negative weights q.
   double Score(VecView p, VecView weights) const;
 
@@ -67,7 +73,9 @@ class LinearScoring : public ScoringFunction {
 };
 
 // "Polynomial" of Figure 19: S = w1 x1^4 + w2 x2^3 + w3 x3^2 + w4 x4.
-// Generalized to any d: exponent d-i for dimension i (min 1).
+// Generalized to any d: exponent d-i for dimension i (min 1). The
+// power is evaluated by left-to-right repeated multiplication (not
+// std::pow) so the scalar and SIMD batch paths agree bit for bit.
 class PolynomialScoring : public ScoringFunction {
  public:
   explicit PolynomialScoring(size_t dim);
@@ -79,7 +87,7 @@ class PolynomialScoring : public ScoringFunction {
 
  private:
   size_t dim_;
-  std::vector<double> exponents_;
+  std::vector<int> exponents_;
 };
 
 // "Mixed" of Figure 19: S = w1 x1^2 + w2 e^x2 + w3 log(x3) + w4 sqrt(x4).

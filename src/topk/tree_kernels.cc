@@ -1,5 +1,7 @@
 #include "topk/tree_kernels.h"
 
+#include "common/simd.h"
+
 namespace gir {
 
 void ComputeEntryScores(const ScoringFunction& scoring, const Dataset& data,
@@ -31,11 +33,10 @@ void ComputeEntryScores(const ScoringFunction& scoring, const Dataset& data,
     const double wj = weights[j];
     const double* hi = node.hi(j);
     if (identity) {
-      for (size_t e = 0; e < n; ++e) out[e] += wj * hi[e];
+      simd::Axpy(wj, hi, out, n);
     } else {
       scoring.TransformDimBatch(j, hi, n, buf->scratch.data());
-      const double* g = buf->scratch.data();
-      for (size_t e = 0; e < n; ++e) out[e] += wj * g[e];
+      simd::Axpy(wj, buf->scratch.data(), out, n);
     }
   }
 }

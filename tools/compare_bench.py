@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf gate: diff a fresh bench JSON against the committed baseline.
+
+Fails (exit 1) when any named metric regresses by more than the allowed
+tolerance relative to the baseline value. Stdlib-only, like
+validate_bench_json.py, so CI needs no pip installs.
+
+Usage:
+  compare_bench.py --baseline BENCH_PR4.json --fresh fresh.json \
+      --metric lp.speedup \
+      --metric micro.node_score_speedup_vs_aos:higher:0.4 \
+      [--tolerance 0.25]
+
+Each --metric is PATH[:DIRECTION[:TOLERANCE]]:
+  PATH       dot-separated keys into the JSON (e.g. incremental.survival_rate)
+  DIRECTION  "higher" (default): regression = fresh < baseline * (1 - tol)
+             "lower":            regression = fresh > baseline * (1 + tol)
+             "equal":            regression = fresh != baseline (booleans,
+                                 counters that must not drift at all)
+  TOLERANCE  per-metric override of --tolerance (fraction, e.g. 0.4)
+
+A baseline of 0 with direction higher/lower is skipped with a warning
+(no meaningful ratio); use "equal" for exact-match metrics.
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(doc, path):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return node
+
+
+def parse_metric(spec, default_tolerance):
+    parts = spec.split(":")
+    path = parts[0]
+    direction = parts[1] if len(parts) > 1 and parts[1] else "higher"
+    tolerance = float(parts[2]) if len(parts) > 2 else default_tolerance
+    if direction not in ("higher", "lower", "equal"):
+        raise ValueError(f"bad direction {direction!r} in {spec!r}")
+    return path, direction, tolerance
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--metric", action="append", required=True,
+                    help="PATH[:DIRECTION[:TOLERANCE]] (repeatable)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="default allowed regression fraction (0.25 = 25%%)")
+    args = ap.parse_args(argv[1:])
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = 0
+    for spec in args.metric:
+        path, direction, tol = parse_metric(spec, args.tolerance)
+        try:
+            base_value = lookup(baseline, path)
+        except KeyError:
+            print(f"FAIL {path}: missing from baseline {args.baseline}")
+            failures += 1
+            continue
+        try:
+            fresh_value = lookup(fresh, path)
+        except KeyError:
+            print(f"FAIL {path}: missing from fresh {args.fresh}")
+            failures += 1
+            continue
+
+        if direction == "equal":
+            if fresh_value != base_value:
+                print(f"FAIL {path}: {fresh_value!r} != baseline "
+                      f"{base_value!r}")
+                failures += 1
+            else:
+                print(f"ok   {path}: {fresh_value!r} (exact)")
+            continue
+
+        if not isinstance(base_value, (int, float)) or isinstance(
+                base_value, bool):
+            print(f"FAIL {path}: baseline value {base_value!r} is not "
+                  f"numeric (use :equal)")
+            failures += 1
+            continue
+        if base_value == 0:
+            print(f"warn {path}: baseline is 0, ratio undefined — skipped")
+            continue
+
+        if direction == "higher":
+            floor = base_value * (1.0 - tol)
+            bad = fresh_value < floor
+            bound_desc = f">= {floor:.4g}"
+        else:
+            ceil = base_value * (1.0 + tol)
+            bad = fresh_value > ceil
+            bound_desc = f"<= {ceil:.4g}"
+        if bad:
+            print(f"FAIL {path}: fresh {fresh_value:.4g} vs baseline "
+                  f"{base_value:.4g} (need {bound_desc}, "
+                  f"tol {tol:.0%}, {direction}-is-better)")
+            failures += 1
+        else:
+            print(f"ok   {path}: fresh {fresh_value:.4g} vs baseline "
+                  f"{base_value:.4g} ({direction}-is-better, "
+                  f"tol {tol:.0%})")
+
+    if failures:
+        print(f"{failures} metric(s) regressed beyond tolerance")
+        return 1
+    print("all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
