@@ -453,6 +453,94 @@ void MinDotPlane(double w, const double* lo, const double* hi, double* acc,
   }
 }
 
+// ----- MaxDotPlaneMulti -----
+
+namespace {
+
+void MaxDotPlaneMultiScalar(const double* w, size_t m, const double* hi,
+                            double* acc, size_t stride, size_t n) {
+  for (size_t r = 0; r < m; ++r) {
+    const double wr = w[r];
+    double* row = acc + r * stride;
+    for (size_t i = 0; i < n; ++i) row[i] += wr * hi[i];
+  }
+}
+
+#if GIR_SIMD_X86
+void MaxDotPlaneMultiSse2(const double* w, size_t m, const double* hi,
+                          double* acc, size_t stride, size_t n) {
+  size_t r = 0;
+  // Row pairs share every plane load.
+  for (; r + 2 <= m; r += 2) {
+    const __m128d w0 = _mm_set1_pd(w[r]);
+    const __m128d w1 = _mm_set1_pd(w[r + 1]);
+    double* row0 = acc + r * stride;
+    double* row1 = row0 + stride;
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m128d x = _mm_loadu_pd(hi + i);
+      _mm_storeu_pd(row0 + i, _mm_add_pd(_mm_loadu_pd(row0 + i),
+                                         _mm_mul_pd(w0, x)));
+      _mm_storeu_pd(row1 + i, _mm_add_pd(_mm_loadu_pd(row1 + i),
+                                         _mm_mul_pd(w1, x)));
+    }
+    for (; i < n; ++i) {
+      row0[i] += w[r] * hi[i];
+      row1[i] += w[r + 1] * hi[i];
+    }
+  }
+  for (; r < m; ++r) AxpySse2(w[r], hi, acc + r * stride, n);
+}
+#endif
+
+#if GIR_SIMD_HAVE_AVX2_TARGET
+GIR_TARGET_AVX2 void MaxDotPlaneMultiAvx2(const double* w, size_t m,
+                                          const double* hi, double* acc,
+                                          size_t stride, size_t n) {
+  size_t r = 0;
+  for (; r + 2 <= m; r += 2) {
+    const __m256d w0 = _mm256_set1_pd(w[r]);
+    const __m256d w1 = _mm256_set1_pd(w[r + 1]);
+    double* row0 = acc + r * stride;
+    double* row1 = row0 + stride;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(hi + i);
+      _mm256_storeu_pd(row0 + i, _mm256_add_pd(_mm256_loadu_pd(row0 + i),
+                                               _mm256_mul_pd(w0, x)));
+      _mm256_storeu_pd(row1 + i, _mm256_add_pd(_mm256_loadu_pd(row1 + i),
+                                               _mm256_mul_pd(w1, x)));
+    }
+    for (; i < n; ++i) {
+      row0[i] += w[r] * hi[i];
+      row1[i] += w[r + 1] * hi[i];
+    }
+  }
+  for (; r < m; ++r) AxpyAvx2(w[r], hi, acc + r * stride, n);
+}
+#endif
+
+}  // namespace
+
+void MaxDotPlaneMulti(const double* w, size_t m, const double* hi, double* acc,
+                      size_t stride, size_t n) {
+  switch (ActiveTier()) {
+#if GIR_SIMD_HAVE_AVX2_TARGET
+    case Tier::kAvx2:
+      MaxDotPlaneMultiAvx2(w, m, hi, acc, stride, n);
+      return;
+#endif
+#if GIR_SIMD_X86
+    case Tier::kSse2:
+      MaxDotPlaneMultiSse2(w, m, hi, acc, stride, n);
+      return;
+#endif
+    default:
+      MaxDotPlaneMultiScalar(w, m, hi, acc, stride, n);
+      return;
+  }
+}
+
 // ----- IntervalOverlapMask -----
 
 namespace {

@@ -77,6 +77,18 @@ void MaxDotPlane(double w, const double* lo, const double* hi, double* acc,
 void MinDotPlane(double w, const double* lo, const double* hi, double* acc,
                  size_t n);
 
+// Multi-weight maxscore plane: for every row r < m,
+//     acc[r * stride + i] += w[r] * hi[i],   i < n.
+// One dimension plane of the shared-traversal batch scorer: under the
+// monotone-transform, non-negative-weight scoring contract the hi plane
+// alone carries a box's maximum (MaxDotPlane's max(w*lo, w*hi) collapses
+// to w*hi), so the multi-weight kernel streams just that plane against a
+// whole query group's weights. The plane is loaded once per row pair
+// instead of once per query, which is where the cross-query win comes
+// from. Each output row is bit-identical to Axpy(w[r], hi, row, n).
+void MaxDotPlaneMulti(const double* w, size_t m, const double* hi,
+                      double* acc, size_t stride, size_t n);
+
 // mask[i] &= (hi[i] >= qlo) & (lo[i] <= qhi): one dimension plane of
 // the SoA interval-overlap sweep (FlatRTree::RangeQuery). mask bytes
 // are 0 or 1.

@@ -1,6 +1,7 @@
 #include "gir/batch_engine.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/stopwatch.h"
 
@@ -17,6 +18,36 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+void BatchEngine::FinalizeStats(BatchResult* out) const {
+  BatchStats& stats = out->stats;
+  stats.queries = out->items.size();
+  std::vector<double> latencies;
+  latencies.reserve(out->items.size());
+  for (const BatchItem& item : out->items) {
+    if (!item.status.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    switch (item.cache) {
+      case ShardedGirCache::HitKind::kExact:
+        ++stats.exact_hits;
+        break;
+      case ShardedGirCache::HitKind::kPartial:
+        ++stats.partial_hits;
+        break;
+      case ShardedGirCache::HitKind::kMiss:
+        ++stats.misses;
+        break;
+    }
+    stats.total_reads += item.reads;
+    latencies.push_back(item.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_ms = Percentile(latencies, 0.50);
+  stats.p99_ms = Percentile(latencies, 0.99);
+  stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
+}
+
 Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
                                               size_t k, Phase2Method method) {
   const size_t dim = engine_->dataset().dim();
@@ -24,6 +55,9 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
     if (w.size() != dim) {
       return Status::InvalidArgument("batch weight dimensionality mismatch");
     }
+  }
+  if (options_.shared_traversal) {
+    return ComputeBatchShared(weights, k, method);
   }
 
   BatchResult out;
@@ -66,33 +100,190 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
   });
   out.stats.wall_ms = batch_sw.ElapsedMillis();
 
-  out.stats.queries = out.items.size();
-  std::vector<double> latencies;
-  latencies.reserve(out.items.size());
-  for (const BatchItem& item : out.items) {
-    if (!item.status.ok()) {
-      ++out.stats.failures;
-      continue;
-    }
-    switch (item.cache) {
-      case ShardedGirCache::HitKind::kExact:
-        ++out.stats.exact_hits;
-        break;
-      case ShardedGirCache::HitKind::kPartial:
-        ++out.stats.partial_hits;
-        break;
-      case ShardedGirCache::HitKind::kMiss:
-        ++out.stats.misses;
-        break;
-    }
-    out.stats.total_reads += item.reads;
-    latencies.push_back(item.latency_ms);
-  }
-  std::sort(latencies.begin(), latencies.end());
-  out.stats.p50_ms = Percentile(latencies, 0.50);
-  out.stats.p99_ms = Percentile(latencies, 0.99);
-  out.stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  FinalizeStats(&out);
+  // Fan-out performs exactly what it charges.
+  out.stats.charged_reads = out.stats.total_reads;
+  out.stats.amortized_reads = out.stats.total_reads;
   return out;
+}
+
+Result<BatchResult> BatchEngine::ComputeBatchShared(
+    const std::vector<Vec>& weights, size_t k, Phase2Method method) {
+  BatchResult out;
+  const size_t n = weights.size();
+  out.items.resize(n);
+  const bool use_cache = cache_.capacity() > 0;
+
+  Stopwatch batch_sw;
+  // One epoch for the whole batch: every group walks the same frozen
+  // image, every result and cache insert is stamped with its version.
+  const GirEngine::PinnedIndex pin = engine_->PinIndex();
+
+  if (k == 0 || k > pin.flat->size()) {
+    // Mirror the per-query status the fan-out path would report.
+    for (BatchItem& item : out.items) {
+      item.status = Status::InvalidArgument("k out of range");
+    }
+    out.stats.wall_ms = batch_sw.ElapsedMillis();
+    FinalizeStats(&out);
+    return out;
+  }
+
+  // Stage 1 — cache probes, in parallel; exact hits are answered here
+  // and drop out of the compute set.
+  std::vector<uint8_t> needs_compute(n, 0);
+  pool_.ParallelFor(n, [&](size_t i) {
+    BatchItem& item = out.items[i];
+    Stopwatch sw;
+    if (use_cache) {
+      ShardedGirCache::Lookup hit = cache_.Probe(weights[i], k, pin.version);
+      item.cache = hit.kind;
+      if (hit.kind == ShardedGirCache::HitKind::kExact) {
+        item.topk = std::move(hit.records);
+        item.latency_ms = sw.ElapsedMillis();
+        return;
+      }
+    }
+    needs_compute[i] = 1;
+    item.latency_ms = sw.ElapsedMillis();
+  });
+
+  // Stage 2 — dedupe exact twins (same weights, same k; the batch
+  // shares one scoring function and method by construction). Twins are
+  // found by sorting the candidate *indices* over the raw weight bytes
+  // — bitwise equality, so -0.0/+0.0 stay distinct and NaN payloads
+  // compare deterministically (numeric operator< would merge the
+  // former and lose strict-weak-ordering on the latter), and no weight
+  // vector is copied. The first occurrence in input order computes;
+  // the rest replicate its item.
+  std::vector<uint32_t> reps;
+  std::vector<int64_t> dup_of(n, -1);
+  {
+    const size_t dim = engine_->dataset().dim();
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (needs_compute[i]) order.push_back(static_cast<uint32_t>(i));
+    }
+    const auto weight_bytes_cmp = [&](uint32_t a, uint32_t b) {
+      return std::memcmp(weights[a].data(), weights[b].data(),
+                         dim * sizeof(double));
+    };
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const int c = weight_bytes_cmp(a, b);
+      return c != 0 ? c < 0 : a < b;  // ties: input order, rep first
+    });
+    for (size_t s = 0; s < order.size(); ++s) {
+      if (s > 0 && weight_bytes_cmp(order[s - 1], order[s]) == 0) {
+        dup_of[order[s]] = dup_of[order[s - 1]] >= 0
+                               ? dup_of[order[s - 1]]
+                               : static_cast<int64_t>(order[s - 1]);
+      } else {
+        reps.push_back(order[s]);
+      }
+    }
+    std::sort(reps.begin(), reps.end());  // groups follow input order
+  }
+
+  // Stage 3 — chunk representatives into shared-traversal groups and
+  // run them across the pool: one RunBrsMulti walk per group, then the
+  // unchanged Phase-2 pipeline per query on the group's thread.
+  const size_t width = std::max<size_t>(1, options_.shared_group_width);
+  const size_t num_groups = (reps.size() + width - 1) / width;
+  std::vector<BrsMultiStats> group_stats(num_groups);
+  std::vector<uint64_t> group_phase2_reads(num_groups, 0);
+  pool_.ParallelFor(num_groups, [&](size_t g) {
+    const size_t begin = g * width;
+    const size_t end = std::min(reps.size(), begin + width);
+    const size_t m = end - begin;
+    std::unique_ptr<BrsFrontierArena> arena = AcquireArena();
+    arena->group.clear();
+    for (size_t r = 0; r < m; ++r) {
+      arena->group.push_back(
+          BrsMultiQuery{VecView(weights[reps[begin + r]]), k});
+    }
+    std::vector<TopKResult>& topks = arena->results;
+    Stopwatch traversal_sw;
+    Status st = RunBrsMulti(*pin.flat, engine_->scoring(), arena->group,
+                            arena.get(), &topks, &group_stats[g]);
+    const double traversal_ms = traversal_sw.ElapsedMillis();
+    if (!st.ok()) {
+      for (size_t r = 0; r < m; ++r) out.items[reps[begin + r]].status = st;
+      ReleaseArena(std::move(arena));
+      return;
+    }
+    for (size_t r = 0; r < m; ++r) {
+      const size_t i = reps[begin + r];
+      BatchItem& item = out.items[i];
+      Stopwatch sw;
+      const uint64_t topk_charged = topks[r].io.reads;
+      IoStats before = DiskManager::ThreadStats();
+      Result<GirComputation> gir = engine_->ComputeGirWithTopK(
+          pin, weights[i], k, method, std::move(topks[r]),
+          traversal_ms / static_cast<double>(m));
+      const uint64_t phase2_reads =
+          (DiskManager::ThreadStats() - before).reads;
+      group_phase2_reads[g] += phase2_reads;
+      if (!gir.ok()) {
+        item.status = gir.status();
+        item.latency_ms += traversal_ms + sw.ElapsedMillis();
+        continue;
+      }
+      item.topk = gir->topk.result;
+      if (use_cache && options_.populate_cache) {
+        cache_.Insert(k, gir->topk.result, gir->region,
+                      gir->snapshot_version);
+      }
+      item.computed = std::move(*gir);
+      // Charge what a solo run would have paid; the group amortization
+      // is reported batch-level, not hidden in per-query accounting.
+      item.reads = topk_charged + phase2_reads;
+      // A grouped query's latency spans its whole group's shared
+      // traversal plus its own Phase-2 tail.
+      item.latency_ms += traversal_ms + sw.ElapsedMillis();
+    }
+    ReleaseArena(std::move(arena));
+  });
+
+  // Stage 4 — replicate the deduplicated twins from their
+  // representatives (identical by determinism of the computation).
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_of[i] < 0) continue;
+    const BatchItem& rep = out.items[static_cast<size_t>(dup_of[i])];
+    BatchItem& item = out.items[i];
+    Stopwatch sw;
+    item.status = rep.status;
+    item.topk = rep.topk;
+    item.computed = rep.computed;
+    item.reads = rep.reads;  // charged as if computed; paid nothing
+    item.latency_ms += sw.ElapsedMillis();
+    if (rep.status.ok()) ++out.stats.duplicate_hits;
+  }
+  out.stats.wall_ms = batch_sw.ElapsedMillis();
+
+  out.stats.shared_groups = num_groups;
+  out.stats.grouped_queries = reps.size();
+  uint64_t amortized = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    amortized += group_stats[g].unique_reads + group_phase2_reads[g];
+  }
+  FinalizeStats(&out);
+  out.stats.charged_reads = out.stats.total_reads;
+  out.stats.amortized_reads = amortized;
+  return out;
+}
+
+std::unique_ptr<BrsFrontierArena> BatchEngine::AcquireArena() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (arenas_.empty()) return std::make_unique<BrsFrontierArena>();
+  std::unique_ptr<BrsFrontierArena> arena = std::move(arenas_.back());
+  arenas_.pop_back();
+  return arena;
+}
+
+void BatchEngine::ReleaseArena(std::unique_ptr<BrsFrontierArena> arena) {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  arenas_.push_back(std::move(arena));
 }
 
 Result<UpdateStats> BatchEngine::ApplyUpdates(const UpdateBatch& batch) {

@@ -1,6 +1,8 @@
 #ifndef GIR_GIR_BATCH_ENGINE_H_
 #define GIR_GIR_BATCH_ENGINE_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "gir/engine.h"
 #include "gir/sharded_cache.h"
+#include "topk/brs.h"
 
 namespace gir {
 
@@ -22,6 +25,18 @@ struct BatchOptions {
   // Insert computed GIRs back into the cache (lookups are always
   // attempted while the cache is enabled).
   bool populate_cache = true;
+  // Shared-traversal execution: cache-missing queries are deduplicated,
+  // grouped, and run through RunBrsMulti — one physical walk of the
+  // frozen tree per group, multi-weight SIMD scoring per visited node —
+  // instead of one independent BRS per query. Per-query results
+  // (top-k, scores, region constraints, charged IoStats) are
+  // bit-identical to the fan-out path; only the physical read count and
+  // wall time change. OFF by default until a deployment opts in.
+  bool shared_traversal = false;
+  // Maximum queries per shared-traversal group: bounds the score-matrix
+  // working set (group_width * node capacity doubles) and the per-group
+  // heap pool.
+  size_t shared_group_width = 64;
 };
 
 // Outcome of one query of a batch, at its input position.
@@ -35,10 +50,15 @@ struct BatchItem {
   // success, whether served from cache or computed.
   std::vector<RecordId> topk;
   // The full computation (region, scores, per-phase stats); present
-  // exactly when the query was actually computed (miss or partial hit).
+  // exactly when the query was actually computed (miss or partial hit)
+  // or replicated from a deduplicated twin.
   std::optional<GirComputation> computed;
   double latency_ms = 0.0;
-  uint64_t reads = 0;  // index page reads paid by this query
+  // Index page reads *charged* to this query: exactly what a solo
+  // ComputeGir would have paid. Under shared traversal the physical
+  // reads are amortized across the group (see BatchStats), but the
+  // charge stays per-query-exact so accounting is mode-independent.
+  uint64_t reads = 0;
 };
 
 // Aggregate statistics of one ComputeBatch call.
@@ -48,11 +68,27 @@ struct BatchStats {
   uint64_t exact_hits = 0;
   uint64_t partial_hits = 0;
   uint64_t misses = 0;
+  // Sum of per-query charged reads (mode-independent; equals the
+  // physical reads of a pure fan-out run).
   uint64_t total_reads = 0;
   double wall_ms = 0.0;  // end-to-end batch wall time
   double p50_ms = 0.0;   // per-query latency percentiles
   double p99_ms = 0.0;
   double max_ms = 0.0;
+
+  // ----- shared-traversal accounting (zero in fan-out mode except
+  // charged/amortized, which then both equal total_reads) -----
+  // Queries answered by replicating an exact-duplicate twin (same
+  // weights, same k) computed once in this batch.
+  uint64_t duplicate_hits = 0;
+  // Shared-traversal groups executed and the queries they carried.
+  size_t shared_groups = 0;
+  size_t grouped_queries = 0;
+  // Reads charged to queries vs. physical page reads actually performed
+  // (unique-per-group BRS reads + per-query Phase-2 reads). The gap is
+  // the amortization the shared executor bought.
+  uint64_t charged_reads = 0;
+  uint64_t amortized_reads = 0;
 
   // Fraction of *served* (non-failed) queries answered from cache.
   double HitRate() const {
@@ -64,6 +100,13 @@ struct BatchStats {
   double QueriesPerSecond() const {
     return wall_ms <= 0.0 ? 0.0
                           : 1000.0 * static_cast<double>(queries) / wall_ms;
+  }
+  // Physical-read amortization factor of this batch (1.0 = none).
+  double ReadAmortization() const {
+    return amortized_reads == 0
+               ? 1.0
+               : static_cast<double>(charged_reads) /
+                     static_cast<double>(amortized_reads);
   }
 };
 
@@ -80,6 +123,18 @@ struct BatchResult {
 // ComputeGir calls sequentially: a cache hit returns the exact cached
 // top-k order, which the containment guarantee makes equal to what a
 // fresh computation would produce.
+//
+// Shared traversal (BatchOptions::shared_traversal): instead of one
+// independent root-to-leaf search per cache-missing query, the batch is
+// deduplicated (exact weight/k twins computed once), chunked into
+// groups, and each group walks the pinned frozen tree once via
+// RunBrsMulti — every visited page is fetched once per group and its
+// SoA planes are scored against the whole group's weights in one
+// multi-weight SIMD pass — before the unchanged Phase-2 algorithms run
+// per query. Outputs are bit-identical to fan-out; BatchStats splits
+// charged vs. amortized reads to show what the sharing saved. Group
+// scratch (heaps, visit stamps, score matrices) lives in pooled
+// BrsFrontierArenas recycled across groups and batches.
 //
 // Cache coherence under updates: every entry is stamped with the
 // dataset epoch it was computed at, probes only accept the current
@@ -129,11 +184,24 @@ class BatchEngine {
   const GirEngine& engine() const { return *engine_; }
 
  private:
+  // Arena pool for the shared-traversal groups: one arena per in-flight
+  // group, recycled across groups and batches so the traversal scratch
+  // (heaps, visit stamps, score matrices, group lists, output slots) is
+  // reused rather than reallocated.
+  std::unique_ptr<BrsFrontierArena> AcquireArena();
+  void ReleaseArena(std::unique_ptr<BrsFrontierArena> arena);
+
+  Result<BatchResult> ComputeBatchShared(const std::vector<Vec>& weights,
+                                         size_t k, Phase2Method method);
+  void FinalizeStats(BatchResult* out) const;
+
   const GirEngine* engine_;
   GirEngine* mutable_engine_ = nullptr;
   BatchOptions options_;
   ShardedGirCache cache_;
   ThreadPool pool_;
+  std::mutex arena_mu_;
+  std::vector<std::unique_ptr<BrsFrontierArena>> arenas_;
 };
 
 }  // namespace gir

@@ -77,28 +77,53 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   // dataset image and flat arena, so a concurrent ApplyUpdates can
   // neither block nor tear this query.
   const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
-  const Dataset& data = *snap->dataset;
   const FlatRTree& flat = snap->flat;
   if (k == 0 || k > flat.size()) {
     return Status::InvalidArgument("k out of range");
   }
-  GirStats stats;
 
   // Top-k retrieval (BRS), ahead of GIR computation proper. All
   // traversals run on the frozen image.
   Stopwatch sw;
   Result<TopKResult> topk = RunBrs(flat, *scoring_, weights, k);
   if (!topk.ok()) return topk.status();
-  stats.topk_cpu_ms = sw.ElapsedMillis();
-  stats.topk_reads = topk->io.reads;
+  return FinishGir(flat, snap->version, weights, k, method, order_sensitive,
+                   std::move(*topk), sw.ElapsedMillis());
+}
+
+Result<GirComputation> GirEngine::ComputeGirWithTopK(
+    const PinnedIndex& pin, VecView weights, size_t k, Phase2Method method,
+    TopKResult topk, double topk_cpu_ms) const {
+  const FlatRTree& flat = *pin.flat;
+  if (k == 0 || k > flat.size()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  if (weights.size() != flat.dataset().dim()) {
+    return Status::InvalidArgument("weight dimensionality mismatch");
+  }
+  return FinishGir(flat, pin.version, weights, k, method,
+                   /*order_sensitive=*/true, std::move(topk), topk_cpu_ms);
+}
+
+Result<GirComputation> GirEngine::FinishGir(const FlatRTree& flat,
+                                            uint64_t version, VecView weights,
+                                            size_t k, Phase2Method method,
+                                            bool order_sensitive,
+                                            TopKResult topk,
+                                            double topk_cpu_ms) const {
+  const Dataset& data = flat.dataset();
+  GirStats stats;
+  stats.topk_cpu_ms = topk_cpu_ms;
+  stats.topk_reads = topk.io.reads;
 
   GirRegion region(data.dim(), Vec(weights.begin(), weights.end()),
-                   topk->result);
+                   topk.result);
 
   // Phase 1 (order-sensitive only; GIR* has no ordering constraints).
+  Stopwatch sw;
   if (order_sensitive) {
     sw.Restart();
-    AddPhase1Constraints(data, *scoring_, topk->result, &region);
+    AddPhase1Constraints(data, *scoring_, topk.result, &region);
     stats.phase1_cpu_ms = sw.ElapsedMillis();
   }
 
@@ -108,16 +133,16 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   if (order_sensitive) {
     switch (method) {
       case Phase2Method::kSP:
-        p2 = RunSpPhase2(flat, *scoring_, weights, *topk, &region);
+        p2 = RunSpPhase2(flat, *scoring_, weights, topk, &region);
         break;
       case Phase2Method::kCP:
-        p2 = RunCpPhase2(flat, *scoring_, weights, *topk, &region);
+        p2 = RunCpPhase2(flat, *scoring_, weights, topk, &region);
         break;
       case Phase2Method::kFP: {
         Result<Phase2Output> r =
             data.dim() == 2
-                ? RunFp2dPhase2(flat, *scoring_, weights, *topk, &region)
-                : RunFpNdPhase2(flat, *scoring_, weights, *topk, &region,
+                ? RunFp2dPhase2(flat, *scoring_, weights, topk, &region)
+                : RunFpNdPhase2(flat, *scoring_, weights, topk, &region,
                                 options_.fp);
         if (!r.ok()) return r.status();
         p2 = *r;
@@ -127,10 +152,10 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
         // Reference path: scan the live records (charging the
         // equivalent page reads) and add every non-result constraint.
         IoStats before = DiskManager::ThreadStats();
-        const RecordId pk = topk->result.back();
+        const RecordId pk = topk.result.back();
         Vec gk = scoring_->Transform(data.Get(pk));
         std::vector<bool> in_result(data.size(), false);
-        for (RecordId id : topk->result) in_result[id] = true;
+        for (RecordId id : topk.result) in_result[id] = true;
         ConstraintProvenance prov;
         prov.kind = ConstraintProvenance::Kind::kOvertake;
         prov.position = static_cast<int>(k) - 1;
@@ -164,7 +189,7 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
     }
   } else {
     Result<Phase2Output> r =
-        RunGirStarPhase2(flat, *scoring_, weights, *topk,
+        RunGirStarPhase2(flat, *scoring_, weights, topk,
                          Phase2MethodName(method), &region, options_.fp);
     if (!r.ok()) return r.status();
     p2 = *r;
@@ -183,8 +208,7 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
     stats.intersect_cpu_ms = sw.ElapsedMillis();
   }
 
-  GirComputation out{std::move(*topk), std::move(region), stats,
-                     snap->version};
+  GirComputation out{std::move(topk), std::move(region), stats, version};
   return out;
 }
 

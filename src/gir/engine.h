@@ -143,6 +143,37 @@ class GirEngine {
   Result<GirComputation> ComputeGir(VecView weights, size_t k,
                                     Phase2Method method) const;
 
+  // One pinned epoch, as a unit: the frozen image (the aliased
+  // shared_ptr keeps the whole snapshot — arena + dataset copy —
+  // alive) plus the version to stamp results and cache entries with.
+  // This is what lets a caller run many queries against one consistent
+  // epoch (the shared-traversal batch executor pins once per batch).
+  struct PinnedIndex {
+    std::shared_ptr<const FlatRTree> flat;
+    uint64_t version = 0;
+  };
+  PinnedIndex PinIndex() const {
+    std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+    PinnedIndex pin;
+    pin.flat = std::shared_ptr<const FlatRTree>(snap, &snap->flat);
+    pin.version = snap->version;
+    return pin;
+  }
+
+  // Order-sensitive GIR from an already-computed top-k: runs Phase 1 /
+  // Phase 2 / intersection exactly as ComputeGir does after its own
+  // BRS, against the pinned epoch the top-k was computed on. `topk`
+  // must be a RunBrs/RunBrsMulti output for (weights, k) on pin.flat;
+  // the result is then bit-identical to ComputeGir on that epoch
+  // (modulo wall-clock stats; topk_cpu_ms is taken from the caller,
+  // who timed the traversal). This is the Phase-2 half of the
+  // shared-traversal batch path.
+  Result<GirComputation> ComputeGirWithTopK(const PinnedIndex& pin,
+                                            VecView weights, size_t k,
+                                            Phase2Method method,
+                                            TopKResult topk,
+                                            double topk_cpu_ms = 0.0) const;
+
   // Order-insensitive GIR* (Definition 2); no Phase-1 constraints.
   Result<GirComputation> ComputeGirStar(VecView weights, size_t k,
                                         Phase2Method method) const;
@@ -213,6 +244,13 @@ class GirEngine {
   Result<GirComputation> Compute(VecView weights, size_t k,
                                  Phase2Method method, bool order_sensitive)
       const;
+
+  // Shared tail of Compute and ComputeGirWithTopK: Phase 1 + Phase 2 +
+  // intersection over an explicit epoch, consuming a finished top-k.
+  Result<GirComputation> FinishGir(const FlatRTree& flat, uint64_t version,
+                                   VecView weights, size_t k,
+                                   Phase2Method method, bool order_sensitive,
+                                   TopKResult topk, double topk_cpu_ms) const;
 
   const Dataset* dataset_;
   Dataset* mutable_dataset_ = nullptr;  // non-null iff updatable

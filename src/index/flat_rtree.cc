@@ -17,6 +17,15 @@ Mbb FlatRTree::NodeView::EntryMbb(size_t e) const {
   return box;
 }
 
+void FlatRTree::NodeView::EntryMbbInto(size_t e, Mbb* out) const {
+  out->lo.resize(dim_);
+  out->hi.resize(dim_);
+  for (size_t j = 0; j < dim_; ++j) {
+    out->lo[j] = lo(j)[e];
+    out->hi[j] = hi(j)[e];
+  }
+}
+
 void FlatRTree::NodeView::EntryTopCorner(size_t e, Vec* out) const {
   out->resize(dim_);
   for (size_t j = 0; j < dim_; ++j) (*out)[j] = hi(j)[e];

@@ -59,6 +59,13 @@ class FlatRTree {
     // PendingNode; the hot score loops read the planes directly.
     Mbb EntryMbb(size_t e) const;
 
+    // In-place variant: resizes out's corners to the tree
+    // dimensionality (a no-op when the Mbb is being recycled) and fills
+    // them with entry e's box. The shared-traversal executor drains
+    // pending nodes through this so a warmed output vector is refilled
+    // without touching the heap.
+    void EntryMbbInto(size_t e, Mbb* out) const;
+
     // Copies entry `e`'s top corner (hi coordinates) into `out`,
     // resizing it to the tree dimensionality.
     void EntryTopCorner(size_t e, Vec* out) const;

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Render a short markdown summary of a BENCH_PR5 sweep JSON.
+
+Used by CI to drop the shared-traversal metrics into the job's step
+summary ($GITHUB_STEP_SUMMARY). Stdlib-only, like the other tools.
+
+Usage: bench_summary_md.py BENCH_PR5.json
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+
+    p = doc["params"]
+    gate = doc["gate"]
+    print(f"### Shared-traversal batch sweep "
+          f"(n={p['n']}, d={p['d']}, k={p['k']}, {p['method']})")
+    print()
+    print("| cell | fan-out QPS | shared QPS | QPS lift | fan-out reads "
+          "| shared reads | read cut | dups |")
+    print("|---|---|---|---|---|---|---|---|")
+    for c in doc["sweep"]:
+        mark = " *" if c["gated"] else ""
+        print(f"| {c['overlap']}/{c['batch']}{mark} "
+              f"| {c['fanout']['qps']:.0f} | {c['shared']['qps']:.0f} "
+              f"| {c['qps_lift']:.2f}x "
+              f"| {c['fanout']['physical_reads']:.0f} "
+              f"| {c['shared']['physical_reads']:.0f} "
+              f"| {c['read_cut']:.2f}x "
+              f"| {c['shared']['duplicate_hits']:.0f} |")
+    print()
+    verdict = "PASS" if gate["pass"] else "FAIL"
+    print(f"Gate (`*` cells, batch >= {gate['batch_floor']}, "
+          f"high overlap): read cut {gate['read_cut_at_gate']:.2f}x "
+          f"(need >= {gate['min_read_cut']:.2f}), QPS lift "
+          f"{gate['qps_lift_at_gate']:.2f}x "
+          f"(need >= {gate['min_qps_lift']:.2f}) -> **{verdict}**")
+    # Reporting only: gating belongs to the bench exit code and
+    # compare_bench, and CI runs this step even after a gate failure so
+    # the table is available exactly when someone needs it.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
