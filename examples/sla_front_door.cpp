@@ -1,0 +1,83 @@
+// SLA front-door scenario: a replayable Zipf/bursty traffic trace runs
+// through the serving stack — admission queue with a deadline budget,
+// cosine-archetype clustering that picks the shared-traversal width per
+// batch, explicit shedding under overload — and the service metrics
+// show what a client of the system would see at increasing load.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/batch_engine.h"
+#include "serve/replay.h"
+
+int main() {
+  using namespace gir;
+  const size_t n = 30000;
+  const size_t d = 3;
+
+  serve::TrafficConfig traffic;
+  traffic.seed = 2014;
+  traffic.dim = d;
+  traffic.k = 10;
+  traffic.events = 600;
+  traffic.key_pool = 6;       // six preference archetypes
+  traffic.zipf_s = 1.2;       // a couple of them dominate
+  traffic.jitter_prob = 0.25; // the rest personalize their weights
+  traffic.burst_factor = 4.0; // rush-hour spikes over the base rate
+  traffic.burst_every_ms = 300.0;
+  traffic.burst_len_ms = 60.0;
+  traffic.update_ratio = 0.02; // a trickle of inserts/deletes
+  traffic.updates_per_batch = 6;
+  traffic.initial_records = n;
+
+  serve::ReplayOptions serving;
+  serving.admission.max_batch = 32;
+  serving.admission.max_wait_ms = 2.0;   // admission delay budget
+  serving.admission.deadline_ms = 25.0;  // end-to-end SLA per request
+  serving.admission.queue_capacity = 256;
+
+  std::printf("SLA front door: %zu records, k=%zu, SLA %.0fms, "
+              "batch<=%zu, wait<=%.0fms\n\n",
+              n, traffic.k, serving.admission.deadline_ms,
+              serving.admission.max_batch, serving.admission.max_wait_ms);
+  std::printf("%-10s %9s %9s %7s %7s %7s %7s %7s %7s\n", "load(qps)",
+              "served", "shed", "p50", "p95", "p99", "width", "occup",
+              "shed%");
+
+  for (double qps : {2000.0, 6000.0, 12000.0, 24000.0}) {
+    traffic.base_qps = qps;
+    Result<serve::Trace> trace = serve::GenerateTrace(traffic);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    // Fresh stack per load point: comparable cold starts.
+    Rng rng(7);
+    Dataset data = GenerateCorrelated(n, d, rng);
+    DiskManager disk;
+    GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+    BatchOptions options;
+    options.cache_capacity = 0;
+    options.shared_traversal = true;
+    BatchEngine server(&engine, options);
+
+    Result<serve::ServiceReport> report =
+        serve::ReplayTrace(*trace, &server, serving);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const serve::ServiceMetrics& m = report->metrics;
+    std::printf("%-10.0f %9llu %9llu %7.2f %7.2f %7.2f %7.1f %7.1f %6.1f%%\n",
+                qps, static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.shed), m.p50_ms, m.p95_ms,
+                m.p99_ms, m.mean_width, m.mean_batch_occupancy,
+                100.0 * m.ShedRate());
+  }
+
+  std::printf("\nEvery request ends served or explicitly shed "
+              "(ResourceExhausted) — never silently dropped; results are "
+              "bit-identical to direct per-query computation regardless of "
+              "batching or width.\n");
+  return 0;
+}

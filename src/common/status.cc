@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

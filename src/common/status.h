@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,
 };
 
 // A Status holds a code and, for non-OK codes, a human-readable message.
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Unimplemented(std::string_view msg) {
     return Status(StatusCode::kUnimplemented, std::string(msg));
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, std::string(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -18,7 +18,7 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
-void BatchEngine::FinalizeStats(BatchResult* out) const {
+void BatchEngine::FinalizeStats(BatchResult* out, double deadline_ms) const {
   BatchStats& stats = out->stats;
   stats.queries = out->items.size();
   std::vector<double> latencies;
@@ -27,6 +27,9 @@ void BatchEngine::FinalizeStats(BatchResult* out) const {
     if (!item.status.ok()) {
       ++stats.failures;
       continue;
+    }
+    if (deadline_ms > 0.0 && item.latency_ms > deadline_ms) {
+      ++stats.deadline_misses;
     }
     switch (item.cache) {
       case ShardedGirCache::HitKind::kExact:
@@ -50,14 +53,24 @@ void BatchEngine::FinalizeStats(BatchResult* out) const {
 
 Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
                                               size_t k, Phase2Method method) {
+  return ComputeBatch(weights, k, method, BatchExecHints());
+}
+
+Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
+                                              size_t k, Phase2Method method,
+                                              const BatchExecHints& hints) {
   const size_t dim = engine_->dataset().dim();
   for (const Vec& w : weights) {
     if (w.size() != dim) {
       return Status::InvalidArgument("batch weight dimensionality mismatch");
     }
   }
+  if (!hints.group_of.empty() && hints.group_of.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "hints.group_of must be empty or match the batch size");
+  }
   if (options_.shared_traversal) {
-    return ComputeBatchShared(weights, k, method);
+    return ComputeBatchShared(weights, k, method, hints);
   }
 
   BatchResult out;
@@ -100,7 +113,7 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
   });
   out.stats.wall_ms = batch_sw.ElapsedMillis();
 
-  FinalizeStats(&out);
+  FinalizeStats(&out, hints.deadline_ms);
   // Fan-out performs exactly what it charges.
   out.stats.charged_reads = out.stats.total_reads;
   out.stats.amortized_reads = out.stats.total_reads;
@@ -108,7 +121,8 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
 }
 
 Result<BatchResult> BatchEngine::ComputeBatchShared(
-    const std::vector<Vec>& weights, size_t k, Phase2Method method) {
+    const std::vector<Vec>& weights, size_t k, Phase2Method method,
+    const BatchExecHints& hints) {
   BatchResult out;
   const size_t n = weights.size();
   out.items.resize(n);
@@ -125,7 +139,7 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
       item.status = Status::InvalidArgument("k out of range");
     }
     out.stats.wall_ms = batch_sw.ElapsedMillis();
-    FinalizeStats(&out);
+    FinalizeStats(&out, hints.deadline_ms);
     return out;
   }
 
@@ -185,16 +199,37 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
     std::sort(reps.begin(), reps.end());  // groups follow input order
   }
 
-  // Stage 3 — chunk representatives into shared-traversal groups and
-  // run them across the pool: one RunBrsMulti walk per group, then the
-  // unchanged Phase-2 pipeline per query on the group's thread.
-  const size_t width = std::max<size_t>(1, options_.shared_group_width);
-  const size_t num_groups = (reps.size() + width - 1) / width;
+  // Stage 3 — partition representatives into shared-traversal groups
+  // and run them across the pool: one RunBrsMulti walk per group, then
+  // the unchanged Phase-2 pipeline per query on the group's thread.
+  // Default partition: fixed-width chunks in input order. With
+  // hints.group_of, a group boundary falls wherever the caller's label
+  // changes (the admission former's archetype clusters), still capped
+  // at the effective width so the score-matrix working set stays
+  // bounded.
+  const size_t width = std::max<size_t>(
+      1, hints.width_override != 0 ? hints.width_override
+                                   : options_.shared_group_width);
+  std::vector<std::pair<uint32_t, uint32_t>> group_ranges;  // [begin, end)
+  {
+    size_t begin = 0;
+    for (size_t r = 1; r <= reps.size(); ++r) {
+      const bool label_break =
+          r < reps.size() && !hints.group_of.empty() &&
+          hints.group_of[reps[r]] != hints.group_of[reps[begin]];
+      if (r == reps.size() || label_break || r - begin == width) {
+        group_ranges.emplace_back(static_cast<uint32_t>(begin),
+                                  static_cast<uint32_t>(r));
+        begin = r;
+      }
+    }
+  }
+  const size_t num_groups = group_ranges.size();
   std::vector<BrsMultiStats> group_stats(num_groups);
   std::vector<uint64_t> group_phase2_reads(num_groups, 0);
   pool_.ParallelFor(num_groups, [&](size_t g) {
-    const size_t begin = g * width;
-    const size_t end = std::min(reps.size(), begin + width);
+    const size_t begin = group_ranges[g].first;
+    const size_t end = group_ranges[g].second;
     const size_t m = end - begin;
     std::unique_ptr<BrsFrontierArena> arena = AcquireArena();
     arena->group.clear();
@@ -263,11 +298,12 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
 
   out.stats.shared_groups = num_groups;
   out.stats.grouped_queries = reps.size();
+  out.stats.width_used = width;
   uint64_t amortized = 0;
   for (size_t g = 0; g < num_groups; ++g) {
     amortized += group_stats[g].unique_reads + group_phase2_reads[g];
   }
-  FinalizeStats(&out);
+  FinalizeStats(&out, hints.deadline_ms);
   out.stats.charged_reads = out.stats.total_reads;
   out.stats.amortized_reads = amortized;
   return out;

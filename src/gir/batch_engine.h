@@ -39,6 +39,33 @@ struct BatchOptions {
   size_t shared_group_width = 64;
 };
 
+// Per-call execution hints for ComputeBatch: how the admission layer
+// (src/serve/admission.h) steers one batch without reconfiguring the
+// engine. All fields are optional; a default-constructed hints object
+// reproduces the plain ComputeBatch behavior exactly.
+struct BatchExecHints {
+  // Caller-chosen shared-traversal grouping: group_of[i] is the group
+  // label of query i (any uint32 — equal labels traverse together).
+  // Must be empty or exactly weights.size() long. A group boundary
+  // falls wherever the label changes along input order, so labels
+  // should form contiguous runs (the admission former emits batches
+  // cluster-major, so this is free; a non-contiguous label just
+  // traverses as several groups). Groups are still capped at the
+  // effective width below to bound the score-matrix working set. Empty
+  // = chunk representatives by width, as before. Grouping never changes
+  // per-query results (see the shared-traversal contract), only which
+  // pages get amortized together.
+  std::vector<uint32_t> group_of;
+  // Nonzero: replaces BatchOptions::shared_group_width for this call.
+  size_t width_override = 0;
+  // Nonzero: per-item latency budget in ms, measured like
+  // BatchItem::latency_ms (batch start to item reply). Accounting only
+  // — items over budget are *counted* in BatchStats::deadline_misses,
+  // never dropped or truncated; admission-time shedding is the serve
+  // layer's job.
+  double deadline_ms = 0.0;
+};
+
 // Outcome of one query of a batch, at its input position.
 struct BatchItem {
   Status status = Status::Ok();
@@ -89,6 +116,12 @@ struct BatchStats {
   // the amortization the shared executor bought.
   uint64_t charged_reads = 0;
   uint64_t amortized_reads = 0;
+  // Effective shared_group_width of this call (options or hint
+  // override); 0 in fan-out mode.
+  size_t width_used = 0;
+  // Items whose latency exceeded BatchExecHints::deadline_ms (0 when no
+  // deadline was given).
+  uint64_t deadline_misses = 0;
 
   // Fraction of *served* (non-failed) queries answered from cache.
   double HitRate() const {
@@ -172,6 +205,13 @@ class BatchEngine {
   Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
                                    Phase2Method method);
 
+  // Same, steered by per-call hints (caller-chosen traversal groups,
+  // width override, deadline accounting). Results are bit-identical to
+  // the hint-less call for any valid hints; see BatchExecHints.
+  Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
+                                   Phase2Method method,
+                                   const BatchExecHints& hints);
+
   // Forwards the batch to GirEngine::ApplyUpdates with this engine's
   // cache attached, so cached GIRs are incrementally invalidated and
   // survivors keep serving across the epoch swap. FailedPrecondition
@@ -192,8 +232,9 @@ class BatchEngine {
   void ReleaseArena(std::unique_ptr<BrsFrontierArena> arena);
 
   Result<BatchResult> ComputeBatchShared(const std::vector<Vec>& weights,
-                                         size_t k, Phase2Method method);
-  void FinalizeStats(BatchResult* out) const;
+                                         size_t k, Phase2Method method,
+                                         const BatchExecHints& hints);
+  void FinalizeStats(BatchResult* out, double deadline_ms) const;
 
   const GirEngine* engine_;
   GirEngine* mutable_engine_ = nullptr;

@@ -1,0 +1,205 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace gir::serve {
+
+namespace {
+
+// Mutable replay state shared by the batch-execution helper.
+struct ReplayState {
+  AdmissionQueue queue;
+  MetricsBuilder metrics;
+  ServiceReport report;
+  double server_free_ms = 0.0;  // single-server busy clock
+  size_t trace_k = 0;
+
+  ReplayState(const AdmissionOptions& admission, double window_ms)
+      : queue(admission), metrics(window_ms) {}
+};
+
+void RecordShedOutcome(ReplayState* state, const ServiceRequest& req,
+                       Status status, double reply_ms) {
+  RequestOutcome& out = state->report.outcomes[req.id];
+  out.status = std::move(status);
+  out.timing.enqueue_ms = req.enqueue_ms;
+  out.timing.reply_ms = reply_ms;
+  out.timing.shed = true;
+  state->metrics.RecordShed(out.timing);
+}
+
+// Forms one batch at fire_ms and runs it through the engine, advancing
+// the busy clock by the measured compute time. Returns non-OK only on
+// batch-level engine failure (malformed input — a bug, not load).
+Status ExecuteOneBatch(ReplayState* state, BatchEngine* engine,
+                       const ReplayOptions& options, double fire_ms) {
+  std::vector<ShedRequest> shed;
+  FormedBatch formed = state->queue.Form(fire_ms, &shed);
+  for (ShedRequest& s : shed) {
+    RecordShedOutcome(state, s.request, std::move(s.status), fire_ms);
+  }
+  if (formed.requests.empty()) return Status::Ok();
+
+  double service_start = std::max(fire_ms, state->server_free_ms);
+  if (options.shed_on_dispatch) {
+    // The server is so far behind that these requests' deadlines pass
+    // before their batch could even start: reject explicitly now.
+    std::vector<ServiceRequest> keep;
+    std::vector<uint32_t> keep_group;
+    keep.reserve(formed.requests.size());
+    keep_group.reserve(formed.requests.size());
+    for (size_t i = 0; i < formed.requests.size(); ++i) {
+      if (formed.requests[i].deadline_ms < service_start) {
+        RecordShedOutcome(
+            state, formed.requests[i],
+            Status::ResourceExhausted("server backlog exceeds deadline"),
+            fire_ms);
+        continue;
+      }
+      keep.push_back(std::move(formed.requests[i]));
+      keep_group.push_back(formed.group_of[i]);
+    }
+    formed.requests = std::move(keep);
+    formed.group_of = std::move(keep_group);
+    if (formed.requests.empty()) return Status::Ok();
+  }
+
+  std::vector<Vec> weights;
+  weights.reserve(formed.requests.size());
+  for (const ServiceRequest& req : formed.requests) {
+    if (req.k != state->trace_k) {
+      return Status::InvalidArgument("trace queries must share one k");
+    }
+    weights.push_back(req.weights);
+  }
+
+  BatchExecHints hints;
+  if (options.adaptive_width) {
+    hints.group_of = formed.group_of;
+    hints.width_override = formed.width;
+  } else {
+    hints.width_override = options.static_width;
+  }
+  hints.deadline_ms = state->queue.options().deadline_ms;
+
+  Result<BatchResult> result =
+      engine->ComputeBatch(weights, state->trace_k, options.method, hints);
+  if (!result.ok()) return result.status();
+  const double wall_ms = result->stats.wall_ms;
+  state->server_free_ms = service_start + wall_ms;
+  state->report.compute_ms += wall_ms;
+  state->report.charged_reads += result->stats.charged_reads;
+  state->report.amortized_reads += result->stats.amortized_reads;
+  state->report.deadline_misses += result->stats.deadline_misses;
+  state->metrics.RecordBatch(formed.requests.size(),
+                             options.adaptive_width ? formed.width
+                                                    : options.static_width);
+
+  // The batch replies as a unit when its compute finishes.
+  const double reply_ms = state->server_free_ms;
+  for (size_t i = 0; i < formed.requests.size(); ++i) {
+    const ServiceRequest& req = formed.requests[i];
+    BatchItem& item = result->items[i];
+    RequestOutcome& out = state->report.outcomes[req.id];
+    out.status = item.status;
+    out.timing.enqueue_ms = req.enqueue_ms;
+    out.timing.admit_ms = fire_ms;
+    out.timing.compute_start_ms = service_start;
+    out.timing.compute_end_ms = reply_ms;
+    out.timing.reply_ms = reply_ms;
+    if (!item.status.ok()) {
+      state->metrics.RecordFailed();
+      continue;
+    }
+    out.topk = std::move(item.topk);
+    state->metrics.RecordServed(out.timing);
+  }
+  return Status::Ok();
+}
+
+// Fires every batch whose formation time precedes now_ms.
+Status DrainDue(ReplayState* state, BatchEngine* engine,
+                const ReplayOptions& options, double now_ms) {
+  for (;;) {
+    const double fire = state->queue.NextFireTime();
+    if (fire < 0.0 || fire > now_ms) return Status::Ok();
+    Status st = ExecuteOneBatch(state, engine, options, fire);
+    if (!st.ok()) return st;
+  }
+}
+
+// Flushes the whole backlog at now_ms (update barrier / end of trace).
+Status FlushAll(ReplayState* state, BatchEngine* engine,
+                const ReplayOptions& options, double now_ms) {
+  while (state->queue.size() > 0) {
+    Status st = ExecuteOneBatch(state, engine, options, now_ms);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ServiceReport> ReplayTrace(const Trace& trace, BatchEngine* engine,
+                                  const ReplayOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("null engine");
+  }
+  ReplayState state(options.admission, options.window_ms);
+  state.trace_k = trace.config.k;
+  state.report.outcomes.resize(trace.queries);
+
+  uint64_t query_ordinal = 0;
+  for (const TraceEvent& ev : trace.events) {
+    const double t = ev.arrival_ms;
+    Status st = DrainDue(&state, engine, options, t);
+    if (!st.ok()) return st;
+
+    if (ev.kind == TraceEventKind::kUpdate) {
+      // Update events are barriers: every queued query formed before
+      // the swap runs on the pre-update epoch, deterministically.
+      st = FlushAll(&state, engine, options, t);
+      if (!st.ok()) return st;
+      Stopwatch sw;
+      Result<UpdateStats> up = engine->ApplyUpdates(ev.update);
+      if (!up.ok()) return up.status();
+      const double wall_ms = sw.ElapsedMillis();
+      state.server_free_ms =
+          std::max(state.server_free_ms, t) + wall_ms;
+      state.report.update_ms += wall_ms;
+      state.metrics.RecordUpdate();
+      continue;
+    }
+
+    const uint64_t id = query_ordinal++;
+    RequestOutcome& out = state.report.outcomes[id];
+    out.id = id;
+    Status submit = state.queue.Submit(id, ev.weights, ev.k, t);
+    if (!submit.ok()) {
+      // Backlog overflow (or malformed request): explicit rejection at
+      // arrival time.
+      out.status = std::move(submit);
+      out.timing.enqueue_ms = t;
+      out.timing.reply_ms = t;
+      out.timing.shed = true;
+      state.metrics.RecordShed(out.timing);
+      continue;
+    }
+    if (state.queue.ShouldForm(t)) {
+      st = ExecuteOneBatch(&state, engine, options, t);
+      if (!st.ok()) return st;
+    }
+  }
+  // End of trace: fire the residual backlog at its natural deadline.
+  const double tail_ms =
+      std::max(trace.duration_ms, state.queue.NextFireTime());
+  Status st = FlushAll(&state, engine, options, tail_ms);
+  if (!st.ok()) return st;
+
+  state.report.metrics = state.metrics.Finalize();
+  return std::move(state.report);
+}
+
+}  // namespace gir::serve

@@ -1,0 +1,178 @@
+#include "serve/service_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gir::serve {
+
+namespace {
+
+// Same convention as BatchEngine's percentile: nearest-rank over the
+// sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+size_t OccupancyBucket(size_t occupancy) {
+  size_t b = 0;
+  size_t cap = 1;
+  while (cap < occupancy) {
+    cap <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void SlidingWindow::Record(double reply_ms, double latency_ms) {
+  samples_.emplace_back(reply_ms, latency_ms);
+  const double horizon = reply_ms - window_ms_;
+  while (!samples_.empty() && samples_.front().first <= horizon) {
+    samples_.pop_front();
+  }
+}
+
+SlidingWindow::Snapshot SlidingWindow::At(double now_ms) const {
+  Snapshot snap;
+  std::vector<double> lat;
+  lat.reserve(samples_.size());
+  for (const auto& [reply, latency] : samples_) {
+    if (reply > now_ms - window_ms_ && reply <= now_ms) {
+      lat.push_back(latency);
+    }
+  }
+  snap.count = lat.size();
+  if (lat.empty()) return snap;
+  std::sort(lat.begin(), lat.end());
+  snap.p50_ms = Percentile(lat, 0.50);
+  snap.p95_ms = Percentile(lat, 0.95);
+  snap.p99_ms = Percentile(lat, 0.99);
+  snap.qps = 1000.0 * static_cast<double>(lat.size()) / window_ms_;
+  return snap;
+}
+
+void MetricsBuilder::RecordServed(const RequestTiming& t) {
+  ++metrics_.requests;
+  ++metrics_.served;
+  latencies_.push_back(t.Latency());
+  if (first_enqueue_ms_ < 0.0 || t.enqueue_ms < first_enqueue_ms_) {
+    first_enqueue_ms_ = t.enqueue_ms;
+  }
+  last_reply_ms_ = std::max(last_reply_ms_, t.reply_ms);
+  window_.Record(t.reply_ms, t.Latency());
+  const SlidingWindow::Snapshot snap = window_.At(t.reply_ms);
+  metrics_.window_p99_peak_ms =
+      std::max(metrics_.window_p99_peak_ms, snap.p99_ms);
+}
+
+void MetricsBuilder::RecordShed(const RequestTiming& t) {
+  ++metrics_.requests;
+  ++metrics_.shed;
+  if (first_enqueue_ms_ < 0.0 || t.enqueue_ms < first_enqueue_ms_) {
+    first_enqueue_ms_ = t.enqueue_ms;
+  }
+  last_reply_ms_ = std::max(last_reply_ms_, t.reply_ms);
+}
+
+void MetricsBuilder::RecordFailed() {
+  ++metrics_.requests;
+  ++metrics_.failed;
+}
+
+void MetricsBuilder::RecordBatch(size_t occupancy, size_t width) {
+  if (occupancy == 0) return;
+  ++metrics_.batches;
+  occupancy_sum_ += occupancy;
+  width_sum_ += width;
+  const size_t bucket = OccupancyBucket(occupancy);
+  if (metrics_.occupancy_histogram.size() <= bucket) {
+    metrics_.occupancy_histogram.resize(bucket + 1, 0);
+  }
+  ++metrics_.occupancy_histogram[bucket];
+}
+
+void MetricsBuilder::RecordUpdate() { ++metrics_.update_events; }
+
+ServiceMetrics MetricsBuilder::Finalize() {
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  metrics_.p50_ms = Percentile(sorted, 0.50);
+  metrics_.p95_ms = Percentile(sorted, 0.95);
+  metrics_.p99_ms = Percentile(sorted, 0.99);
+  metrics_.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  metrics_.mean_ms =
+      sorted.empty() ? 0.0 : sum / static_cast<double>(sorted.size());
+  metrics_.duration_ms =
+      first_enqueue_ms_ < 0.0 ? 0.0 : last_reply_ms_ - first_enqueue_ms_;
+  if (metrics_.duration_ms > 0.0) {
+    metrics_.achieved_qps = 1000.0 * static_cast<double>(metrics_.served) /
+                            metrics_.duration_ms;
+    metrics_.offered_qps = 1000.0 * static_cast<double>(metrics_.requests) /
+                           metrics_.duration_ms;
+  }
+  if (metrics_.batches > 0) {
+    metrics_.mean_batch_occupancy =
+        static_cast<double>(occupancy_sum_) /
+        static_cast<double>(metrics_.batches);
+    metrics_.mean_width = static_cast<double>(width_sum_) /
+                          static_cast<double>(metrics_.batches);
+  }
+  return metrics_;
+}
+
+std::string MetricsJson(const ServiceMetrics& m) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, double v, bool first = false) {
+    if (!first) out += ", ";
+    out += "\"";
+    out += name;
+    out += "\": ";
+    AppendNumber(&out, v);
+  };
+  const auto count = [&out](const char* name, uint64_t v) {
+    out += ", \"";
+    out += name;
+    out += "\": ";
+    out += std::to_string(v);
+  };
+  out += "\"requests\": " + std::to_string(m.requests);
+  count("served", m.served);
+  count("shed", m.shed);
+  count("failed", m.failed);
+  count("update_events", m.update_events);
+  count("batches", m.batches);
+  field("duration_ms", m.duration_ms);
+  field("p50_ms", m.p50_ms);
+  field("p95_ms", m.p95_ms);
+  field("p99_ms", m.p99_ms);
+  field("max_ms", m.max_ms);
+  field("mean_ms", m.mean_ms);
+  field("achieved_qps", m.achieved_qps);
+  field("offered_qps", m.offered_qps);
+  field("shed_rate", m.ShedRate());
+  field("mean_batch_occupancy", m.mean_batch_occupancy);
+  field("mean_width", m.mean_width);
+  field("window_p99_peak_ms", m.window_p99_peak_ms);
+  out += ", \"occupancy_histogram\": [";
+  for (size_t b = 0; b < m.occupancy_histogram.size(); ++b) {
+    if (b > 0) out += ", ";
+    out += std::to_string(m.occupancy_histogram[b]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gir::serve

@@ -1,0 +1,162 @@
+#include "serve/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gir::serve {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Instantaneous arrival rate at trace time t (queries+updates per
+// second).
+double RateAt(const TrafficConfig& c, double t_ms) {
+  double rate = c.base_qps;
+  if (c.diurnal_amplitude > 0.0) {
+    rate *= 1.0 + c.diurnal_amplitude *
+                      std::sin(2.0 * kPi * t_ms / c.diurnal_period_ms);
+  }
+  if (c.burst_every_ms > 0.0 && c.burst_factor != 1.0) {
+    const double phase = std::fmod(t_ms, c.burst_every_ms);
+    if (phase < c.burst_len_ms) rate *= c.burst_factor;
+  }
+  return rate;
+}
+
+// Key -> fixed archetype weight vector. Each key owns a private RNG
+// seeded from (trace seed, key), so the mapping is stable under every
+// other config knob — the same key means the same weights across
+// rates, mixes and trace lengths.
+Vec KeyWeights(const TrafficConfig& c, uint32_t key) {
+  Rng rng(c.seed * 0x9E3779B97F4A7C15ULL + 0x51ED2701 + key);
+  Vec w(c.dim);
+  for (size_t j = 0; j < c.dim; ++j) w[j] = rng.Uniform(0.05, 1.0);
+  return w;
+}
+
+}  // namespace
+
+Result<Trace> GenerateTrace(const TrafficConfig& c) {
+  if (c.dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (c.k == 0) return Status::InvalidArgument("k must be positive");
+  if (c.base_qps <= 0.0) {
+    return Status::InvalidArgument("base_qps must be positive");
+  }
+  if (c.key_pool == 0) {
+    return Status::InvalidArgument("key_pool must be positive");
+  }
+  if (c.zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf_s must be nonnegative");
+  }
+  if (!(c.diurnal_amplitude >= 0.0 && c.diurnal_amplitude < 1.0)) {
+    return Status::InvalidArgument("diurnal_amplitude must be in [0, 1)");
+  }
+  if (c.update_ratio < 0.0 || c.update_ratio > 1.0) {
+    return Status::InvalidArgument("update_ratio must be in [0, 1]");
+  }
+  if (c.delete_fraction < 0.0 || c.delete_fraction > 1.0) {
+    return Status::InvalidArgument("delete_fraction must be in [0, 1]");
+  }
+  const size_t deletes_per_batch = static_cast<size_t>(
+      c.delete_fraction * static_cast<double>(c.updates_per_batch));
+  if (c.update_ratio > 0.0 && deletes_per_batch > 0 &&
+      c.initial_records == 0) {
+    return Status::InvalidArgument(
+        "delete-bearing update stream needs initial_records > 0");
+  }
+
+  // Zipf CDF over key ranks: P(rank r) ~ 1 / (r+1)^s.
+  std::vector<double> zipf_cdf(c.key_pool);
+  {
+    double total = 0.0;
+    for (size_t r = 0; r < c.key_pool; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), c.zipf_s);
+      zipf_cdf[r] = total;
+    }
+    for (double& v : zipf_cdf) v /= total;
+  }
+  // Archetype weights materialized once; queries reference them so the
+  // hot keys repeat bitwise.
+  std::vector<Vec> key_weights(c.key_pool);
+  for (size_t r = 0; r < c.key_pool; ++r) {
+    key_weights[r] = KeyWeights(c, static_cast<uint32_t>(r));
+  }
+
+  Trace trace;
+  trace.config = c;
+  trace.events.reserve(c.events);
+  Rng rng(c.seed);
+
+  // Live-id bookkeeping for the update stream: initial dataset ids plus
+  // this trace's own inserts, minus its own deletes. Appends get
+  // sequential ids (Dataset::AppendRecord contract), so the next insert
+  // id is a plain counter.
+  std::vector<RecordId> live;
+  RecordId next_insert_id = static_cast<RecordId>(c.initial_records);
+  if (c.update_ratio > 0.0 && deletes_per_batch > 0) {
+    live.reserve(c.initial_records + c.events * c.updates_per_batch);
+    for (size_t i = 0; i < c.initial_records; ++i) {
+      live.push_back(static_cast<RecordId>(i));
+    }
+  }
+
+  double now_ms = 0.0;
+  for (size_t e = 0; e < c.events; ++e) {
+    // Exponential gap at the rate in effect at the previous arrival
+    // (piecewise-constant approximation of the non-homogeneous
+    // process; exact for flat config).
+    const double rate = RateAt(c, now_ms);
+    const double u = std::max(1e-12, 1.0 - rng.Uniform());
+    now_ms += -std::log(u) / rate * 1000.0;
+
+    TraceEvent ev;
+    ev.arrival_ms = now_ms;
+    if (c.update_ratio > 0.0 && rng.Uniform() < c.update_ratio) {
+      ev.kind = TraceEventKind::kUpdate;
+      const size_t deletes =
+          std::min(deletes_per_batch, live.size());
+      for (size_t d = 0; d < deletes; ++d) {
+        const size_t pick = rng.UniformInt(live.size());
+        ev.update.deletes.push_back(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+      for (size_t i = deletes; i < c.updates_per_batch; ++i) {
+        Vec p(c.dim);
+        for (size_t j = 0; j < c.dim; ++j) p[j] = rng.Uniform();
+        ev.update.inserts.push_back(std::move(p));
+        if (deletes_per_batch > 0) live.push_back(next_insert_id);
+        ++next_insert_id;
+      }
+      ++trace.updates;
+    } else {
+      ev.kind = TraceEventKind::kQuery;
+      const double z = rng.Uniform();
+      const size_t rank = static_cast<size_t>(
+          std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), z) -
+          zipf_cdf.begin());
+      ev.key = static_cast<uint32_t>(std::min(rank, c.key_pool - 1));
+      ev.k = c.k;
+      if (c.jitter_prob > 0.0 && rng.Uniform() < c.jitter_prob) {
+        Vec w(c.dim);
+        const Vec& center = key_weights[ev.key];
+        for (size_t j = 0; j < c.dim; ++j) {
+          w[j] = std::min(
+              1.0, std::max(0.01, center[j] + rng.Gaussian(0.0, c.jitter)));
+        }
+        ev.weights = std::move(w);
+      } else {
+        ev.weights = key_weights[ev.key];
+      }
+      ++trace.queries;
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  trace.duration_ms = now_ms;
+  return trace;
+}
+
+}  // namespace gir::serve

@@ -1,0 +1,97 @@
+#ifndef GIR_SERVE_TRAFFIC_GEN_H_
+#define GIR_SERVE_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "gir/engine.h"
+
+namespace gir::serve {
+
+// Configuration of one synthetic arrival trace. Every knob is part of
+// the determinism contract: the same TrafficConfig (seed included)
+// always generates the bit-identical Trace, so a serving experiment is
+// replayable from its config alone.
+struct TrafficConfig {
+  uint64_t seed = 2014;
+  size_t dim = 3;
+  size_t k = 20;
+  // Total events (queries + update batches) in the trace.
+  size_t events = 1024;
+
+  // ----- arrival process: non-homogeneous Poisson -----
+  // rate(t) = base_qps * (1 + diurnal_amplitude * sin(2*pi*t/period))
+  //                    * (burst active at t ? burst_factor : 1)
+  // Inter-arrival gaps are exponential at rate(t) of the previous
+  // arrival (piecewise-constant thinning — accurate at trace scale).
+  double base_qps = 1000.0;
+  double diurnal_amplitude = 0.0;  // 0 = flat; must stay in [0, 1)
+  double diurnal_period_ms = 4000.0;
+  // Bursts: every burst_every_ms, the rate multiplies by burst_factor
+  // for burst_len_ms. burst_every_ms = 0 disables bursts.
+  double burst_factor = 1.0;
+  double burst_every_ms = 0.0;
+  double burst_len_ms = 100.0;
+
+  // ----- query population: Zipf-skewed keys over archetype weights ---
+  // Each query draws a key from a Zipf(zipf_s) distribution over
+  // key_pool distinct keys; a key maps to a fixed weight vector (drawn
+  // once from the key's own seeded RNG), so hot keys repeat *exactly*
+  // — the preset-weights user. With probability jitter_prob the query
+  // instead personalizes its key's weights with Gaussian jitter.
+  size_t key_pool = 64;
+  double zipf_s = 1.1;
+  double jitter = 0.02;
+  double jitter_prob = 0.0;
+
+  // ----- mixed read/update stream -----
+  // Probability an event is an UpdateBatch instead of a query.
+  double update_ratio = 0.0;
+  size_t updates_per_batch = 4;
+  double delete_fraction = 0.5;  // of updates_per_batch, rounded down
+  // Size of the dataset the trace will run against; the generator
+  // tracks live ids (initial ids plus its own inserts, minus its own
+  // deletes) so every emitted delete targets a live record and the
+  // whole trace is valid for GirEngine::ApplyUpdates when applied in
+  // order.
+  size_t initial_records = 0;
+};
+
+enum class TraceEventKind { kQuery, kUpdate };
+
+struct TraceEvent {
+  double arrival_ms = 0.0;
+  TraceEventKind kind = TraceEventKind::kQuery;
+  // Query payload (kind == kQuery).
+  uint32_t key = 0;  // Zipf key the weights derive from (for analysis)
+  Vec weights;
+  size_t k = 0;
+  // Update payload (kind == kUpdate).
+  UpdateBatch update;
+};
+
+struct Trace {
+  TrafficConfig config;
+  std::vector<TraceEvent> events;  // arrival_ms nondecreasing
+  size_t queries = 0;
+  size_t updates = 0;
+  double duration_ms = 0.0;  // last arrival
+  // Mean offered load over the trace (queries per second of trace
+  // time; update events excluded).
+  double OfferedQps() const {
+    return duration_ms <= 0.0
+               ? 0.0
+               : 1000.0 * static_cast<double>(queries) / duration_ms;
+  }
+};
+
+// Generates the trace for `config`. Deterministic: bit-identical output
+// for equal configs. InvalidArgument on out-of-domain knobs (zero
+// dim/rate/pool, diurnal_amplitude >= 1, delete-bearing update stream
+// over an empty dataset, ...).
+Result<Trace> GenerateTrace(const TrafficConfig& config);
+
+}  // namespace gir::serve
+
+#endif  // GIR_SERVE_TRAFFIC_GEN_H_

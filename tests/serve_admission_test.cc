@@ -1,0 +1,198 @@
+// Admission/batch-former contract: cosine archetype clustering orders
+// batches cluster-major and picks the adaptive width, shedding is
+// always an explicit ResourceExhausted (capacity at Submit, expiry at
+// Form), the firing policy respects max_wait/max_batch — and the queue
+// is safe under concurrent producers with a consumer (the TSan CI job
+// hammers this test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/admission.h"
+
+namespace gir::serve {
+namespace {
+
+Vec Archetype(double a, double b, double c) { return Vec{a, b, c}; }
+
+ServiceRequest Req(uint64_t id, Vec w, double enqueue_ms) {
+  ServiceRequest r;
+  r.id = id;
+  r.weights = std::move(w);
+  r.k = 10;
+  r.enqueue_ms = enqueue_ms;
+  r.deadline_ms = enqueue_ms + 100.0;
+  return r;
+}
+
+TEST(ClusterForExecutionTest, GroupsByArchetypeAndPicksWidth) {
+  AdmissionOptions opt;
+  opt.cluster_cos = 0.999;
+  // Two archetypes (4 and 2 members, scaled copies cluster together)
+  // plus two stragglers.
+  std::vector<ServiceRequest> reqs;
+  reqs.push_back(Req(0, Archetype(0.9, 0.1, 0.1), 0.0));
+  reqs.push_back(Req(1, Archetype(0.1, 0.9, 0.1), 1.0));
+  reqs.push_back(Req(2, Archetype(0.45, 0.05, 0.05), 2.0));  // = 0 scaled
+  reqs.push_back(Req(3, Archetype(0.3, 0.3, 0.9), 3.0));     // straggler
+  reqs.push_back(Req(4, Archetype(0.9, 0.1, 0.1), 4.0));
+  reqs.push_back(Req(5, Archetype(0.05, 0.45, 0.05), 5.0));  // = 1 scaled
+  reqs.push_back(Req(6, Archetype(0.9, 0.1, 0.1), 6.0));
+  reqs.push_back(Req(7, Archetype(0.9, 0.3, 0.7), 7.0));     // straggler
+
+  FormedBatch fb = ClusterForExecution(std::move(reqs), opt, 10.0);
+  ASSERT_EQ(fb.requests.size(), 8u);
+  ASSERT_EQ(fb.group_of.size(), 8u);
+  EXPECT_EQ(fb.clusters, 2u);
+  EXPECT_EQ(fb.stragglers, 2u);
+  EXPECT_EQ(fb.width, 4u);  // largest cluster
+
+  // Cluster-major order: the size-4 cluster first (ids 0,2,4,6 in
+  // arrival order), then the size-2 cluster (1,5), stragglers last.
+  std::vector<uint64_t> ids;
+  for (const ServiceRequest& r : fb.requests) ids.push_back(r.id);
+  EXPECT_EQ(ids, (std::vector<uint64_t>{0, 2, 4, 6, 1, 5, 3, 7}));
+  // Labels are contiguous runs (what BatchExecHints::group_of wants).
+  EXPECT_EQ(fb.group_of[0], fb.group_of[1]);
+  EXPECT_EQ(fb.group_of[0], fb.group_of[3]);
+  EXPECT_EQ(fb.group_of[4], fb.group_of[5]);
+  EXPECT_NE(fb.group_of[0], fb.group_of[4]);
+  EXPECT_NE(fb.group_of[5], fb.group_of[6]);
+  EXPECT_NE(fb.group_of[6], fb.group_of[7]);
+}
+
+TEST(ClusterForExecutionTest, AllStragglersFallBackToFanOutWidth) {
+  AdmissionOptions opt;
+  opt.cluster_cos = 0.99999;
+  std::vector<ServiceRequest> reqs;
+  reqs.push_back(Req(0, Archetype(0.9, 0.1, 0.1), 0.0));
+  reqs.push_back(Req(1, Archetype(0.1, 0.9, 0.1), 1.0));
+  reqs.push_back(Req(2, Archetype(0.1, 0.1, 0.9), 2.0));
+  FormedBatch fb = ClusterForExecution(std::move(reqs), opt, 3.0);
+  EXPECT_EQ(fb.clusters, 0u);
+  EXPECT_EQ(fb.stragglers, 3u);
+  EXPECT_EQ(fb.width, 1u);  // per-query traversal = fan-out fallback
+}
+
+TEST(ClusterForExecutionTest, WidthIsCappedAtMaxWidth) {
+  AdmissionOptions opt;
+  opt.cluster_cos = 0.9;
+  opt.max_width = 4;
+  std::vector<ServiceRequest> reqs;
+  for (uint64_t i = 0; i < 16; ++i) {
+    reqs.push_back(Req(i, Archetype(0.9, 0.1, 0.1), static_cast<double>(i)));
+  }
+  FormedBatch fb = ClusterForExecution(std::move(reqs), opt, 20.0);
+  EXPECT_EQ(fb.width, 4u);
+}
+
+TEST(AdmissionQueueTest, FiringPolicyMaxWaitAndMaxBatch) {
+  AdmissionOptions opt;
+  opt.max_batch = 3;
+  opt.max_wait_ms = 5.0;
+  AdmissionQueue q(opt);
+  EXPECT_LT(q.NextFireTime(), 0.0);
+  EXPECT_FALSE(q.ShouldForm(100.0));
+
+  ASSERT_TRUE(q.Submit(0, Archetype(0.5, 0.5, 0.5), 10, 1.0).ok());
+  EXPECT_EQ(q.NextFireTime(), 6.0);  // oldest + max_wait
+  EXPECT_FALSE(q.ShouldForm(5.9));
+  EXPECT_TRUE(q.ShouldForm(6.0));
+
+  ASSERT_TRUE(q.Submit(1, Archetype(0.5, 0.5, 0.5), 10, 2.0).ok());
+  ASSERT_TRUE(q.Submit(2, Archetype(0.5, 0.5, 0.5), 10, 3.0).ok());
+  EXPECT_TRUE(q.ShouldForm(3.0));  // full batch fires immediately
+  EXPECT_EQ(q.NextFireTime(), 1.0);
+
+  std::vector<ShedRequest> shed;
+  FormedBatch fb = q.Form(3.0, &shed);
+  EXPECT_EQ(fb.requests.size(), 3u);
+  EXPECT_TRUE(shed.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueueTest, ShedsExplicitlyOnCapacityAndExpiry) {
+  AdmissionOptions opt;
+  opt.queue_capacity = 2;
+  opt.deadline_ms = 10.0;
+  opt.max_batch = 8;
+  AdmissionQueue q(opt);
+  ASSERT_TRUE(q.Submit(0, Archetype(0.5, 0.5, 0.5), 10, 0.0).ok());
+  ASSERT_TRUE(q.Submit(1, Archetype(0.5, 0.5, 0.5), 10, 1.0).ok());
+  Status overflow = q.Submit(2, Archetype(0.5, 0.5, 0.5), 10, 2.0);
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(q.Submit(3, Vec{}, 10, 2.0).ok());  // malformed
+
+  // Request 0 (deadline 10.0) expires by t=15; request 1 (deadline
+  // 11.0) expires too. Both must come back as explicit sheds.
+  std::vector<ShedRequest> shed;
+  FormedBatch fb = q.Form(15.0, &shed);
+  EXPECT_TRUE(fb.requests.empty());
+  ASSERT_EQ(shed.size(), 2u);
+  for (const ShedRequest& s : shed) {
+    EXPECT_EQ(s.status.code(), StatusCode::kResourceExhausted);
+  }
+}
+
+// Concurrency hammer (the TSan target): producers race Submit against
+// a consumer forming batches; every submitted id must come out exactly
+// once, either admitted or shed — conservation, no duplicates, no
+// losses.
+TEST(AdmissionQueueTest, ConcurrentProducersConserveRequests) {
+  AdmissionOptions opt;
+  opt.max_batch = 16;
+  opt.max_wait_ms = 0.0;  // always ripe
+  opt.queue_capacity = 64;
+  opt.deadline_ms = 1e9;
+  AdmissionQueue q(opt);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(p + 1);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t id =
+            static_cast<uint64_t>(p) * kPerProducer + static_cast<uint64_t>(i);
+        Vec w{rng.Uniform(0.05, 1.0), rng.Uniform(0.05, 1.0),
+              rng.Uniform(0.05, 1.0)};
+        Status st = q.Submit(id, std::move(w), 10, static_cast<double>(i));
+        if (st.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::set<uint64_t> drained;
+  std::thread consumer([&] {
+    std::vector<ShedRequest> shed;
+    while (!done.load() || q.size() > 0) {
+      FormedBatch fb = q.Form(0.0, &shed);
+      for (const ServiceRequest& r : fb.requests) {
+        EXPECT_TRUE(drained.insert(r.id).second) << "duplicate id " << r.id;
+      }
+      if (fb.requests.empty()) std::this_thread::yield();
+    }
+    for (const ShedRequest& s : shed) {
+      EXPECT_TRUE(drained.insert(s.request.id).second);
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done.store(true);
+  consumer.join();
+  EXPECT_EQ(static_cast<int>(drained.size()), accepted.load());
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace gir::serve

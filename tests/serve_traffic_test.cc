@@ -1,0 +1,177 @@
+// Traffic generator contract: fixed-seed determinism (bit-identical
+// traces), monotone arrival times, Zipf key skew, burst/diurnal rate
+// modulation, and — the piece the replayer leans on — update-batch
+// validity: every delete in a generated trace targets a record that is
+// live at that point of the stream, so the whole trace applies cleanly
+// through GirEngine::ApplyUpdates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gir/engine.h"
+#include "serve/traffic_gen.h"
+#include "storage/disk_manager.h"
+#include "topk/scoring.h"
+
+namespace gir::serve {
+namespace {
+
+TrafficConfig SmallConfig() {
+  TrafficConfig c;
+  c.seed = 77;
+  c.dim = 3;
+  c.k = 5;
+  c.events = 400;
+  c.base_qps = 2000.0;
+  c.key_pool = 16;
+  c.zipf_s = 1.2;
+  return c;
+}
+
+TEST(TrafficGenTest, FixedSeedIsBitIdentical) {
+  TrafficConfig c = SmallConfig();
+  c.update_ratio = 0.1;
+  c.initial_records = 50;
+  c.jitter_prob = 0.3;
+  Result<Trace> a = GenerateTrace(c);
+  Result<Trace> b = GenerateTrace(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->events.size(), b->events.size());
+  EXPECT_EQ(a->queries, b->queries);
+  EXPECT_EQ(a->updates, b->updates);
+  for (size_t i = 0; i < a->events.size(); ++i) {
+    const TraceEvent& ea = a->events[i];
+    const TraceEvent& eb = b->events[i];
+    EXPECT_EQ(ea.arrival_ms, eb.arrival_ms) << i;  // bitwise doubles
+    ASSERT_EQ(ea.kind, eb.kind) << i;
+    EXPECT_EQ(ea.key, eb.key) << i;
+    EXPECT_EQ(ea.weights, eb.weights) << i;
+    EXPECT_EQ(ea.update.deletes, eb.update.deletes) << i;
+    ASSERT_EQ(ea.update.inserts.size(), eb.update.inserts.size()) << i;
+    for (size_t p = 0; p < ea.update.inserts.size(); ++p) {
+      EXPECT_EQ(ea.update.inserts[p], eb.update.inserts[p]) << i;
+    }
+  }
+
+  TrafficConfig other = c;
+  other.seed = 78;
+  Result<Trace> d = GenerateTrace(other);
+  ASSERT_TRUE(d.ok());
+  bool differs = false;
+  for (size_t i = 0; i < d->events.size() && !differs; ++i) {
+    differs = d->events[i].arrival_ms != a->events[i].arrival_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TrafficGenTest, ArrivalsAreMonotoneAtTheConfiguredRate) {
+  TrafficConfig c = SmallConfig();
+  c.events = 2000;
+  Result<Trace> t = GenerateTrace(c);
+  ASSERT_TRUE(t.ok());
+  double prev = 0.0;
+  for (const TraceEvent& ev : t->events) {
+    EXPECT_GE(ev.arrival_ms, prev);
+    prev = ev.arrival_ms;
+  }
+  // Mean offered rate within 20% of base_qps for a flat process.
+  EXPECT_NEAR(t->OfferedQps(), c.base_qps, 0.2 * c.base_qps);
+}
+
+TEST(TrafficGenTest, ZipfSkewsKeysAndHotKeysRepeatBitwise) {
+  TrafficConfig c = SmallConfig();
+  c.events = 4000;
+  c.zipf_s = 1.3;
+  Result<Trace> t = GenerateTrace(c);
+  ASSERT_TRUE(t.ok());
+  std::map<uint32_t, size_t> counts;
+  std::map<uint32_t, Vec> weights_of;
+  for (const TraceEvent& ev : t->events) {
+    ++counts[ev.key];
+    auto [it, inserted] = weights_of.emplace(ev.key, ev.weights);
+    if (!inserted) {
+      // jitter_prob = 0: every occurrence of a key carries the exact
+      // same weight vector (the preset-weights repeat the dedupe and
+      // cache layers feed on).
+      EXPECT_EQ(it->second, ev.weights) << "key " << ev.key;
+    }
+  }
+  // Rank 0 must dominate the tail rank by a wide margin under s=1.3.
+  const size_t head = counts.count(0) ? counts[0] : 0;
+  const uint32_t tail_key = static_cast<uint32_t>(c.key_pool - 1);
+  const size_t tail = counts.count(tail_key) ? counts[tail_key] : 0;
+  EXPECT_GT(head, 5 * std::max<size_t>(tail, 1));
+}
+
+TEST(TrafficGenTest, BurstsCompressInterArrivalGaps) {
+  TrafficConfig c = SmallConfig();
+  c.events = 6000;
+  c.base_qps = 1000.0;
+  c.burst_factor = 8.0;
+  c.burst_every_ms = 1000.0;
+  c.burst_len_ms = 200.0;
+  Result<Trace> t = GenerateTrace(c);
+  ASSERT_TRUE(t.ok());
+  size_t in_burst = 0;
+  size_t outside = 0;
+  for (const TraceEvent& ev : t->events) {
+    const double phase =
+        ev.arrival_ms - 1000.0 * std::floor(ev.arrival_ms / 1000.0);
+    (phase < 200.0 ? in_burst : outside) += 1;
+  }
+  // Burst windows cover 20% of time at 8x rate: they should hold well
+  // over half of all arrivals (8*0.2 / (8*0.2 + 0.8) ~ 2/3).
+  EXPECT_GT(in_burst, outside);
+}
+
+TEST(TrafficGenTest, UpdateStreamAppliesCleanly) {
+  TrafficConfig c = SmallConfig();
+  c.events = 600;
+  c.update_ratio = 0.25;
+  c.updates_per_batch = 6;
+  c.delete_fraction = 0.5;
+  c.initial_records = 200;
+  Result<Trace> t = GenerateTrace(c);
+  ASSERT_TRUE(t.ok());
+  ASSERT_GT(t->updates, 0u);
+
+  Rng rng(11);
+  Result<Dataset> data = GenerateByName("IND", c.initial_records, c.dim, rng);
+  ASSERT_TRUE(data.ok());
+  DiskManager disk;
+  GirEngine engine(&data.value(), &disk, MakeScoring("Linear", c.dim));
+  size_t applied = 0;
+  for (const TraceEvent& ev : t->events) {
+    if (ev.kind != TraceEventKind::kUpdate) continue;
+    Result<UpdateStats> up = engine.ApplyUpdates(ev.update);
+    ASSERT_TRUE(up.ok()) << "update " << applied << ": "
+                         << up.status().ToString();
+    ++applied;
+  }
+  EXPECT_EQ(applied, t->updates);
+}
+
+TEST(TrafficGenTest, RejectsOutOfDomainConfigs) {
+  TrafficConfig c = SmallConfig();
+  c.base_qps = 0.0;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = SmallConfig();
+  c.diurnal_amplitude = 1.0;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = SmallConfig();
+  c.key_pool = 0;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = SmallConfig();
+  c.update_ratio = 0.5;
+  c.delete_fraction = 1.0;
+  c.initial_records = 0;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+}
+
+}  // namespace
+}  // namespace gir::serve

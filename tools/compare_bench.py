@@ -11,6 +11,14 @@ Usage:
       --metric micro.node_score_speedup_vs_aos:higher:0.4 \
       [--tolerance 0.25]
 
+  compare_bench.py --gates bench/gates.json
+
+The --gates form runs every entry of a committed manifest — a JSON
+object {"gates": [{"baseline": ..., "fresh": ..., "metrics": [SPEC,
+...]}, ...]} with paths relative to the manifest's directory — so CI
+invokes one command instead of one block per bench, and adding a bench
+gate is a manifest edit, not a workflow edit.
+
 Each --metric is PATH[:DIRECTION[:TOLERANCE]]:
   PATH       dot-separated keys into the JSON (e.g. incremental.survival_rate)
   DIRECTION  "higher" (default): regression = fresh < baseline * (1 - tol)
@@ -25,6 +33,7 @@ A baseline of 0 with direction higher/lower is skipped with a warning
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -47,34 +56,34 @@ def parse_metric(spec, default_tolerance):
     return path, direction, tolerance
 
 
-def main(argv):
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--fresh", required=True)
-    ap.add_argument("--metric", action="append", required=True,
-                    help="PATH[:DIRECTION[:TOLERANCE]] (repeatable)")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="default allowed regression fraction (0.25 = 25%%)")
-    args = ap.parse_args(argv[1:])
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+def compare_pair(baseline_path, fresh_path, metrics, default_tolerance):
+    """Compares one baseline/fresh pair; returns the failure count."""
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"FAIL {baseline_path}: {e}")
+        return 1
+    try:
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except OSError as e:
+        print(f"FAIL {fresh_path}: {e}")
+        return 1
 
     failures = 0
-    for spec in args.metric:
-        path, direction, tol = parse_metric(spec, args.tolerance)
+    for spec in metrics:
+        path, direction, tol = parse_metric(spec, default_tolerance)
         try:
             base_value = lookup(baseline, path)
         except KeyError:
-            print(f"FAIL {path}: missing from baseline {args.baseline}")
+            print(f"FAIL {path}: missing from baseline {baseline_path}")
             failures += 1
             continue
         try:
             fresh_value = lookup(fresh, path)
         except KeyError:
-            print(f"FAIL {path}: missing from fresh {args.fresh}")
+            print(f"FAIL {path}: missing from fresh {fresh_path}")
             failures += 1
             continue
 
@@ -114,6 +123,50 @@ def main(argv):
             print(f"ok   {path}: fresh {fresh_value:.4g} vs baseline "
                   f"{base_value:.4g} ({direction}-is-better, "
                   f"tol {tol:.0%})")
+
+    return failures
+
+
+def run_gates(manifest_path, default_tolerance):
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    gates = manifest.get("gates")
+    if not isinstance(gates, list) or not gates:
+        print(f"FAIL {manifest_path}: no 'gates' array")
+        return 1
+    base_dir = os.path.dirname(os.path.abspath(manifest_path))
+    failures = 0
+    for gate in gates:
+        baseline = os.path.join(base_dir, gate["baseline"])
+        fresh = os.path.join(base_dir, gate["fresh"])
+        print(f"--- {gate['baseline']} vs {gate['fresh']} ---")
+        failures += compare_pair(baseline, fresh, gate["metrics"],
+                                 gate.get("tolerance", default_tolerance))
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline")
+    ap.add_argument("--fresh")
+    ap.add_argument("--metric", action="append", default=[],
+                    help="PATH[:DIRECTION[:TOLERANCE]] (repeatable)")
+    ap.add_argument("--gates",
+                    help="manifest of (baseline, fresh, metrics) entries; "
+                         "paths resolve relative to the manifest")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="default allowed regression fraction (0.25 = 25%%)")
+    args = ap.parse_args(argv[1:])
+
+    if args.gates:
+        if args.baseline or args.fresh or args.metric:
+            ap.error("--gates is exclusive with --baseline/--fresh/--metric")
+        failures = run_gates(args.gates, args.tolerance)
+    else:
+        if not (args.baseline and args.fresh and args.metric):
+            ap.error("need --baseline, --fresh and --metric (or --gates)")
+        failures = compare_pair(args.baseline, args.fresh, args.metric,
+                                args.tolerance)
 
     if failures:
         print(f"{failures} metric(s) regressed beyond tolerance")
