@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+namespace gir {
+
+namespace {
+
+// 256-entry table for the reflected IEEE polynomial 0xEDB88320, built
+// once on first use (thread-safe since C++11 magic statics).
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    struct Table {
+      uint32_t t[256];
+    } out;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      out.t[i] = c;
+    }
+    return out;
+  }();
+  return table.t;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gir

@@ -1,0 +1,18 @@
+#ifndef GIR_COMMON_CRC32_H_
+#define GIR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gir {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant): the snapshot
+// store stamps every file section with it so torn writes and bit rot
+// are detected at recovery instead of silently deserialized. Chainable:
+// pass a previous return value as `seed` to checksum split buffers as
+// one stream. Crc32(data, n) == Crc32 of the same bytes in any split.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace gir
+
+#endif  // GIR_COMMON_CRC32_H_

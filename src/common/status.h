@@ -18,6 +18,15 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  // Transient storage/service failure (e.g. an injected or real page
+  // read error, a shut-down admission queue). Retryable: callers with
+  // budget left should back off and retry; callers without must
+  // surface it as the request's terminal state, never drop silently.
+  kUnavailable,
+  // Durable data is unreadable or failed its checksum (torn snapshot,
+  // bit rot). Not retryable against the same bytes; recovery must fall
+  // back to an older valid epoch.
+  kDataLoss,
 };
 
 // A Status holds a code and, for non-OK codes, a human-readable message.
@@ -50,6 +59,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string_view msg) {
     return Status(StatusCode::kResourceExhausted, std::string(msg));
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, std::string(msg));
+  }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, std::string(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

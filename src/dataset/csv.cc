@@ -1,5 +1,6 @@
 #include "dataset/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,18 +20,41 @@ std::vector<std::string> SplitLine(const std::string& line, char delim) {
   return cells;
 }
 
-bool ParseRow(const std::vector<std::string>& cells, Vec* row) {
+enum class CellError { kNone, kNonNumeric, kNonFinite };
+
+// Parses every cell as a double. On failure *bad_col holds the
+// offending 1-based column. Non-finite values (strtod accepts "nan"
+// and "inf" spellings) are a distinct error: they parse as numbers but
+// would poison every dominance test and score downstream, so ingestion
+// is where they must stop.
+CellError ParseRow(const std::vector<std::string>& cells, Vec* row,
+                   size_t* bad_col) {
   row->clear();
   row->reserve(cells.size());
-  for (const std::string& c : cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string& c = cells[i];
     char* end = nullptr;
-    double v = std::strtod(c.c_str(), &end);
-    if (end == c.c_str()) return false;
+    const double v = std::strtod(c.c_str(), &end);
+    if (end == c.c_str()) {
+      *bad_col = i + 1;
+      return CellError::kNonNumeric;
+    }
     while (*end == ' ' || *end == '\r' || *end == '\t') ++end;
-    if (*end != '\0') return false;
+    if (*end != '\0') {
+      *bad_col = i + 1;
+      return CellError::kNonNumeric;
+    }
+    if (!std::isfinite(v)) {
+      *bad_col = i + 1;
+      return CellError::kNonFinite;
+    }
     row->push_back(v);
   }
-  return !row->empty();
+  if (row->empty()) {
+    *bad_col = 1;
+    return CellError::kNonNumeric;
+  }
+  return CellError::kNone;
 }
 
 }  // namespace
@@ -48,16 +72,29 @@ Result<Dataset> LoadCsvDataset(const std::string& path,
     ++line_no;
     if (line.empty() || line == "\r") continue;
     std::vector<std::string> cells = SplitLine(line, options.delimiter);
-    if (!ParseRow(cells, &row)) {
+    size_t bad_col = 0;
+    const CellError err = ParseRow(cells, &row, &bad_col);
+    if (err == CellError::kNonNumeric) {
       if (line_no == 1 && options.auto_header) continue;  // header line
-      return Status::InvalidArgument("non-numeric cell at line " +
-                                     std::to_string(line_no));
+      return Status::InvalidArgument(
+          "non-numeric cell at line " + std::to_string(line_no) +
+          ", column " + std::to_string(bad_col));
+    }
+    if (err == CellError::kNonFinite) {
+      // Never header-skipped: a NaN/Inf parsed as a number, so this is
+      // a data row with a poisoned coordinate, not a column title.
+      return Status::InvalidArgument(
+          "non-finite value at line " + std::to_string(line_no) +
+          ", column " + std::to_string(bad_col) +
+          " (coordinates must be finite)");
     }
     if (dim == 0) {
       dim = row.size();
     } else if (row.size() != dim) {
-      return Status::InvalidArgument("ragged row at line " +
-                                     std::to_string(line_no));
+      return Status::InvalidArgument(
+          "ragged row at line " + std::to_string(line_no) + ": got " +
+          std::to_string(row.size()) + " columns, expected " +
+          std::to_string(dim));
     }
     rows.push_back(row);
   }

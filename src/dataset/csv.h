@@ -19,8 +19,11 @@ struct CsvOptions {
 
 // Loads a numeric CSV file into a Dataset. Every row must have the same
 // number of columns; blank lines are skipped. Fails with
-// InvalidArgument on ragged rows or non-numeric cells (after the
-// optional header) and NotFound when the file cannot be opened.
+// InvalidArgument — naming the offending line and column — on ragged
+// rows, non-numeric cells (after the optional header) and non-finite
+// coordinates (NaN/Inf parse as numbers but are rejected: they would
+// poison every score and dominance test downstream), and NotFound when
+// the file cannot be opened.
 Result<Dataset> LoadCsvDataset(const std::string& path,
                                const CsvOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "gir/batch_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/stopwatch.h"
@@ -16,6 +17,17 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+// Exponential backoff before retry attempt `attempt` (0-based).
+double BackoffMs(double base_ms, uint32_t attempt) {
+  return base_ms * static_cast<double>(uint64_t{1} << std::min(attempt, 30u));
+}
+
+void BackoffSleep(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
 }  // namespace
 
 void BatchEngine::FinalizeStats(BatchResult* out, double deadline_ms) const {
@@ -24,10 +36,15 @@ void BatchEngine::FinalizeStats(BatchResult* out, double deadline_ms) const {
   std::vector<double> latencies;
   latencies.reserve(out->items.size());
   for (const BatchItem& item : out->items) {
+    stats.fault_retries += item.retries;
     if (!item.status.ok()) {
       ++stats.failures;
+      if (item.status.code() == StatusCode::kUnavailable) {
+        ++stats.unavailable;
+      }
       continue;
     }
+    if (item.retries > 0) ++stats.retry_successes;
     if (deadline_ms > 0.0 && item.latency_ms > deadline_ms) {
       ++stats.deadline_misses;
     }
@@ -95,6 +112,22 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
       }
     }
     Result<GirComputation> gir = engine_->ComputeGir(weights[i], k, method);
+    // Bounded retry on transient storage faults: back off, then recompute
+    // on whatever epoch is current (the fault is per-attempt, not
+    // per-epoch). A retry that would blow the deadline budget is skipped
+    // — the query degrades to an explicit kUnavailable instead.
+    while (!gir.ok() && gir.status().code() == StatusCode::kUnavailable &&
+           item.retries < options_.max_retries) {
+      const double backoff_ms =
+          BackoffMs(options_.retry_backoff_ms, item.retries);
+      if (hints.deadline_ms > 0.0 &&
+          sw.ElapsedMillis() + backoff_ms >= hints.deadline_ms) {
+        break;
+      }
+      BackoffSleep(backoff_ms);
+      ++item.retries;
+      gir = engine_->ComputeGir(weights[i], k, method);
+    }
     if (!gir.ok()) {
       item.status = gir.status();
       item.latency_ms = sw.ElapsedMillis();
@@ -149,6 +182,15 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
   pool_.ParallelFor(n, [&](size_t i) {
     BatchItem& item = out.items[i];
     Stopwatch sw;
+    // Reject poisoned weights before any shared work: a NaN row would
+    // otherwise ride along in a group's score matrix. Mirrors the
+    // status ComputeGir reports on the fan-out path.
+    Status valid = ValidateQueryWeights(VecView(weights[i]));
+    if (!valid.ok()) {
+      item.status = valid;
+      item.latency_ms = sw.ElapsedMillis();
+      return;
+    }
     if (use_cache) {
       ShardedGirCache::Lookup hit = cache_.Probe(weights[i], k, pin.version);
       item.cache = hit.kind;
@@ -227,6 +269,7 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
   const size_t num_groups = group_ranges.size();
   std::vector<BrsMultiStats> group_stats(num_groups);
   std::vector<uint64_t> group_phase2_reads(num_groups, 0);
+  std::vector<uint64_t> group_retry_reads(num_groups, 0);
   pool_.ParallelFor(num_groups, [&](size_t g) {
     const size_t begin = group_ranges[g].first;
     const size_t end = group_ranges[g].second;
@@ -240,7 +283,8 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
     std::vector<TopKResult>& topks = arena->results;
     Stopwatch traversal_sw;
     Status st = RunBrsMulti(*pin.flat, engine_->scoring(), arena->group,
-                            arena.get(), &topks, &group_stats[g]);
+                            arena.get(), &topks, &group_stats[g],
+                            &arena->statuses);
     const double traversal_ms = traversal_sw.ElapsedMillis();
     if (!st.ok()) {
       for (size_t r = 0; r < m; ++r) out.items[reps[begin + r]].status = st;
@@ -251,10 +295,48 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
       const size_t i = reps[begin + r];
       BatchItem& item = out.items[i];
       Stopwatch sw;
-      const uint64_t topk_charged = topks[r].io.reads;
+      Status qst = arena->statuses[r];
+      TopKResult topk;
+      if (qst.ok()) {
+        topk = std::move(topks[r]);
+      } else {
+        // This query's page fetch faulted inside the shared walk; its
+        // group mates already completed untouched. Retry it solo on the
+        // same pinned epoch with backoff, inside the deadline budget —
+        // then degrade to the terminal status, explicitly.
+        while (qst.code() == StatusCode::kUnavailable &&
+               item.retries < options_.max_retries) {
+          const double backoff_ms =
+              BackoffMs(options_.retry_backoff_ms, item.retries);
+          if (hints.deadline_ms > 0.0 &&
+              traversal_ms + sw.ElapsedMillis() + backoff_ms >=
+                  hints.deadline_ms) {
+            break;
+          }
+          BackoffSleep(backoff_ms);
+          ++item.retries;
+          Result<TopKResult> again =
+              RunBrs(*pin.flat, engine_->scoring(), VecView(weights[i]), k);
+          if (again.ok()) {
+            topk = std::move(*again);
+            // The solo retry's physical reads join the group's amortized
+            // total (they were really performed, outside the shared walk).
+            group_retry_reads[g] += topk.io.reads;
+            qst = Status::Ok();
+          } else {
+            qst = again.status();
+          }
+        }
+        if (!qst.ok()) {
+          item.status = qst;
+          item.latency_ms += traversal_ms + sw.ElapsedMillis();
+          continue;
+        }
+      }
+      const uint64_t topk_charged = topk.io.reads;
       IoStats before = DiskManager::ThreadStats();
       Result<GirComputation> gir = engine_->ComputeGirWithTopK(
-          pin, weights[i], k, method, std::move(topks[r]),
+          pin, weights[i], k, method, std::move(topk),
           traversal_ms / static_cast<double>(m));
       const uint64_t phase2_reads =
           (DiskManager::ThreadStats() - before).reads;
@@ -301,7 +383,8 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
   out.stats.width_used = width;
   uint64_t amortized = 0;
   for (size_t g = 0; g < num_groups; ++g) {
-    amortized += group_stats[g].unique_reads + group_phase2_reads[g];
+    amortized += group_stats[g].unique_reads + group_phase2_reads[g] +
+                 group_retry_reads[g];
   }
   FinalizeStats(&out, hints.deadline_ms);
   out.stats.charged_reads = out.stats.total_reads;

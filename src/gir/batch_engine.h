@@ -37,6 +37,15 @@ struct BatchOptions {
   // working set (group_width * node capacity doubles) and the per-group
   // heap pool.
   size_t shared_group_width = 64;
+  // ----- transient-fault handling -----
+  // Per-query retry budget after a kUnavailable from the storage layer
+  // (an injected — or real — transient page-read failure). Each retry
+  // first backs off retry_backoff_ms * 2^attempt of real time; a retry
+  // whose backoff would cross the hint deadline budget is skipped and
+  // the query degrades to its terminal status instead — an explicit
+  // kUnavailable item, never a silent drop. 0 disables retries.
+  size_t max_retries = 2;
+  double retry_backoff_ms = 0.25;
 };
 
 // Per-call execution hints for ComputeBatch: how the admission layer
@@ -86,6 +95,10 @@ struct BatchItem {
   // reads are amortized across the group (see BatchStats), but the
   // charge stays per-query-exact so accounting is mode-independent.
   uint64_t reads = 0;
+  // Transient-fault retries this query consumed (0 = first attempt
+  // served). A non-ok final status with retries > 0 means the budget
+  // ran out, not that degradation was silent.
+  uint32_t retries = 0;
 };
 
 // Aggregate statistics of one ComputeBatch call.
@@ -122,6 +135,12 @@ struct BatchStats {
   // Items whose latency exceeded BatchExecHints::deadline_ms (0 when no
   // deadline was given).
   uint64_t deadline_misses = 0;
+
+  // ----- transient-fault accounting -----
+  uint64_t fault_retries = 0;    // retry attempts performed, batch-wide
+  uint64_t retry_successes = 0;  // queries served only thanks to a retry
+  uint64_t unavailable = 0;      // queries terminally kUnavailable after
+                                 // the retry/deadline budget ran out
 
   // Fraction of *served* (non-failed) queries answered from cache.
   double HitRate() const {

@@ -1,5 +1,6 @@
 #include "gir/engine.h"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
@@ -19,6 +20,16 @@ Result<Phase2Method> ParsePhase2Method(const std::string& name) {
   if (name == "FP") return Phase2Method::kFP;
   if (name == "BF" || name == "BruteForce") return Phase2Method::kBruteForce;
   return Status::InvalidArgument("unknown Phase-2 method: " + name);
+}
+
+Status ValidateQueryWeights(VecView weights) {
+  for (size_t j = 0; j < weights.size(); ++j) {
+    if (!std::isfinite(weights[j])) {
+      return Status::InvalidArgument("non-finite query weight at dimension " +
+                                     std::to_string(j));
+    }
+  }
+  return Status::Ok();
 }
 
 std::string Phase2MethodName(Phase2Method method) {
@@ -60,6 +71,37 @@ GirEngine::GirEngine(const Dataset* dataset, Dataset* mutable_dataset,
   snapshot_ = std::move(snap);
 }
 
+GirEngine::GirEngine(std::unique_ptr<Dataset> owned, RTree tree,
+                     uint64_t version, DiskManager* disk,
+                     std::unique_ptr<ScoringFunction> scoring,
+                     const GirEngineOptions& options)
+    : owned_dataset_(std::move(owned)),
+      dataset_(owned_dataset_.get()),
+      mutable_dataset_(owned_dataset_.get()),
+      disk_(disk),
+      scoring_(std::move(scoring)),
+      options_(options),
+      tree_(std::move(tree)) {
+  // Publish the recovered epoch exactly like a post-update refreeze:
+  // an immutable dataset image plus a flat arena frozen from the
+  // restored master tree, stamped with the recovered version.
+  auto snap = std::make_shared<Snapshot>();
+  snap->dataset = std::make_shared<const Dataset>(*dataset_);
+  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  snap->version = version;
+  snapshot_ = std::move(snap);
+  version_.store(version, std::memory_order_release);
+}
+
+std::unique_ptr<GirEngine> GirEngine::Restore(
+    std::unique_ptr<Dataset> dataset, RTree tree, uint64_t version,
+    DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
+    const GirEngineOptions& options) {
+  return std::unique_ptr<GirEngine>(
+      new GirEngine(std::move(dataset), std::move(tree), version, disk,
+                    std::move(scoring), options));
+}
+
 GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
                      std::unique_ptr<ScoringFunction> scoring,
                      const GirEngineOptions& options)
@@ -81,6 +123,8 @@ Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
   if (k == 0 || k > flat.size()) {
     return Status::InvalidArgument("k out of range");
   }
+  Status valid = ValidateQueryWeights(weights);
+  if (!valid.ok()) return valid;
 
   // Top-k retrieval (BRS), ahead of GIR computation proper. All
   // traversals run on the frozen image.
@@ -101,6 +145,8 @@ Result<GirComputation> GirEngine::ComputeGirWithTopK(
   if (weights.size() != flat.dataset().dim()) {
     return Status::InvalidArgument("weight dimensionality mismatch");
   }
+  Status valid = ValidateQueryWeights(weights);
+  if (!valid.ok()) return valid;
   return FinishGir(flat, pin.version, weights, k, method,
                    /*order_sensitive=*/true, std::move(topk), topk_cpu_ms);
 }

@@ -28,6 +28,13 @@ enum class Phase2Method {
 Result<Phase2Method> ParsePhase2Method(const std::string& name);
 std::string Phase2MethodName(Phase2Method method);
 
+// Rejects non-finite query weights with kInvalidArgument naming the
+// offending dimension. A NaN or Inf weight would otherwise poison
+// every score comparison downstream and surface as silently-wrong
+// results; both query entry points (ComputeGir/ComputeGirStar and the
+// batch shared-traversal path) apply this before any work.
+Status ValidateQueryWeights(VecView weights);
+
 // Cost breakdown of one GIR computation, mirroring what the paper's
 // charts report (total CPU, total I/O) while keeping phases separate.
 struct GirStats {
@@ -139,6 +146,18 @@ class GirEngine {
             std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options = {});
 
+  // Recovery path (see SnapshotStore::RecoverLatest): rebuilds an
+  // updatable engine from a restored epoch, taking ownership of the
+  // recovered dataset image and master tree. The tree's page ids are
+  // the saved ones 1:1, so the restored engine's traversals charge
+  // bit-identical simulated I/O to the pre-crash engine's. `tree` must
+  // have been loaded over `dataset` and `disk`; the published epoch
+  // starts at `version` and the next ApplyUpdates continues from it.
+  static std::unique_ptr<GirEngine> Restore(
+      std::unique_ptr<Dataset> dataset, RTree tree, uint64_t version,
+      DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
+      const GirEngineOptions& options = {});
+
   // Order-sensitive GIR (Definition 1).
   Result<GirComputation> ComputeGir(VecView weights, size_t k,
                                     Phase2Method method) const;
@@ -237,6 +256,11 @@ class GirEngine {
             DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options);
 
+  // Restore path: adopts recovered state instead of bulk-loading.
+  GirEngine(std::unique_ptr<Dataset> owned, RTree tree, uint64_t version,
+            DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
+            const GirEngineOptions& options);
+
   std::shared_ptr<const Snapshot> LoadSnapshot() const {
     return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
   }
@@ -252,6 +276,9 @@ class GirEngine {
                                    Phase2Method method, bool order_sensitive,
                                    TopKResult topk, double topk_cpu_ms) const;
 
+  // Restore path only: the engine owns its master dataset (declared
+  // first so dataset_/mutable_dataset_ can alias it during init).
+  std::unique_ptr<Dataset> owned_dataset_;
   const Dataset* dataset_;
   Dataset* mutable_dataset_ = nullptr;  // non-null iff updatable
   DiskManager* disk_;

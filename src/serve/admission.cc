@@ -97,6 +97,9 @@ Status AdmissionQueue::Submit(uint64_t id, Vec weights, size_t k,
     return Status::InvalidArgument("empty weight vector");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_) {
+    return Status::Unavailable("admission queue shut down");
+  }
   if (queue_.size() >= options_.queue_capacity) {
     return Status::ResourceExhausted("admission queue at capacity");
   }
@@ -153,6 +156,25 @@ FormedBatch AdmissionQueue::Form(double now_ms,
 size_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::vector<ShedRequest> AdmissionQueue::Shutdown() {
+  std::vector<ShedRequest> drained;
+  std::lock_guard<std::mutex> lock(mu_);
+  shut_down_ = true;
+  drained.reserve(queue_.size());
+  while (!queue_.empty()) {
+    drained.push_back(
+        ShedRequest{std::move(queue_.front()),
+                    Status::Unavailable("admission queue shut down")});
+    queue_.pop_front();
+  }
+  return drained;
+}
+
+bool AdmissionQueue::shut_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shut_down_;
 }
 
 }  // namespace gir::serve

@@ -112,10 +112,20 @@ class AdmissionQueue {
   size_t size() const;
   const AdmissionOptions& options() const { return options_; }
 
+  // Stops admission: atomically marks the queue shut down and drains
+  // every pending request, returned with kUnavailable for the caller
+  // to deliver — a shut-down front door rejects explicitly, it does
+  // not strand work. Every later Submit fails with kUnavailable
+  // immediately (no race window where a request slips in behind the
+  // drain); Form keeps returning empty batches. Idempotent.
+  std::vector<ShedRequest> Shutdown();
+  bool shut_down() const;
+
  private:
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::deque<ServiceRequest> queue_;
+  bool shut_down_ = false;  // guarded by mu_
 };
 
 }  // namespace gir::serve

@@ -93,6 +93,8 @@ Status ExecuteOneBatch(ReplayState* state, BatchEngine* engine,
   state->report.charged_reads += result->stats.charged_reads;
   state->report.amortized_reads += result->stats.amortized_reads;
   state->report.deadline_misses += result->stats.deadline_misses;
+  state->metrics.RecordFaultRetries(result->stats.fault_retries,
+                                    result->stats.retry_successes);
   state->metrics.RecordBatch(formed.requests.size(),
                              options.adaptive_width ? formed.width
                                                     : options.static_width);
@@ -110,7 +112,7 @@ Status ExecuteOneBatch(ReplayState* state, BatchEngine* engine,
     out.timing.compute_end_ms = reply_ms;
     out.timing.reply_ms = reply_ms;
     if (!item.status.ok()) {
-      state->metrics.RecordFailed();
+      state->metrics.RecordFailed(item.status.code());
       continue;
     }
     out.topk = std::move(item.topk);

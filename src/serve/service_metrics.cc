@@ -85,9 +85,21 @@ void MetricsBuilder::RecordShed(const RequestTiming& t) {
   last_reply_ms_ = std::max(last_reply_ms_, t.reply_ms);
 }
 
-void MetricsBuilder::RecordFailed() {
+void MetricsBuilder::RecordFailed(StatusCode code) {
   ++metrics_.requests;
   ++metrics_.failed;
+  if (code == StatusCode::kUnavailable) ++metrics_.unavailable;
+}
+
+void MetricsBuilder::RecordFaultRetries(uint64_t retries,
+                                        uint64_t successes) {
+  metrics_.fault_retries += retries;
+  metrics_.retry_successes += successes;
+}
+
+void MetricsBuilder::RecordRecovery(double ms) {
+  ++metrics_.recoveries;
+  metrics_.recovery_ms += ms;
 }
 
 void MetricsBuilder::RecordBatch(size_t occupancy, size_t width) {
@@ -166,6 +178,12 @@ std::string MetricsJson(const ServiceMetrics& m) {
   field("mean_batch_occupancy", m.mean_batch_occupancy);
   field("mean_width", m.mean_width);
   field("window_p99_peak_ms", m.window_p99_peak_ms);
+  count("unavailable", m.unavailable);
+  count("fault_retries", m.fault_retries);
+  count("retry_successes", m.retry_successes);
+  count("recoveries", m.recoveries);
+  field("recovery_ms", m.recovery_ms);
+  field("availability", m.Availability());
   out += ", \"occupancy_histogram\": [";
   for (size_t b = 0; b < m.occupancy_histogram.size(); ++b) {
     if (b > 0) out += ", ";

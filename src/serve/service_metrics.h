@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace gir::serve {
 
 // Per-request lifecycle timestamps on the service clock (trace time in
@@ -77,10 +79,27 @@ struct ServiceMetrics {
   // dashboard alarms on; the full-run p99 hides transients).
   double window_p99_peak_ms = 0.0;
 
+  // ----- fault / recovery accounting -----
+  // Of `failed`, how many were terminal kUnavailable — storage faults
+  // that outlived the engine's retry budget. Always explicit rejections
+  // delivered to the client, never silent drops.
+  size_t unavailable = 0;
+  uint64_t fault_retries = 0;    // engine retry attempts, run-wide
+  uint64_t retry_successes = 0;  // queries served only thanks to a retry
+  size_t recoveries = 0;         // snapshot recoveries performed
+  double recovery_ms = 0.0;      // total time spent in recovery
+
   double ShedRate() const {
     return requests == 0
                ? 0.0
                : static_cast<double>(shed) / static_cast<double>(requests);
+  }
+  // Fraction of offered requests that got a successful reply; sheds and
+  // failures (of any kind) both count against it.
+  double Availability() const {
+    return requests == 0 ? 1.0
+                         : static_cast<double>(served) /
+                               static_cast<double>(requests);
   }
 };
 
@@ -92,9 +111,16 @@ class MetricsBuilder {
 
   void RecordServed(const RequestTiming& t);
   void RecordShed(const RequestTiming& t);
-  void RecordFailed();
+  void RecordFailed() { RecordFailed(StatusCode::kInternal); }
+  // Classified failure: kUnavailable failures are tracked separately as
+  // the degradation the fault-injection harness measures.
+  void RecordFailed(StatusCode code);
   void RecordBatch(size_t occupancy, size_t width);
   void RecordUpdate();
+  // Engine-side retry accounting of one executed batch.
+  void RecordFaultRetries(uint64_t retries, uint64_t successes);
+  // One snapshot recovery taking `ms` of service time.
+  void RecordRecovery(double ms);
 
   const SlidingWindow& window() const { return window_; }
   ServiceMetrics Finalize();

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/status.h"
+#include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 
 namespace gir {
@@ -37,6 +39,29 @@ class DiskManager {
   PageId Allocate();
   size_t allocated_pages() const {
     return next_page_.load(std::memory_order_relaxed);
+  }
+
+  // Attaches a fault schedule consulted by every ReadPage (non-owning;
+  // nullptr detaches). The injector must outlive its attachment. A
+  // plain NoteRead never faults — only the checked paths opt in.
+  void AttachFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
+
+  // Checked read of one page: charges the read like NoteRead, then
+  // consults the attached fault plan — a latency fault stalls before
+  // returning Ok, a read fault returns kUnavailable (the charge
+  // stands: the device attempt happened). The fallible traversals
+  // (BRS solo + shared) route their node fetches through this; legacy
+  // accounting-only sites keep calling NoteRead and can never fail.
+  Status ReadPage(PageId page) {
+    NoteRead();
+    FaultInjector* fi = injector_.load(std::memory_order_acquire);
+    if (fi == nullptr) return Status::Ok();
+    return fi->OnPageRead(page);
   }
 
   // Accounting hooks.
@@ -84,6 +109,7 @@ class DiskManager {
   std::atomic<PageId> next_page_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace gir

@@ -1,0 +1,105 @@
+#include "storage/fault_injector.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace gir {
+
+namespace {
+
+// SplitMix64: the decision hash. Good avalanche for sequential inputs,
+// no state — exactly what a pure (seed, op) -> draw function needs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double ToUnit(uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double FaultInjector::Draw(Site site, uint64_t op, uint64_t salt) const {
+  uint64_t h = Mix64(plan_.seed ^ Mix64(static_cast<uint64_t>(site) |
+                                        (salt << 8)));
+  return ToUnit(Mix64(h ^ Mix64(op)));
+}
+
+double FaultInjector::ShapeDraw(uint64_t op, uint64_t salt) const {
+  return Draw(Site::kSnapshotWrite, op, 0x100 + salt);
+}
+
+bool FaultInjector::CommitFault(Site site, uint64_t op, int kind) {
+  // Budget check-and-commit: oversubscription beyond max_faults backs
+  // out, so the total never exceeds the plan.
+  uint64_t n = faults_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= plan_.max_faults) {
+    faults_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t tag = Mix64((static_cast<uint64_t>(site) << 62) ^
+                             (static_cast<uint64_t>(kind) << 56) ^ op);
+  fingerprint_.fetch_xor(tag, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::OnPageRead(uint32_t page) {
+  const uint64_t op = ops_[0].fetch_add(1, std::memory_order_relaxed);
+  if (op < plan_.skip_ops) return Status::Ok();
+  if (plan_.read_error_rate > 0.0 &&
+      Draw(Site::kPageRead, op, 0) < plan_.read_error_rate &&
+      CommitFault(Site::kPageRead, op, 0)) {
+    read_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected read failure at page " +
+                               std::to_string(page));
+  }
+  if (plan_.read_latency_rate > 0.0 &&
+      Draw(Site::kPageRead, op, 1) < plan_.read_latency_rate &&
+      CommitFault(Site::kPageRead, op, 1)) {
+    latency_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (plan_.latency_spike_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan_.latency_spike_ms));
+    }
+  }
+  return Status::Ok();
+}
+
+FaultInjector::WriteDecision FaultInjector::OnSnapshotWrite() {
+  WriteDecision d;
+  d.op = ops_[1].fetch_add(1, std::memory_order_relaxed);
+  if (d.op < plan_.skip_ops) return d;
+  if (plan_.torn_write_rate > 0.0 &&
+      Draw(Site::kSnapshotWrite, d.op, 0) < plan_.torn_write_rate &&
+      CommitFault(Site::kSnapshotWrite, d.op, 1)) {
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    d.fault = WriteFault::kTorn;
+    return d;
+  }
+  if (plan_.corrupt_rate > 0.0 &&
+      Draw(Site::kSnapshotWrite, d.op, 1) < plan_.corrupt_rate &&
+      CommitFault(Site::kSnapshotWrite, d.op, 2)) {
+    corrupt_writes_.fetch_add(1, std::memory_order_relaxed);
+    d.fault = WriteFault::kCorrupt;
+    return d;
+  }
+  return d;
+}
+
+void FaultInjector::Reset() {
+  ops_[0].store(0, std::memory_order_relaxed);
+  ops_[1].store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+  read_faults_.store(0, std::memory_order_relaxed);
+  latency_faults_.store(0, std::memory_order_relaxed);
+  torn_writes_.store(0, std::memory_order_relaxed);
+  corrupt_writes_.store(0, std::memory_order_relaxed);
+  fingerprint_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gir

@@ -1,0 +1,111 @@
+#ifndef GIR_STORAGE_FAULT_INJECTOR_H_
+#define GIR_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace gir {
+
+// One seeded, scoped fault schedule. Every knob is part of the
+// determinism contract: a fault decision is a pure function of
+// (seed, site, op ordinal), so the same plan driven by the same
+// single-threaded access sequence injects the bit-identical fault
+// sequence — a chaos run is replayable from its config alone. Under
+// concurrent readers the op ordinals are handed out atomically, so the
+// *set* of faulted ordinals is still plan-determined; only which query
+// observes which ordinal varies with scheduling.
+struct FaultPlan {
+  uint64_t seed = 0;
+
+  // ----- checked page reads (DiskManager::ReadPage) -----
+  // Probability a read fails with kUnavailable (transient device error;
+  // the page is fine on the next attempt — what retry layers lean on).
+  double read_error_rate = 0.0;
+  // Probability a read stalls for latency_spike_ms of real time before
+  // succeeding (slow device; eats the caller's deadline budget).
+  double read_latency_rate = 0.0;
+  double latency_spike_ms = 0.0;
+
+  // ----- snapshot publishes (SnapshotStore::WriteSnapshot) -----
+  // Probability the published file is truncated mid-section (a crash
+  // between rename and data reaching the platter: the name exists, the
+  // tail bytes do not).
+  double torn_write_rate = 0.0;
+  // Probability one payload byte is flipped (bit rot / torn sector
+  // inside a section); only the CRC can tell.
+  double corrupt_rate = 0.0;
+
+  // ----- scope -----
+  // Never fault the first N ops of each site (lets a harness warm up /
+  // bulk-load clean before the schedule starts).
+  uint64_t skip_ops = 0;
+  // Total injected-fault budget across all sites; once spent, every
+  // later op passes clean.
+  uint64_t max_faults = UINT64_MAX;
+};
+
+// Thread-safe decision point the storage layer consults on every
+// checked operation. All counters are atomics; Reset() restarts the
+// schedule from op 0 (e.g. between chaos repetitions).
+class FaultInjector {
+ public:
+  enum class Site : int { kPageRead = 0, kSnapshotWrite = 1 };
+  enum class WriteFault : int { kNone = 0, kTorn = 1, kCorrupt = 2 };
+
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Consulted by DiskManager::ReadPage after the read is charged.
+  // Returns Ok (possibly after a real latency stall) or kUnavailable.
+  Status OnPageRead(uint32_t page);
+
+  // Consulted by the snapshot writer once per published file. `op` is
+  // the write ordinal the decision was drawn at — feed it to ShapeDraw
+  // to derive the tear point / corrupted byte deterministically.
+  struct WriteDecision {
+    WriteFault fault = WriteFault::kNone;
+    uint64_t op = 0;
+  };
+  WriteDecision OnSnapshotWrite();
+
+  // Deterministic uniform draw in [0, 1) for shaping a committed fault
+  // (where to tear, which byte to flip). Pure in (seed, op, salt).
+  double ShapeDraw(uint64_t op, uint64_t salt) const;
+
+  // ----- accounting -----
+  uint64_t read_ops() const { return ops_[0].load(); }
+  uint64_t write_ops() const { return ops_[1].load(); }
+  uint64_t read_faults() const { return read_faults_.load(); }
+  uint64_t latency_faults() const { return latency_faults_.load(); }
+  uint64_t torn_writes() const { return torn_writes_.load(); }
+  uint64_t corrupt_writes() const { return corrupt_writes_.load(); }
+  uint64_t total_faults() const { return faults_.load(); }
+  // Order-insensitive accumulation (XOR) of every committed fault's
+  // (site, op, kind) hash: two runs injected the same fault schedule
+  // iff their fingerprints match.
+  uint64_t fingerprint() const { return fingerprint_.load(); }
+
+  void Reset();
+
+ private:
+  // Pure decision draw in [0, 1) for op `op` at `site`.
+  double Draw(Site site, uint64_t op, uint64_t salt) const;
+  // Tries to commit one fault against the budget; false = budget spent.
+  bool CommitFault(Site site, uint64_t op, int kind);
+
+  FaultPlan plan_;
+  std::atomic<uint64_t> ops_[2] = {{0}, {0}};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> read_faults_{0};
+  std::atomic<uint64_t> latency_faults_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> corrupt_writes_{0};
+  std::atomic<uint64_t> fingerprint_{0};
+};
+
+}  // namespace gir
+
+#endif  // GIR_STORAGE_FAULT_INJECTOR_H_

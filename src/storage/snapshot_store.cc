@@ -1,0 +1,342 @@
+#include "storage/snapshot_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.h"
+#include "index/rtree_codec.h"
+
+namespace gir {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kSectionDataset = 1;
+constexpr uint32_t kSectionRtree = 2;
+// magic + format + version + section count + header CRC.
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
+
+void AppendBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const size_t at = out->size();
+  out->resize(at + n);
+  if (n > 0) std::memcpy(out->data() + at, p, n);
+}
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  AppendBytes(out, &v, sizeof(v));
+}
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  AppendBytes(out, &v, sizeof(v));
+}
+
+// Bounds-checked reader; every accessor fails instead of overrunning,
+// so a truncated file can never walk the parser off the buffer.
+struct Cursor {
+  const uint8_t* p = nullptr;
+  size_t n = 0;
+  size_t at = 0;
+  bool Bytes(void* out, size_t k) {
+    if (k > n - at) return false;
+    std::memcpy(out, p + at, k);
+    at += k;
+    return true;
+  }
+  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+};
+
+std::vector<uint8_t> DatasetPayload(const Dataset& d) {
+  std::vector<uint8_t> out;
+  AppendU64(&out, d.dim());
+  AppendU64(&out, d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    const VecView row = d.Get(static_cast<RecordId>(i));
+    AppendBytes(&out, row.data(), row.size() * sizeof(double));
+  }
+  std::vector<int32_t> dead;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (!d.IsLive(static_cast<RecordId>(i))) {
+      dead.push_back(static_cast<int32_t>(i));
+    }
+  }
+  AppendU64(&out, dead.size());
+  AppendBytes(&out, dead.data(), dead.size() * sizeof(int32_t));
+  return out;
+}
+
+Result<std::unique_ptr<Dataset>> ParseDataset(const uint8_t* p, size_t n) {
+  Cursor c{p, n};
+  uint64_t dim = 0;
+  uint64_t count = 0;
+  if (!c.U64(&dim) || !c.U64(&count) || dim == 0) {
+    return Status::DataLoss("snapshot dataset section malformed");
+  }
+  // The coordinate block must fit what the section actually holds.
+  if (count > (n - c.at) / sizeof(double) / dim) {
+    return Status::DataLoss("snapshot dataset section truncated");
+  }
+  auto out = std::make_unique<Dataset>(static_cast<size_t>(dim));
+  out->Reserve(static_cast<size_t>(count));
+  std::vector<double> row(static_cast<size_t>(dim));
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!c.Bytes(row.data(), row.size() * sizeof(double))) {
+      return Status::DataLoss("snapshot dataset section truncated");
+    }
+    out->Append(VecView(row.data(), row.size()));
+  }
+  uint64_t dead_count = 0;
+  if (!c.U64(&dead_count) || dead_count > count) {
+    return Status::DataLoss("snapshot dataset tombstones malformed");
+  }
+  for (uint64_t i = 0; i < dead_count; ++i) {
+    int32_t id = 0;
+    if (!c.Bytes(&id, sizeof(id)) || id < 0 ||
+        static_cast<uint64_t>(id) >= count) {
+      return Status::DataLoss("snapshot dataset tombstones malformed");
+    }
+    out->MarkDeleted(id);
+  }
+  if (c.at != n) {
+    return Status::DataLoss("snapshot dataset section has trailing bytes");
+  }
+  return out;
+}
+
+struct ParsedSnapshot {
+  uint64_t version = 0;
+  const uint8_t* dataset = nullptr;
+  size_t dataset_len = 0;
+  const uint8_t* rtree = nullptr;
+  size_t rtree_len = 0;
+};
+
+// Full structural + checksum validation; false on any damage. This is
+// the recovery gate: a file only counts as a restore candidate when
+// every byte it claims to hold is present and every section checksum
+// matches.
+bool ValidateAndParse(const std::vector<uint8_t>& file, ParsedSnapshot* out) {
+  Cursor c{file.data(), file.size()};
+  uint32_t magic = 0;
+  uint32_t format = 0;
+  uint32_t sections = 0;
+  uint32_t header_crc = 0;
+  if (!c.U32(&magic) || magic != kSnapshotMagic) return false;
+  if (!c.U32(&format) || format != kSnapshotFormat) return false;
+  if (!c.U64(&out->version)) return false;
+  if (!c.U32(&sections)) return false;
+  if (!c.U32(&header_crc)) return false;
+  if (header_crc != Crc32(file.data(), kHeaderBytes - 4)) return false;
+  for (uint32_t s = 0; s < sections; ++s) {
+    uint32_t kind = 0;
+    uint32_t crc = 0;
+    uint64_t len = 0;
+    if (!c.U32(&kind) || !c.U32(&crc) || !c.U64(&len)) return false;
+    if (len > file.size() - c.at) return false;
+    const uint8_t* payload = file.data() + c.at;
+    if (crc != Crc32(payload, static_cast<size_t>(len))) return false;
+    if (kind == kSectionDataset) {
+      out->dataset = payload;
+      out->dataset_len = static_cast<size_t>(len);
+    } else if (kind == kSectionRtree) {
+      out->rtree = payload;
+      out->rtree_len = static_cast<size_t>(len);
+    }
+    // Unknown kinds are legal (newer writers): checksummed and skipped.
+    c.at += static_cast<size_t>(len);
+  }
+  uint32_t footer = 0;
+  if (!c.U32(&footer) || footer != kSnapshotFooter) return false;
+  if (c.at != file.size()) return false;  // trailing garbage
+  return out->dataset != nullptr && out->rtree != nullptr;
+}
+
+bool ReadWholeFile(const fs::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(out->size()));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::string SnapshotStore::FileName(uint64_t version) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.gsnp",
+                static_cast<unsigned long long>(version));
+  return buf;
+}
+
+Result<SnapshotStore::WriteStats> SnapshotStore::WriteSnapshot(
+    const Dataset& dataset, const RTree& tree, uint64_t version) {
+  Result<std::vector<uint8_t>> image = SaveRTreeImage(tree);
+  if (!image.ok()) return image.status();
+  const std::vector<uint8_t> ds = DatasetPayload(dataset);
+
+  std::vector<uint8_t> file;
+  file.reserve(kHeaderBytes + ds.size() + image->size() + 64);
+  AppendU32(&file, kSnapshotMagic);
+  AppendU32(&file, kSnapshotFormat);
+  AppendU64(&file, version);
+  AppendU32(&file, 2);  // section count
+  AppendU32(&file, Crc32(file.data(), file.size()));
+  const auto append_section = [&file](uint32_t kind,
+                                      const std::vector<uint8_t>& payload) {
+    AppendU32(&file, kind);
+    AppendU32(&file, Crc32(payload.data(), payload.size()));
+    AppendU64(&file, payload.size());
+    AppendBytes(&file, payload.data(), payload.size());
+  };
+  append_section(kSectionDataset, ds);
+  append_section(kSectionRtree, *image);
+  AppendU32(&file, kSnapshotFooter);
+
+  WriteStats stats;
+  stats.bytes = file.size();
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot dir " + dir_ + ": " +
+                            ec.message());
+  }
+  const fs::path final_path = fs::path(dir_) / FileName(version);
+  stats.path = final_path.string();
+
+  // One fault decision per published file, shaped deterministically
+  // from the decision's op ordinal.
+  size_t publish_len = file.size();
+  if (injector_ != nullptr) {
+    const FaultInjector::WriteDecision d = injector_->OnSnapshotWrite();
+    stats.injected = d.fault;
+    if (d.fault == FaultInjector::WriteFault::kTorn) {
+      // The modeled crash: rename durable, tail data blocks not — the
+      // final name holds a strict prefix. Always at least one byte
+      // short, never empty (both extremes are separately interesting
+      // but the schedule should hit the middle).
+      publish_len = 1 + static_cast<size_t>(
+                            injector_->ShapeDraw(d.op, 0) *
+                            static_cast<double>(file.size() - 2));
+    } else if (d.fault == FaultInjector::WriteFault::kCorrupt) {
+      // Bit rot after publish: flip one byte past the header (so only
+      // a section checksum — not the magic — can catch it), sparing
+      // the footer.
+      const size_t span = file.size() - kHeaderBytes - sizeof(uint32_t);
+      const size_t at =
+          kHeaderBytes + static_cast<size_t>(injector_->ShapeDraw(d.op, 1) *
+                                             static_cast<double>(span));
+      file[at] ^= 0x40;
+    }
+  }
+
+  // Crash-safe publish: temp file in the same directory, fsync the
+  // data, atomic rename onto the final name, fsync the directory entry.
+  const fs::path tmp_path = fs::path(dir_) / (FileName(version) + ".tmp");
+  {
+    const int fd =
+        ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      return Status::Internal("cannot open " + tmp_path.string());
+    }
+    size_t off = 0;
+    while (off < publish_len) {
+      const ssize_t w = ::write(fd, file.data() + off, publish_len - off);
+      if (w <= 0) {
+        ::close(fd);
+        return Status::Internal("short write to " + tmp_path.string());
+      }
+      off += static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::Internal("fsync failed on " + tmp_path.string());
+    }
+    ::close(fd);
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal("rename to " + final_path.string() +
+                            " failed: " + ec.message());
+  }
+  const int dfd = ::open(dir_.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return stats;
+}
+
+Result<SnapshotStore::Recovered> SnapshotStore::RecoverLatest(
+    DiskManager* disk) const {
+  Recovered out;
+  std::error_code ec;
+  std::vector<fs::path> candidates;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".gsnp") == 0) {
+      candidates.push_back(e.path());
+    }
+  }
+  if (ec) {
+    return Status::NotFound("no snapshot directory at " + dir_);
+  }
+  // Deterministic scan order (directory iteration order is not): the
+  // zero-padded names sort by version.
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<uint8_t> best_file;
+  ParsedSnapshot best;
+  bool found = false;
+  std::vector<uint8_t> file;
+  for (const fs::path& path : candidates) {
+    ++out.scanned;
+    ParsedSnapshot parsed;
+    if (!ReadWholeFile(path, &file) || !ValidateAndParse(file, &parsed)) {
+      ++out.rejected;
+      continue;
+    }
+    if (!found || parsed.version > best.version) {
+      best_file.swap(file);
+      // Re-anchor the parsed spans into the retained buffer.
+      if (!ValidateAndParse(best_file, &best)) {
+        ++out.rejected;  // unreachable: same bytes just validated
+        found = false;
+        continue;
+      }
+      found = true;
+      out.path = path.string();
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        "no valid snapshot in " + dir_ + " (" + std::to_string(out.scanned) +
+        " scanned, " + std::to_string(out.rejected) + " rejected)");
+  }
+
+  Result<std::unique_ptr<Dataset>> dataset =
+      ParseDataset(best.dataset, best.dataset_len);
+  if (!dataset.ok()) return dataset.status();
+  std::vector<uint8_t> image(best.rtree, best.rtree + best.rtree_len);
+  Result<RTree> tree = LoadRTreeImage(dataset->get(), disk, image);
+  if (!tree.ok()) return tree.status();
+
+  out.version = best.version;
+  out.dataset = std::move(*dataset);
+  out.tree.emplace(std::move(*tree));
+  return out;
+}
+
+}  // namespace gir

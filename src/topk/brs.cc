@@ -56,7 +56,9 @@ Result<TopKResult> RunBrsImpl(const Tree& tree, const ScoringFunction& scoring,
       out.scores.push_back(top.key);
       continue;
     }
-    decltype(auto) node = tree.ReadNode(static_cast<PageId>(top.id));
+    Status read = TreeReadPage(tree, static_cast<PageId>(top.id));
+    if (!read.ok()) return read;
+    decltype(auto) node = tree.PeekNode(static_cast<PageId>(top.id));
     const size_t count = NodeEntryCount(node);
     ComputeEntryScores(scoring, data, node, weights, &buf);
     if (NodeIsLeaf(node)) {
@@ -177,7 +179,7 @@ void FinalizeMultiQuery(const FlatRTree& tree,
 Status RunBrsMulti(const FlatRTree& tree, const ScoringFunction& scoring,
                    const std::vector<BrsMultiQuery>& queries,
                    BrsFrontierArena* arena, std::vector<TopKResult>* out,
-                   BrsMultiStats* stats) {
+                   BrsMultiStats* stats, std::vector<Status>* statuses) {
   const size_t m = queries.size();
   const size_t dim = tree.dataset().dim();
   for (const BrsMultiQuery& q : queries) {
@@ -189,6 +191,7 @@ Status RunBrsMulti(const FlatRTree& tree, const ScoringFunction& scoring,
   BrsMultiStats local;
   if (stats == nullptr) stats = &local;
   *stats = BrsMultiStats{};
+  if (statuses != nullptr) statuses->assign(m, Status::Ok());
   if (out->size() < m) out->resize(m);
   if (m == 0) return Status::Ok();
 
@@ -287,12 +290,36 @@ Status RunBrsMulti(const FlatRTree& tree, const ScoringFunction& scoring,
         ++j;
       }
       const bool first_touch = arena->visit_stamp[page] != arena->serial;
-      FlatRTree::NodeView node =
-          first_touch ? tree.ReadNode(page) : tree.PeekNode(page);
       if (first_touch) {
+        Status read = TreeReadPage(tree, page);
+        if (!read.ok()) {
+          // Degrade exactly the queries demanding this page; the rest
+          // of the group keeps running (their pages fetch
+          // independently, and this page stays unstamped so a later
+          // demand retries the device). Without a per-query status
+          // sink the whole call fails — the all-or-nothing contract
+          // callers relied on before faults existed.
+          ++stats->read_faults;
+          if (statuses == nullptr) return read;
+          for (size_t r = i; r < j; ++r) {
+            const uint32_t q = arena->demands[r].query;
+            arena->active[q] = 0;
+            --remaining;
+            (*statuses)[q] = read;
+            TopKResult& o = (*out)[q];
+            o.result.clear();
+            o.scores.clear();
+            o.encountered.clear();
+            o.pending.clear();
+            o.io = IoStats{};
+          }
+          i = j;
+          continue;
+        }
         arena->visit_stamp[page] = arena->serial;
         ++stats->unique_reads;
       }
+      FlatRTree::NodeView node = tree.PeekNode(page);
       const size_t run = arena->run_queries.size();
       ComputeEntryScoresMulti(scoring, node, arena->weight_rows.data(), run,
                               &arena->scores);

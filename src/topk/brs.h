@@ -74,6 +74,7 @@ struct BrsMultiStats {
   uint64_t charged_reads = 0;  // sum of the per-query logical charges
   uint64_t rounds = 0;         // lockstep expansion rounds
   uint64_t node_expansions = 0;  // (query, node) pairs expanded
+  uint64_t read_faults = 0;    // page fetches failed by the fault plan
 };
 
 // Heap entry of the shared executor: plain data only, so the pooled
@@ -121,6 +122,7 @@ struct BrsFrontierArena {
   // moves leave behind).
   std::vector<BrsMultiQuery> group;
   std::vector<TopKResult> results;
+  std::vector<Status> statuses;  // per-query fault sink of one group
   // Buffer growths since construction; 0 across a steady-state stretch.
   size_t grow_events = 0;
 };
@@ -143,10 +145,20 @@ struct BrsFrontierArena {
 // caller that keeps arena + out across calls reaches the zero-alloc
 // steady state. Returns InvalidArgument (before any work) when any
 // query has k == 0 or mismatched weight dimensionality.
+//
+// Fault containment: page fetches go through DiskManager::ReadPage, so
+// an attached fault plan can fail them. With `statuses` supplied
+// (resized to one Status per query, Ok by default), a failed fetch
+// degrades exactly the queries demanding that page — their statuses
+// carry the fault, their results are emptied — while every other group
+// member completes untouched, bit-identical to a run without the
+// faulted queries. With statuses == nullptr a fault fails the whole
+// call (the pre-fault all-or-nothing contract).
 Status RunBrsMulti(const FlatRTree& tree, const ScoringFunction& scoring,
                    const std::vector<BrsMultiQuery>& queries,
                    BrsFrontierArena* arena, std::vector<TopKResult>* out,
-                   BrsMultiStats* stats = nullptr);
+                   BrsMultiStats* stats = nullptr,
+                   std::vector<Status>* statuses = nullptr);
 
 }  // namespace gir
 

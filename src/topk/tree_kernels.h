@@ -22,6 +22,17 @@ namespace gir {
 // the same order as ScoringFunction::Score/MaxScore), so traversal
 // decisions — heap order, pruning, I/O — are identical.
 
+// ----- checked page reads -----
+
+// Charges one page read through DiskManager::ReadPage, so an attached
+// fault plan can fail (kUnavailable) or stall it. The fallible
+// traversals pair this with PeekNode — together equivalent to
+// ReadNode, plus the error path. Works for both tree representations.
+template <typename Tree>
+inline Status TreeReadPage(const Tree& tree, PageId page) {
+  return tree.disk()->ReadPage(page);
+}
+
 // ----- RTreeNode shims -----
 
 inline bool NodeIsLeaf(const RTreeNode& node) { return node.is_leaf; }

@@ -1,0 +1,268 @@
+// Chaos replay: the full serving stack (traffic generator -> admission
+// -> shared-traversal batches -> retries) driven against seeded fault
+// schedules. The invariants: the process never crashes, every request
+// gets exactly one explicit outcome (conservation), every *served*
+// result is bit-identical to the fault-free reference — degradation is
+// allowed, wrong answers and silent drops are not — and a fixed plan
+// replays the same fault schedule run after run. A snapshot-recovery
+// epilogue then proves the post-chaos engine state survives a crash.
+// GIR_CHAOS_STRESS=1 (the stress-labeled CTest variant) scales the
+// schedule up ~6x.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "dataset/generators.h"
+#include "gir/batch_engine.h"
+#include "gir/engine.h"
+#include "index/rtree_codec.h"
+#include "serve/replay.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/snapshot_store.h"
+#include "topk/scoring.h"
+
+namespace gir::serve {
+namespace {
+
+constexpr uint64_t kDataSeed = 404;
+
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::ActiveTier()) {}
+  ~TierGuard() { simd::ForceTier(saved_); }
+
+ private:
+  simd::Tier saved_;
+};
+
+bool StressMode() {
+  const char* env = std::getenv("GIR_CHAOS_STRESS");
+  return env != nullptr && env[0] == '1';
+}
+
+TrafficConfig ChaosTrace() {
+  TrafficConfig c;
+  c.seed = 4057;
+  c.dim = 3;
+  c.k = 8;
+  c.events = StressMode() ? 900 : 150;
+  c.base_qps = 3000.0;
+  c.key_pool = 10;
+  c.zipf_s = 1.1;
+  c.jitter_prob = 0.3;
+  c.update_ratio = 0.1;
+  c.updates_per_batch = 4;
+  c.delete_fraction = 0.5;
+  c.initial_records = 300;
+  return c;
+}
+
+Dataset FreshData(const TrafficConfig& c) {
+  Rng rng(kDataSeed);
+  Result<Dataset> d = GenerateByName("IND", c.initial_records, c.dim, rng);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+// The low-rate transient-fault schedule every chaos run replays.
+FaultPlan ChaosPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.read_error_rate = 0.005;
+  plan.read_latency_rate = 0.002;
+  plan.latency_spike_ms = 0.05;  // real sleep: keep it tiny
+  return plan;
+}
+
+// Shed-free replay (huge deadlines) so admission timing cannot change
+// which queries run — faults and retries are the only variable.
+Result<ServiceReport> ChaosReplay(const Trace& trace, Dataset* data,
+                                  FaultInjector* injector, size_t threads) {
+  DiskManager disk;
+  GirEngine engine(data, &disk, MakeScoring("Linear", trace.config.dim));
+  if (injector != nullptr) disk.AttachFaultInjector(injector);
+  BatchOptions opts;
+  opts.threads = threads;
+  opts.cache_capacity = 0;  // every query exercises the storage path
+  opts.shared_traversal = true;
+  opts.max_retries = 3;
+  opts.retry_backoff_ms = 0.01;
+  BatchEngine batch(&engine, opts);
+  ReplayOptions ro;
+  ro.admission.max_batch = 16;
+  ro.admission.max_wait_ms = 2.0;
+  ro.admission.deadline_ms = 1e12;
+  ro.admission.queue_capacity = 1 << 20;
+  ro.admission.max_width = 8;
+  ro.adaptive_width = true;
+  ro.shed_on_dispatch = false;
+  Result<ServiceReport> report = ReplayTrace(trace, &batch, ro);
+  disk.AttachFaultInjector(nullptr);
+  return report;
+}
+
+TEST(ChaosReplayTest, ServedResultsStayBitwiseCorrectUnderFaults) {
+  TierGuard guard;
+  Result<Trace> trace = GenerateTrace(ChaosTrace());
+  ASSERT_TRUE(trace.ok());
+  ASSERT_GT(trace->updates, 0u);
+
+  // Fault-free reference outcomes, per query ordinal.
+  ASSERT_EQ(simd::ForceTier(simd::Tier::kScalar), simd::Tier::kScalar);
+  Dataset ref_data = FreshData(trace->config);
+  Result<ServiceReport> ref = ChaosReplay(*trace, &ref_data, nullptr, 2);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_EQ(ref->outcomes.size(), trace->queries);
+  ASSERT_EQ(ref->metrics.failed, 0u);
+
+  const size_t schedules = StressMode() ? 4 : 2;
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::ForceTier(tier) != tier) continue;  // unsupported CPU
+    SCOPED_TRACE(simd::TierName(tier));
+    for (size_t s = 0; s < schedules; ++s) {
+      SCOPED_TRACE("schedule " + std::to_string(s));
+      FaultInjector injector(ChaosPlan(90 + s));
+      Dataset data = FreshData(trace->config);
+      Result<ServiceReport> report = ChaosReplay(*trace, &data, &injector, 2);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+      // Conservation: every query event has exactly one explicit
+      // outcome; nothing vanished.
+      const ServiceMetrics& m = report->metrics;
+      ASSERT_EQ(report->outcomes.size(), trace->queries);
+      EXPECT_EQ(m.requests, trace->queries);
+      EXPECT_EQ(m.served + m.shed + m.failed, m.requests);
+      EXPECT_EQ(m.shed, 0u);  // shed-free config
+      // Every failure here is a terminal storage fault, explicitly
+      // classified — no other failure source exists in this trace.
+      EXPECT_EQ(m.unavailable, m.failed);
+
+      size_t served = 0;
+      for (size_t q = 0; q < trace->queries; ++q) {
+        const RequestOutcome& out = report->outcomes[q];
+        if (!out.status.ok()) {
+          EXPECT_EQ(out.status.code(), StatusCode::kUnavailable)
+              << "query " << q;
+          continue;
+        }
+        ++served;
+        // Degraded service may drop queries; it may never corrupt one.
+        EXPECT_EQ(out.topk, ref->outcomes[q].topk) << "query " << q;
+      }
+      EXPECT_EQ(served, m.served);
+      // The schedule actually bit (else this run proved nothing), and
+      // retries absorbed most of it.
+      EXPECT_GT(injector.total_faults(), 0u);
+      EXPECT_GE(m.fault_retries, m.failed);
+      EXPECT_GT(m.Availability(), 0.9);
+    }
+  }
+}
+
+TEST(ChaosReplayTest, FixedPlanReplaysTheSameFaultSchedule) {
+  TierGuard guard;
+  ASSERT_EQ(simd::ForceTier(simd::Tier::kScalar), simd::Tier::kScalar);
+  Result<Trace> trace = GenerateTrace(ChaosTrace());
+  ASSERT_TRUE(trace.ok());
+
+  // Single-threaded, so the checked-read op sequence is deterministic;
+  // the plan then pins the whole fault schedule bit-identically.
+  FaultInjector a(ChaosPlan(7));
+  Dataset data_a = FreshData(trace->config);
+  Result<ServiceReport> run_a = ChaosReplay(*trace, &data_a, &a, 1);
+  ASSERT_TRUE(run_a.ok());
+
+  FaultInjector b(ChaosPlan(7));
+  Dataset data_b = FreshData(trace->config);
+  Result<ServiceReport> run_b = ChaosReplay(*trace, &data_b, &b, 1);
+  ASSERT_TRUE(run_b.ok());
+
+  EXPECT_GT(a.total_faults(), 0u);
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(run_a->metrics.served, run_b->metrics.served);
+  EXPECT_EQ(run_a->metrics.failed, run_b->metrics.failed);
+  EXPECT_EQ(run_a->metrics.fault_retries, run_b->metrics.fault_retries);
+  ASSERT_EQ(run_a->outcomes.size(), run_b->outcomes.size());
+  for (size_t q = 0; q < run_a->outcomes.size(); ++q) {
+    EXPECT_EQ(run_a->outcomes[q].status.code(),
+              run_b->outcomes[q].status.code())
+        << "query " << q;
+    EXPECT_EQ(run_a->outcomes[q].topk, run_b->outcomes[q].topk)
+        << "query " << q;
+  }
+}
+
+TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
+  TierGuard guard;
+  ASSERT_EQ(simd::ForceTier(simd::Tier::kScalar), simd::Tier::kScalar);
+  Result<Trace> trace = GenerateTrace(ChaosTrace());
+  ASSERT_TRUE(trace.ok());
+
+  // Run the chaos trace to mutate the engine through many epochs, then
+  // snapshot the survivor state.
+  Dataset data = FreshData(trace->config);
+  DiskManager disk;
+  GirEngine engine(&data, &disk, MakeScoring("Linear", trace->config.dim));
+  FaultInjector injector(ChaosPlan(55));
+  disk.AttachFaultInjector(&injector);
+  BatchOptions opts;
+  opts.threads = 2;
+  opts.cache_capacity = 0;
+  opts.shared_traversal = true;
+  opts.max_retries = 3;
+  opts.retry_backoff_ms = 0.01;
+  BatchEngine batch(&engine, opts);
+  ReplayOptions ro;
+  ro.admission.deadline_ms = 1e12;
+  ro.admission.queue_capacity = 1 << 20;
+  ro.shed_on_dispatch = false;
+  ASSERT_TRUE(ReplayTrace(*trace, &batch, ro).ok());
+  disk.AttachFaultInjector(nullptr);
+  ASSERT_GT(engine.dataset_version(), 0u);
+
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "chaos_recovery")
+          .string();
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store
+                  .WriteSnapshot(engine.dataset(), engine.tree(),
+                                 engine.dataset_version())
+                  .ok());
+
+  // "Crash", recover, and serve: the restored engine answers every
+  // probe bit-identically — including the simulated I/O charged.
+  DiskManager disk2;
+  auto rec = store.RecoverLatest(&disk2);
+  ASSERT_TRUE(rec.ok()) << rec.status().message();
+  EXPECT_EQ(rec->version, engine.dataset_version());
+  auto restored = GirEngine::Restore(
+      std::move(rec->dataset), std::move(*rec->tree), rec->version, &disk2,
+      MakeScoring("Linear", trace->config.dim));
+  ASSERT_NE(restored, nullptr);
+  Rng rng(31);
+  for (int probe = 0; probe < 10; ++probe) {
+    Vec w(trace->config.dim);
+    double sum = 0.0;
+    for (double& x : w) sum += (x = 0.05 + rng.Uniform());
+    for (double& x : w) x /= sum;
+    auto a = engine.ComputeGir(w, trace->config.k, Phase2Method::kFP);
+    auto b = restored->ComputeGir(w, trace->config.k, Phase2Method::kFP);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->topk.result, b->topk.result);
+    EXPECT_EQ(a->topk.scores, b->topk.scores);
+    EXPECT_EQ(a->topk.io.reads, b->topk.io.reads);
+  }
+}
+
+}  // namespace
+}  // namespace gir::serve

@@ -51,16 +51,55 @@ TEST_F(CsvTest, NormalizesToUnitCube) {
   EXPECT_DOUBLE_EQ(d->Get(2)[1], 0.5);
 }
 
-TEST_F(CsvTest, RejectsRaggedRows) {
+TEST_F(CsvTest, RejectsRaggedRowsNamingTheShape) {
   std::string p = Path("ragged.csv");
   WriteFile(p, "1,2\n3,4,5\n");
-  EXPECT_FALSE(LoadCsvDataset(p).ok());
+  Result<Dataset> d = LoadCsvDataset(p);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+  // The message carries enough to fix the file: line, got, expected.
+  EXPECT_NE(d.status().message().find("line 2"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("got 3"), std::string::npos);
+  EXPECT_NE(d.status().message().find("expected 2"), std::string::npos);
 }
 
-TEST_F(CsvTest, RejectsNonNumericCell) {
+TEST_F(CsvTest, RejectsNonNumericCellNamingLineAndColumn) {
   std::string p = Path("alpha.csv");
   WriteFile(p, "1,2\n3,forty\n");
-  EXPECT_FALSE(LoadCsvDataset(p).ok());
+  Result<Dataset> d = LoadCsvDataset(p);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(d.status().message().find("line 2"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("column 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsNonFiniteValues) {
+  // strtod happily parses all of these as numbers; ingestion must not.
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "Infinity", "1e999"}) {
+    std::string p = Path("nonfinite.csv");
+    WriteFile(p, std::string("1,2\n3,") + bad + "\n");
+    Result<Dataset> d = LoadCsvDataset(p);
+    ASSERT_FALSE(d.ok()) << bad;
+    EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(d.status().message().find("non-finite"), std::string::npos)
+        << d.status().message();
+    EXPECT_NE(d.status().message().find("line 2"), std::string::npos) << bad;
+    EXPECT_NE(d.status().message().find("column 2"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST_F(CsvTest, NonFiniteFirstLineIsNeverMistakenForAHeader) {
+  // "nan,inf" parses as numbers, so auto_header must not swallow it the
+  // way it swallows "price,stars".
+  std::string p = Path("nanheader.csv");
+  WriteFile(p, "nan,inf\n1,2\n");
+  Result<Dataset> d = LoadCsvDataset(p);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("line 1"), std::string::npos)
+      << d.status().message();
 }
 
 TEST_F(CsvTest, RejectsMissingFile) {

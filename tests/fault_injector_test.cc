@@ -1,0 +1,153 @@
+// Determinism and scoping contract of the fault injector: a plan's
+// fault schedule is a pure function of (seed, site, op ordinal), so two
+// runs driving the same single-threaded op sequence inject the
+// bit-identical fault sequence; skip_ops and max_faults bound it; the
+// DiskManager only ever faults through the checked ReadPage path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+
+namespace gir {
+namespace {
+
+FaultPlan ReadPlan(uint64_t seed, double error_rate) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.read_error_rate = error_rate;
+  return plan;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysBitIdenticalFaultSequence) {
+  FaultInjector a(ReadPlan(42, 0.2));
+  FaultInjector b(ReadPlan(42, 0.2));
+  for (uint32_t op = 0; op < 2000; ++op) {
+    const Status sa = a.OnPageRead(op % 17);
+    const Status sb = b.OnPageRead(op % 17);
+    ASSERT_EQ(sa.ok(), sb.ok()) << "op " << op;
+    ASSERT_EQ(sa.code(), sb.code()) << "op " << op;
+  }
+  EXPECT_GT(a.read_faults(), 0u);
+  EXPECT_EQ(a.read_faults(), b.read_faults());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultInjector a(ReadPlan(1, 0.2));
+  FaultInjector b(ReadPlan(2, 0.2));
+  for (uint32_t op = 0; op < 2000; ++op) {
+    (void)a.OnPageRead(0);
+    (void)b.OnPageRead(0);
+  }
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultInjectorTest, ResetRestartsTheScheduleFromOpZero) {
+  FaultInjector fi(ReadPlan(7, 0.3));
+  std::vector<bool> first;
+  for (uint32_t op = 0; op < 500; ++op) first.push_back(fi.OnPageRead(0).ok());
+  const uint64_t fp = fi.fingerprint();
+  fi.Reset();
+  EXPECT_EQ(fi.fingerprint(), 0u);
+  for (uint32_t op = 0; op < 500; ++op) {
+    EXPECT_EQ(fi.OnPageRead(0).ok(), first[op]) << "op " << op;
+  }
+  EXPECT_EQ(fi.fingerprint(), fp);
+}
+
+TEST(FaultInjectorTest, FaultRateIsApproximatelyHonored) {
+  FaultInjector fi(ReadPlan(99, 0.1));
+  const uint64_t n = 20000;
+  for (uint64_t op = 0; op < n; ++op) (void)fi.OnPageRead(0);
+  // 10% +- a generous band (binomial std dev ~= 42 here).
+  EXPECT_GT(fi.read_faults(), n / 10 - 400);
+  EXPECT_LT(fi.read_faults(), n / 10 + 400);
+}
+
+TEST(FaultInjectorTest, SkipOpsShieldsTheWarmup) {
+  FaultPlan plan = ReadPlan(5, 1.0);  // every unshielded op faults
+  plan.skip_ops = 100;
+  FaultInjector fi(plan);
+  for (uint64_t op = 0; op < 100; ++op) {
+    EXPECT_TRUE(fi.OnPageRead(0).ok()) << "op " << op;
+  }
+  EXPECT_EQ(fi.read_faults(), 0u);
+  EXPECT_FALSE(fi.OnPageRead(0).ok());
+}
+
+TEST(FaultInjectorTest, MaxFaultsBudgetIsAHardCap) {
+  FaultPlan plan = ReadPlan(5, 1.0);
+  plan.max_faults = 3;
+  FaultInjector fi(plan);
+  uint64_t failed = 0;
+  for (uint64_t op = 0; op < 100; ++op) {
+    if (!fi.OnPageRead(0).ok()) ++failed;
+  }
+  EXPECT_EQ(failed, 3u);
+  EXPECT_EQ(fi.total_faults(), 3u);
+}
+
+TEST(FaultInjectorTest, ReadFaultSurfacesAsUnavailableWithPageContext) {
+  FaultInjector fi(ReadPlan(5, 1.0));
+  const Status st = fi.OnPageRead(123);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("123"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, WriteDecisionsAreDeterministicAndShaped) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.torn_write_rate = 0.5;
+  plan.corrupt_rate = 0.5;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  bool torn = false;
+  bool corrupt = false;
+  for (int i = 0; i < 64; ++i) {
+    const FaultInjector::WriteDecision da = a.OnSnapshotWrite();
+    const FaultInjector::WriteDecision db = b.OnSnapshotWrite();
+    EXPECT_EQ(da.fault, db.fault) << "write " << i;
+    EXPECT_EQ(da.op, db.op);
+    // The shaping draw is pure in (seed, op, salt).
+    EXPECT_EQ(a.ShapeDraw(da.op, 0), b.ShapeDraw(db.op, 0));
+    const double d = a.ShapeDraw(da.op, 0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    torn |= da.fault == FaultInjector::WriteFault::kTorn;
+    corrupt |= da.fault == FaultInjector::WriteFault::kCorrupt;
+  }
+  EXPECT_TRUE(torn);
+  EXPECT_TRUE(corrupt);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultInjectorTest, DiskManagerOnlyFaultsThroughCheckedReads) {
+  DiskManager disk;
+  FaultInjector fi(ReadPlan(3, 1.0));
+  // No injector attached: checked reads are charged and never fail.
+  EXPECT_TRUE(disk.ReadPage(0).ok());
+  EXPECT_EQ(disk.stats().reads, 1u);
+
+  disk.AttachFaultInjector(&fi);
+  const Status st = disk.ReadPage(7);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // The device attempt is still charged — a failed read happened.
+  EXPECT_EQ(disk.stats().reads, 2u);
+  // Plain accounting-only reads can never fault (and don't consume the
+  // schedule).
+  const uint64_t ops_before = fi.read_ops();
+  disk.NoteRead();
+  EXPECT_EQ(fi.read_ops(), ops_before);
+  EXPECT_EQ(disk.stats().reads, 3u);
+
+  disk.AttachFaultInjector(nullptr);
+  EXPECT_TRUE(disk.ReadPage(7).ok());
+}
+
+}  // namespace
+}  // namespace gir

@@ -194,5 +194,100 @@ TEST(AdmissionQueueTest, ConcurrentProducersConserveRequests) {
   EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
 }
 
+TEST(AdmissionQueueTest, ShutdownDrainsPendingWithUnavailable) {
+  AdmissionOptions opt;
+  opt.max_batch = 8;
+  AdmissionQueue q(opt);
+  ASSERT_TRUE(q.Submit(0, Archetype(0.5, 0.5, 0.5), 10, 0.0).ok());
+  ASSERT_TRUE(q.Submit(1, Archetype(0.5, 0.5, 0.5), 10, 1.0).ok());
+  EXPECT_FALSE(q.shut_down());
+
+  std::vector<ShedRequest> drained = q.Shutdown();
+  EXPECT_TRUE(q.shut_down());
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].request.id, 0u);
+  EXPECT_EQ(drained[1].request.id, 1u);
+  for (const ShedRequest& s : drained) {
+    EXPECT_EQ(s.status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(q.size(), 0u);
+
+  // Submitted-after-shutdown requests are refused before any capacity
+  // check — the queue is gone, not full.
+  Status late = q.Submit(2, Archetype(0.5, 0.5, 0.5), 10, 2.0);
+  EXPECT_EQ(late.code(), StatusCode::kUnavailable);
+  // And a post-shutdown Form finds nothing to batch or shed.
+  std::vector<ShedRequest> shed;
+  FormedBatch fb = q.Form(3.0, &shed);
+  EXPECT_TRUE(fb.requests.empty());
+  EXPECT_TRUE(shed.empty());
+  // Idempotent: a second Shutdown has nothing left to drain.
+  EXPECT_TRUE(q.Shutdown().empty());
+}
+
+// Shutdown hammer (the TSan target): producers race Submit against one
+// Shutdown; afterwards every accepted request must have been handed to
+// exactly one side — a formed batch before the shutdown or the drained
+// list — and every post-shutdown Submit must have been refused.
+TEST(AdmissionQueueTest, ConcurrentShutdownConservesRequests) {
+  AdmissionOptions opt;
+  opt.max_batch = 16;
+  opt.max_wait_ms = 0.0;
+  opt.queue_capacity = 1 << 20;  // capacity out of the picture
+  opt.deadline_ms = 1e9;
+  AdmissionQueue q(opt);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 400;
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(p + 11);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t id =
+            static_cast<uint64_t>(p) * kPerProducer + static_cast<uint64_t>(i);
+        Vec w{rng.Uniform(0.05, 1.0), rng.Uniform(0.05, 1.0),
+              rng.Uniform(0.05, 1.0)};
+        Status st = q.Submit(id, std::move(w), 10, static_cast<double>(i));
+        if (st.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::set<uint64_t> seen;
+  size_t formed = 0;
+  std::vector<ShedRequest> shed;
+  // Let the producers get going, then shut down mid-stream and keep
+  // forming until the pre-shutdown backlog would have drained (it
+  // cannot: Shutdown drained it atomically).
+  for (int spin = 0; spin < 50; ++spin) {
+    FormedBatch fb = q.Form(0.0, &shed);
+    for (const ServiceRequest& r : fb.requests) {
+      EXPECT_TRUE(seen.insert(r.id).second) << "duplicate id " << r.id;
+      ++formed;
+    }
+    std::this_thread::yield();
+  }
+  std::vector<ShedRequest> drained = q.Shutdown();
+  for (std::thread& t : producers) t.join();
+  for (const ShedRequest& s : drained) {
+    EXPECT_EQ(s.status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(seen.insert(s.request.id).second);
+  }
+  for (const ShedRequest& s : shed) {
+    EXPECT_TRUE(seen.insert(s.request.id).second);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(static_cast<int>(seen.size()), accepted.load());
+  EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer);
+}
+
 }  // namespace
 }  // namespace gir::serve
