@@ -119,7 +119,7 @@ void RunCell(const GirEngine& engine, const std::vector<Vec>& weights,
   options.threads = 1;
   options.cache_capacity = 0;
   BatchEngine fanout(&engine, options);
-  options.shared_traversal = true;
+  options.exec.shared_traversal = true;
   BatchEngine shared(&engine, options);
   for (int rep = 0; rep < reps; ++rep) {
     RunOnce(&fanout, engine, weights, k, method, rep == 0, &cell->fanout);
@@ -200,7 +200,8 @@ int main(int argc, char** argv) {
   // both modes and would only dilute the executor comparison.
   GirEngineOptions engine_options;
   engine_options.materialize_polytope = false;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", dim), engine_options);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", dim), engine_options));
   Rng rng(params.seed * 31);
 
   // ----- PR5 sweep: shared traversal vs fan-out -----
@@ -231,7 +232,7 @@ int main(int argc, char** argv) {
       Cell cell;
       cell.batch = batch;
       cell.overlap = overlap;
-      RunCell(engine, weights, params.k, Phase2Method::kFP,
+      RunCell(*engine, weights, params.k, Phase2Method::kFP,
               static_cast<int>(reps), &cell);
       cell.read_cut = cell.shared.physical_reads == 0
                           ? 0.0
@@ -337,7 +338,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(dim),
                 static_cast<long long>(params.k),
                 static_cast<long long>(params.queries));
-    RunThreadsSweep(engine, params, dim, rng);
+    RunThreadsSweep(*engine, params, dim, rng);
   }
   return gate_pass ? 0 : 1;
 }

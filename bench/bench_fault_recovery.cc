@@ -89,20 +89,21 @@ RecoveryResult MeasureRecovery(const BenchConfig& cfg,
   Dataset data = MakeNamedDataset("IND", cfg.params.n, cfg.dim,
                                   cfg.params.seed);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", cfg.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", cfg.dim)));
   std::filesystem::remove_all(dir);
   SnapshotStore store(dir);
 
   Rng rng(static_cast<uint64_t>(cfg.params.seed) * 31 + 7);
   for (int64_t e = 0; e < cfg.epochs; ++e) {
-    UpdateBatch batch = MakeUpdateBatch(engine.dataset(), rng, 64);
-    Result<UpdateStats> up = engine.ApplyUpdates(batch);
+    UpdateBatch batch = MakeUpdateBatch(engine->dataset(), rng, 64);
+    Result<UpdateStats> up = engine->ApplyUpdates(batch);
     if (!up.ok()) {
       std::fprintf(stderr, "update: %s\n", up.status().ToString().c_str());
       std::exit(1);
     }
     Stopwatch sw;
-    auto wrote = store.WriteSnapshot(engine.dataset(), engine.tree(),
+    auto wrote = store.WriteSnapshot(engine->dataset(), engine->tree(),
                                      up->version);
     if (!wrote.ok()) {
       std::fprintf(stderr, "snapshot: %s\n",
@@ -134,11 +135,11 @@ RecoveryResult MeasureRecovery(const BenchConfig& cfg,
   // Bitwise probes: ids, scores and charged simulated reads must all
   // match the surviving pre-crash engine.
   out.recovered_bitwise =
-      restored->dataset_version() == engine.dataset_version();
+      restored->dataset_version() == engine->dataset_version();
   Rng probe_rng(99);
   for (int64_t q = 0; q < cfg.probes; ++q) {
     Vec w = RandomQuery(probe_rng, static_cast<size_t>(cfg.dim));
-    auto a = engine.ComputeGir(w, cfg.params.k, Phase2Method::kFP);
+    auto a = engine->ComputeGir(w, cfg.params.k, Phase2Method::kFP);
     auto b = restored->ComputeGir(w, cfg.params.k, Phase2Method::kFP);
     if (!a.ok() || !b.ok() || a->topk.result != b->topk.result ||
         a->topk.scores != b->topk.scores ||
@@ -156,13 +157,13 @@ RecoveryResult MeasureRecovery(const BenchConfig& cfg,
   torn_plan.torn_write_rate = 1.0;
   FaultInjector torn(torn_plan);
   SnapshotStore faulty(dir, &torn);
-  auto wrote = faulty.WriteSnapshot(engine.dataset(), engine.tree(),
-                                    engine.dataset_version() + 1);
+  auto wrote = faulty.WriteSnapshot(engine->dataset(), engine->tree(),
+                                    engine->dataset_version() + 1);
   if (wrote.ok() && wrote->injected == FaultInjector::WriteFault::kTorn) {
     auto rec2 = store.RecoverLatest(&disk2);
     out.torn_rejected = rec2.ok() && rec2->rejected >= 1;
     out.torn_fallback_ok =
-        rec2.ok() && rec2->version == engine.dataset_version();
+        rec2.ok() && rec2->version == engine->dataset_version();
   }
   std::filesystem::remove_all(dir);
   return out;
@@ -198,14 +199,15 @@ AvailabilityPoint MeasureAvailability(const BenchConfig& cfg, double rate,
   DiskManager disk;
   GirEngineOptions eopts;
   eopts.materialize_polytope = false;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", cfg.dim), eopts);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", cfg.dim), eopts));
   BatchOptions bopts;
   bopts.threads = 1;
   bopts.cache_capacity = 0;  // every query exercises the storage path
-  bopts.shared_traversal = true;
-  bopts.max_retries = 3;
-  bopts.retry_backoff_ms = 0.01;
-  BatchEngine batch(&engine, bopts);
+  bopts.exec.shared_traversal = true;
+  bopts.exec.max_retries = 3;
+  bopts.exec.retry_backoff_ms = 0.01;
+  BatchEngine batch(engine.get(), bopts);
 
   FaultPlan plan;
   plan.seed = 4242;

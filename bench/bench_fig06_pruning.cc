@@ -44,12 +44,13 @@ int main(int argc, char** argv) {
       DiskManager disk;
       GirEngineOptions opt;
       opt.materialize_polytope = false;  // count candidates only
-      GirEngine engine(&data, &disk, MakeScoring("Linear", d), opt);
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d), opt));
       Rng rng(params.seed * 7 + d);
-      MethodCost sp = MeasureGir(engine, Phase2Method::kSP, params.k,
+      MethodCost sp = MeasureGir(*engine, Phase2Method::kSP, params.k,
                                  static_cast<int>(params.queries), rng);
       Rng rng2(params.seed * 7 + d);
-      MethodCost cp = MeasureGir(engine, Phase2Method::kCP, params.k,
+      MethodCost cp = MeasureGir(*engine, Phase2Method::kCP, params.k,
                                  static_cast<int>(params.queries), rng2);
       Cell cell;
       if (sp.ok) cell.sl = sp.candidates;

@@ -72,14 +72,15 @@ int main(int argc, char** argv) {
         DiskManager disk;
         GirEngineOptions opt;
         opt.materialize_polytope = false;
-        GirEngine engine(&data, &disk, MakeScoring("Linear", d), opt);
+        auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d), opt));
         Rng rng(params.seed * 7 + d);
         double sum = 0.0;
         int done = 0;
         for (int64_t q = 0; q < params.queries; ++q) {
           Vec w = RandomQuery(rng, d);
           Result<GirComputation> gir =
-              engine.ComputeGir(w, params.k, Phase2Method::kFP);
+              engine->ComputeGir(w, params.k, Phase2Method::kFP);
           if (gir.ok()) {
             sum += d == 2 ? 2.0
                           : static_cast<double>(gir->stats.star_facets);

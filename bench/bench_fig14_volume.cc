@@ -63,10 +63,11 @@ int main(int argc, char** argv) {
       Dataset data =
           MakeNamedDataset(dists[di], params.n, d, params.seed + d);
       DiskManager disk;
-      GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
       Rng rng(params.seed + 5 * d);
       panel_a[di].push_back(AvgLog10Volume(
-          engine, params.k, static_cast<int>(params.queries), rng));
+          *engine, params.k, static_cast<int>(params.queries), rng));
     }
   }
   PrintTitle("Figure 14(a): log10(volume ratio) vs d (synthetic, k=20)");
@@ -97,16 +98,18 @@ int main(int argc, char** argv) {
                                    params.seed);
   DiskManager disk_house;
   DiskManager disk_hotel;
-  GirEngine eng_house(&house, &disk_house, MakeScoring("Linear", 6));
-  GirEngine eng_hotel(&hotel, &disk_hotel, MakeScoring("Linear", 4));
+  auto eng_house = OpenEngineOrDie(
+      EngineConfig::FromDataset(&house, &disk_house, MakeScoring("Linear", 6)));
+  auto eng_hotel = OpenEngineOrDie(
+      EngineConfig::FromDataset(&hotel, &disk_hotel, MakeScoring("Linear", 4)));
   PrintTitle("Figure 14(b): log10(volume ratio) vs k (real-data sims)");
   PrintHeader("k", {"HOUSE", "HOTEL"});
   for (int64_t k : ks) {
     Rng r1(params.seed + k);
     Rng r2(params.seed + k);
-    double vh = AvgLog10Volume(eng_house, k,
+    double vh = AvgLog10Volume(*eng_house, k,
                                static_cast<int>(params.queries), r1);
-    double vo = AvgLog10Volume(eng_hotel, k,
+    double vo = AvgLog10Volume(*eng_hotel, k,
                                static_cast<int>(params.queries), r2);
     std::printf("%-10lld%14.2f%14.2f\n", static_cast<long long>(k), vh, vo);
   }
@@ -119,7 +122,8 @@ int main(int argc, char** argv) {
   for (int64_t d = 2; d <= std::min<int64_t>(dmax, 5); ++d) {
     Dataset data = MakeNamedDataset("IND", params.n, d, params.seed + d);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
     Rng rng(params.seed + 9 * d);
     double sum_stb = 0.0;
     double sum_gir = 0.0;
@@ -127,7 +131,7 @@ int main(int argc, char** argv) {
     for (int64_t q = 0; q < params.queries; ++q) {
       Vec w = RandomQuery(rng, d);
       Result<GirComputation> gir =
-          engine.ComputeGir(w, params.k, Phase2Method::kFP);
+          engine->ComputeGir(w, params.k, Phase2Method::kFP);
       if (!gir.ok()) continue;
       Rng mc(q);
       double gv = VolumeRatioAuto(gir->region, mc);

@@ -33,12 +33,13 @@ int main(int argc, char** argv) {
       Dataset data =
           MakeNamedDataset(dists[di], params.n, d, params.seed + d);
       DiskManager disk;
-      GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
       std::vector<double> cpu_row, io_row;
       for (Phase2Method m :
            {Phase2Method::kCP, Phase2Method::kSP, Phase2Method::kFP}) {
         Rng rng(params.seed * 3 + d);  // same queries for all methods
-        MethodCost c = MeasureGir(engine, m, params.k,
+        MethodCost c = MeasureGir(*engine, m, params.k,
                                   static_cast<int>(params.queries), rng);
         cpu_row.push_back(c.ok ? c.cpu_ms : -1.0);
         io_row.push_back(c.ok ? c.io_ms : -1.0);

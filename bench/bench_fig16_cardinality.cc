@@ -28,12 +28,13 @@ int main(int argc, char** argv) {
   for (int64_t n : ns) {
     Dataset data = MakeNamedDataset("IND", n, dim, params.seed);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring("Linear", dim));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", dim)));
     std::vector<double> cpu_row, io_row;
     for (Phase2Method m :
          {Phase2Method::kCP, Phase2Method::kSP, Phase2Method::kFP}) {
       Rng rng(params.seed * 3 + n);
-      MethodCost c = MeasureGir(engine, m, params.k,
+      MethodCost c = MeasureGir(*engine, m, params.k,
                                 static_cast<int>(params.queries), rng);
       cpu_row.push_back(c.ok ? c.cpu_ms : -1.0);
       io_row.push_back(c.ok ? c.io_ms : -1.0);

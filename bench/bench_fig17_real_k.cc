@@ -37,14 +37,15 @@ int main(int argc, char** argv) {
                 rs.dim, static_cast<long long>(params.queries));
     Dataset data = MakeNamedDataset(rs.name, n, rs.dim, params.seed);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring("Linear", rs.dim));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", rs.dim)));
     std::vector<std::vector<double>> cpu, io;
     for (int64_t k : ks) {
       std::vector<double> cpu_row, io_row;
       for (Phase2Method m :
            {Phase2Method::kCP, Phase2Method::kSP, Phase2Method::kFP}) {
         Rng rng(params.seed + 13 * k);
-        MethodCost c = MeasureGir(engine, m, k,
+        MethodCost c = MeasureGir(*engine, m, k,
                                   static_cast<int>(params.queries), rng);
         cpu_row.push_back(c.ok ? c.cpu_ms : -1.0);
         io_row.push_back(c.ok ? c.io_ms : -1.0);

@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
     std::vector<double> cpu_row, io_row;
     for (const std::string& fn : functions) {
       DiskManager disk;
-      GirEngine engine(&data, &disk, MakeScoring(fn, 4));
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring(fn, 4)));
       Rng rng(params.seed + 13 * k);
-      MethodCost c = MeasureGir(engine, Phase2Method::kSP, k,
+      MethodCost c = MeasureGir(*engine, Phase2Method::kSP, k,
                                 static_cast<int>(params.queries), rng);
       cpu_row.push_back(c.ok ? c.cpu_ms : -1.0);
       io_row.push_back(c.ok ? c.io_ms : -1.0);

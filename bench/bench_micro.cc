@@ -273,13 +273,14 @@ void BM_FpSeedingAblation(benchmark::State& state) {
   GirEngineOptions opt;
   opt.fp.max_coordinate_seeding = seeding;
   opt.materialize_polytope = false;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4), opt);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4), opt));
   size_t i = 0;
   for (auto _ : state) {
     Rng qrng(g_seed * 1000 + 100 + i++);
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = qrng.Uniform(0.05, 1.0);
-    Result<GirComputation> gir = engine.ComputeGir(w, 20, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 20, Phase2Method::kFP);
     benchmark::DoNotOptimize(gir.ok());
   }
 }

@@ -217,13 +217,15 @@ int main(int argc, char** argv) {
     for (int64_t d : dims) {
       Dataset data = MakeNamedDataset(dist, params.n, d, params.seed + d);
       DiskManager disk;
-      GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
       // BF would intersect ~n half-spaces; the paper charges it as a
       // straw man without that final step, so skip materialization.
       GirEngineOptions bf_opt;
       bf_opt.materialize_polytope = false;
       DiskManager bf_disk;
-      GirEngine bf_engine(&data, &bf_disk, MakeScoring("Linear", d), bf_opt);
+      auto bf_engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &bf_disk, MakeScoring("Linear", d), bf_opt));
       for (Phase2Method m : methods) {
         const bool bf = m == Phase2Method::kBruteForce;
         // CP's hull over the huge d>=6 ANTI skyline is the paper's known
@@ -239,7 +241,7 @@ int main(int argc, char** argv) {
           cells.push_back(cell);
           continue;
         }
-        cells.push_back(MeasureCell(bf ? bf_engine : engine, dist, d, m,
+        cells.push_back(MeasureCell(bf ? *bf_engine : *engine, dist, d, m,
                                     params.k, static_cast<int>(params.queries),
                                     params.seed));
         std::printf("%-5s d=%lld %-3s gir_cpu=%8.3f ms  reads=%7.1f%s\n",
@@ -251,7 +253,7 @@ int main(int argc, char** argv) {
                     cells.back().skipped ? " (skipped)" : "");
       }
       // Batch serving throughput (FP), repeated queries warm the cache.
-      BatchEngine batch(&engine);
+      BatchEngine batch(engine.get());
       Rng brng(params.seed * 31 + d);
       std::vector<Vec> ws;
       for (int i = 0; i < 4 * static_cast<int>(params.queries); ++i) {

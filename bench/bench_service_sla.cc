@@ -85,7 +85,7 @@ BatchOptions ServingBatchOptions() {
   BatchOptions bopts;
   bopts.threads = 1;  // isolate the executor, like the PR5 bench
   bopts.cache_capacity = 0;
-  bopts.shared_traversal = true;
+  bopts.exec.shared_traversal = true;
   return bopts;
 }
 

@@ -199,21 +199,22 @@ LpMicro RunLpMicro(int64_t n, int64_t d, int64_t k, int64_t num_regions,
   Dataset data = GenerateIndependent(static_cast<size_t>(n),
                                      static_cast<size_t>(d), rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk,
-                   MakeScoring("Linear", static_cast<size_t>(d)));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk,
+                   MakeScoring("Linear", static_cast<size_t>(d))));
   std::vector<GirRegion> regions;
   std::vector<Vec> gks;
   for (int64_t q = 0; q < num_regions; ++q) {
     Vec w = RandomQuery(rng, static_cast<size_t>(d));
     Result<GirComputation> gir =
-        engine.ComputeGir(w, static_cast<size_t>(k), Phase2Method::kFP);
+        engine->ComputeGir(w, static_cast<size_t>(k), Phase2Method::kFP);
     if (!gir.ok()) {
       std::fprintf(stderr, "GIR failed: %s\n", gir.status().message().c_str());
       std::exit(1);
     }
     regions.push_back(gir->region.ConstraintsOnly());
     gks.push_back(
-        engine.scoring().Transform(data.Get(gir->topk.result.back())));
+        engine->scoring().Transform(data.Get(gir->topk.result.back())));
   }
 
   // Simulated insert stream: random points, the same for every region;
@@ -222,7 +223,7 @@ LpMicro RunLpMicro(int64_t n, int64_t d, int64_t k, int64_t num_regions,
   for (int64_t t = 0; t < num_gains; ++t) {
     Vec p(static_cast<size_t>(d));
     for (double& x : p) x = rng.Uniform();
-    inserts.push_back(engine.scoring().Transform(p));
+    inserts.push_back(engine->scoring().Transform(p));
   }
   const size_t dim = static_cast<size_t>(d);
   std::vector<std::vector<double>> gains(regions.size());

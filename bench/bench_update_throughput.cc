@@ -90,11 +90,12 @@ ScenarioResult RunScenario(bool incremental, int64_t n, int64_t d, int64_t k,
   Dataset data = GenerateIndependent(static_cast<size_t>(n),
                                      static_cast<size_t>(d), data_rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk,
-                   MakeScoring("Linear", static_cast<size_t>(d)));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk,
+                   MakeScoring("Linear", static_cast<size_t>(d))));
   BatchOptions opts;
   opts.cache_capacity = 256;
-  BatchEngine batch(&engine, opts);
+  BatchEngine batch(engine.get(), opts);
 
   Rng rng(static_cast<uint64_t>(seed) * 7 + 3);
   std::vector<Vec> pool;
@@ -148,7 +149,7 @@ ScenarioResult RunScenario(bool incremental, int64_t n, int64_t d, int64_t k,
     if (!incremental) m.entries_before = batch.cache().size();
     Result<UpdateStats> applied = incremental
                                       ? batch.ApplyUpdates(ub)
-                                      : engine.ApplyUpdates(ub, nullptr);
+                                      : engine->ApplyUpdates(ub, nullptr);
     if (!incremental) {
       // Invalidate-all strawman: every cached GIR is a recompute.
       m.evicted = m.entries_before;

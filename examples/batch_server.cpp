@@ -19,13 +19,14 @@ int main() {
   Rng rng(2014);
   Dataset data = GenerateCorrelated(n, d, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
 
   BatchOptions options;
   options.threads = 4;
   options.cache_capacity = 512;
   options.cache_shards = 8;
-  BatchEngine server(&engine, options);
+  BatchEngine server(engine.get(), options);
 
   // Preference archetypes with per-user jitter: "quality seeker",
   // "bargain hunter", ... — the clustered traffic a recommender sees.

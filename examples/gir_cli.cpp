@@ -100,10 +100,11 @@ int main(int argc, char** argv) {
   }
 
   DiskManager disk;
-  GirEngine engine(&*data, &disk, MakeScoring("Linear", data->dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk, MakeScoring("Linear", data->dim())));
   Result<GirComputation> gir =
-      star ? engine.ComputeGirStar(*w, k, *method)
-           : engine.ComputeGir(*w, k, *method);
+      star ? engine->ComputeGirStar(*w, k, *method)
+           : engine->ComputeGir(*w, k, *method);
   if (!gir.ok()) {
     std::fprintf(stderr, "%s\n", gir.status().ToString().c_str());
     return 1;

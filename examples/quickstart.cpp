@@ -22,7 +22,8 @@ int main() {
 
   // 2. Engine: builds an R*-tree over the data on a simulated disk.
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
 
   // 3. A user preference vector (weights per attribute) and k.
   Vec weights = {0.60, 0.50, 0.60, 0.70};
@@ -30,7 +31,7 @@ int main() {
 
   // 4. Top-k + GIR in one call, using Facet Pruning (FP).
   Result<GirComputation> gir =
-      engine.ComputeGir(weights, k, Phase2Method::kFP);
+      engine->ComputeGir(weights, k, Phase2Method::kFP);
   if (!gir.ok()) {
     std::fprintf(stderr, "GIR computation failed: %s\n",
                  gir.status().ToString().c_str());

@@ -56,12 +56,13 @@ int main() {
   Rng rng(42);
   Dataset restaurants = MakeRestaurants(50000, rng);
   DiskManager disk;
-  GirEngine engine(&restaurants, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&restaurants, &disk, MakeScoring("Linear", 4)));
 
   // The user's weights, scaled from Figure 1's 0-100 sliders.
   Vec w = {0.60, 0.50, 0.60, 0.70};
   const size_t k = 10;
-  Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
   if (!gir.ok()) {
     std::fprintf(stderr, "%s\n", gir.status().ToString().c_str());
     return 1;
@@ -81,7 +82,7 @@ int main() {
   w2[1] = 0.5 * (lirs[1].lo + lirs[1].hi);
   std::printf("\nuser drags ambience to %.3f (inside its range)...\n",
               w2[1]);
-  Result<GirComputation> check = engine.ComputeGir(w2, k, Phase2Method::kFP);
+  Result<GirComputation> check = engine->ComputeGir(w2, k, Phase2Method::kFP);
   if (!check.ok()) return 1;
   std::printf("  recommendation unchanged: %s\n",
               check->topk.result == gir->topk.result ? "yes" : "NO (bug!)");
@@ -93,7 +94,7 @@ int main() {
   Vec w3 = w;
   w3[3] = past;
   std::printf("\nuser drags service past its mark to %.3f...\n", past);
-  Result<GirComputation> after = engine.ComputeGir(w3, k, Phase2Method::kFP);
+  Result<GirComputation> after = engine->ComputeGir(w3, k, Phase2Method::kFP);
   if (!after.ok()) return 1;
   if (after->topk.result != gir->topk.result) {
     std::printf("  the recommendation changed, as the GIR predicted.\n");

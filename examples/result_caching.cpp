@@ -21,7 +21,8 @@ int main() {
   Rng rng(99);
   Dataset data = GenerateCorrelated(n, d, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
   GirCache cache(256);
 
   // Preference archetypes: "quality seeker", "bargain hunter", ...
@@ -44,7 +45,7 @@ int main() {
     if (hit.kind == GirCache::HitKind::kExact) {
       ++served_from_cache;  // zero I/O, zero computation
     } else {
-      Result<GirComputation> gir = engine.ComputeGir(q, k, Phase2Method::kFP);
+      Result<GirComputation> gir = engine->ComputeGir(q, k, Phase2Method::kFP);
       if (!gir.ok()) {
         std::fprintf(stderr, "%s\n", gir.status().ToString().c_str());
         return 1;
@@ -53,7 +54,7 @@ int main() {
       cache.Insert(k, gir->topk.result, gir->region);
     }
     // Baseline: every query pays its own top-k I/O.
-    Result<TopKResult> plain = RunBrs(engine.tree(), engine.scoring(), q, k);
+    Result<TopKResult> plain = RunBrs(engine->tree(), engine->scoring(), q, k);
     if (plain.ok()) reads_without_cache += plain->io.reads;
   }
 
@@ -85,7 +86,7 @@ int main() {
         ++hits;
         continue;
       }
-      Result<GirComputation> gir = engine.ComputeGir(q, k, Phase2Method::kFP);
+      Result<GirComputation> gir = engine->ComputeGir(q, k, Phase2Method::kFP);
       if (gir.ok()) c2.Insert(k, gir->topk.result, gir->region);
     }
     std::printf("%-10.2f %.1f%%\n", jit, 100.0 * hits / 200);

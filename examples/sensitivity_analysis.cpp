@@ -35,9 +35,10 @@ int main() {
               "MAH volume", "facets");
   for (Entry& e : datasets) {
     DiskManager disk;
-    GirEngine engine(&e.data, &disk, MakeScoring("Linear", d));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&e.data, &disk, MakeScoring("Linear", d)));
     Vec w = {0.6, 0.5, 0.6, 0.7};
-    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
     if (!gir.ok()) {
       std::fprintf(stderr, "%s\n", gir.status().ToString().c_str());
       return 1;
@@ -57,11 +58,12 @@ int main() {
   std::printf("%-8s %-14s %-18s %s\n", "user", "volume ratio",
               "top-1/2 score gap", "verdict");
   DiskManager disk;
-  GirEngine engine(&datasets[1].data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&datasets[1].data, &disk, MakeScoring("Linear", d)));
   for (int user = 0; user < 6; ++user) {
     Vec w(d);
     for (size_t j = 0; j < d; ++j) w[j] = rng.Uniform(0.1, 1.0);
-    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
     if (!gir.ok()) continue;
     Rng mc(user);
     double ratio = VolumeRatioAuto(gir->region, mc);

@@ -55,11 +55,12 @@ int main() {
     Rng rng(7);
     Dataset data = GenerateCorrelated(n, d, rng);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
     BatchOptions options;
     options.cache_capacity = 0;
-    options.shared_traversal = true;
-    BatchEngine server(&engine, options);
+    options.exec.shared_traversal = true;
+    BatchEngine server(engine.get(), options);
 
     Result<serve::ServiceReport> report =
         serve::ReplayTrace(*trace, &server, serving);

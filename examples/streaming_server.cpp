@@ -32,12 +32,13 @@ int main() {
   Rng rng(2014);
   Dataset data = GenerateIndependent(n, d, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
 
   BatchOptions options;
   options.threads = 4;
   options.cache_capacity = 256;
-  BatchEngine server(&engine, options);
+  BatchEngine server(engine.get(), options);
 
   // Clustered preferences, as in batch_server.
   std::vector<Vec> archetypes = {
@@ -113,7 +114,7 @@ int main() {
   std::printf("\nafter %d epochs: dataset %zu slots (%zu live), epoch %llu, "
               "%zu cached GIRs resident\n",
               epochs, data.size(), data.live_size(),
-              static_cast<unsigned long long>(engine.dataset_version()),
+              static_cast<unsigned long long>(engine->dataset_version()),
               server.cache().size());
   std::printf("every served result was computed against — or proven "
               "immutable across — the epoch it was returned in\n");

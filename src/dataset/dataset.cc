@@ -26,6 +26,12 @@ RecordId Dataset::AppendRecord(VecView record) {
   return static_cast<RecordId>(size() - 1);
 }
 
+void Dataset::AppendRows(const double* rows, size_t n) {
+  flat_.insert(flat_.end(), rows, rows + n * dim_);
+  if (!dead_.empty()) dead_.resize(dead_.size() + n, 0);
+  columns_fresh_ = false;
+}
+
 void Dataset::MarkDeleted(RecordId id) {
   assert(id >= 0 && static_cast<size_t>(id) < size());
   if (dead_.empty()) dead_.assign(size(), 0);

@@ -35,6 +35,10 @@ class Dataset {
   void Append(VecView record);
   // Append that hands back the id of the new record (== size() - 1).
   RecordId AppendRecord(VecView record);
+  // Bulk append of `n` packed row-major records in one insert — the
+  // arena open path materializes whole dataset images, where a
+  // per-record loop is measurable against the mmap'd restart budget.
+  void AppendRows(const double* rows, size_t n);
   void Reserve(size_t n) { flat_.reserve(n * dim_); }
 
   // Tombstones a live record; id keeps resolving via Get (the slot is

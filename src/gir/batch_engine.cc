@@ -70,24 +70,24 @@ void BatchEngine::FinalizeStats(BatchResult* out, double deadline_ms) const {
 
 Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
                                               size_t k, Phase2Method method) {
-  return ComputeBatch(weights, k, method, BatchExecHints());
+  return ComputeBatch(weights, k, method, options_.exec);
 }
 
 Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
                                               size_t k, Phase2Method method,
-                                              const BatchExecHints& hints) {
+                                              const ExecPolicy& policy) {
   const size_t dim = engine_->dataset().dim();
   for (const Vec& w : weights) {
     if (w.size() != dim) {
       return Status::InvalidArgument("batch weight dimensionality mismatch");
     }
   }
-  if (!hints.group_of.empty() && hints.group_of.size() != weights.size()) {
+  if (!policy.group_of.empty() && policy.group_of.size() != weights.size()) {
     return Status::InvalidArgument(
-        "hints.group_of must be empty or match the batch size");
+        "policy.group_of must be empty or match the batch size");
   }
-  if (options_.shared_traversal) {
-    return ComputeBatchShared(weights, k, method, hints);
+  if (policy.shared_traversal) {
+    return ComputeBatchShared(weights, k, method, policy);
   }
 
   BatchResult out;
@@ -117,11 +117,11 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
     // per-epoch). A retry that would blow the deadline budget is skipped
     // — the query degrades to an explicit kUnavailable instead.
     while (!gir.ok() && gir.status().code() == StatusCode::kUnavailable &&
-           item.retries < options_.max_retries) {
+           item.retries < policy.max_retries) {
       const double backoff_ms =
-          BackoffMs(options_.retry_backoff_ms, item.retries);
-      if (hints.deadline_ms > 0.0 &&
-          sw.ElapsedMillis() + backoff_ms >= hints.deadline_ms) {
+          BackoffMs(policy.retry_backoff_ms, item.retries);
+      if (policy.deadline_ms > 0.0 &&
+          sw.ElapsedMillis() + backoff_ms >= policy.deadline_ms) {
         break;
       }
       BackoffSleep(backoff_ms);
@@ -146,7 +146,7 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
   });
   out.stats.wall_ms = batch_sw.ElapsedMillis();
 
-  FinalizeStats(&out, hints.deadline_ms);
+  FinalizeStats(&out, policy.deadline_ms);
   // Fan-out performs exactly what it charges.
   out.stats.charged_reads = out.stats.total_reads;
   out.stats.amortized_reads = out.stats.total_reads;
@@ -155,7 +155,7 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
 
 Result<BatchResult> BatchEngine::ComputeBatchShared(
     const std::vector<Vec>& weights, size_t k, Phase2Method method,
-    const BatchExecHints& hints) {
+    const ExecPolicy& policy) {
   BatchResult out;
   const size_t n = weights.size();
   out.items.resize(n);
@@ -172,7 +172,7 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
       item.status = Status::InvalidArgument("k out of range");
     }
     out.stats.wall_ms = batch_sw.ElapsedMillis();
-    FinalizeStats(&out, hints.deadline_ms);
+    FinalizeStats(&out, policy.deadline_ms);
     return out;
   }
 
@@ -245,20 +245,18 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
   // and run them across the pool: one RunBrsMulti walk per group, then
   // the unchanged Phase-2 pipeline per query on the group's thread.
   // Default partition: fixed-width chunks in input order. With
-  // hints.group_of, a group boundary falls wherever the caller's label
-  // changes (the admission former's archetype clusters), still capped
-  // at the effective width so the score-matrix working set stays
-  // bounded.
-  const size_t width = std::max<size_t>(
-      1, hints.width_override != 0 ? hints.width_override
-                                   : options_.shared_group_width);
+  // policy.group_of, a group boundary falls wherever the caller's
+  // label changes (the admission former's archetype clusters), still
+  // capped at the effective width so the score-matrix working set
+  // stays bounded.
+  const size_t width = std::max<size_t>(1, policy.group_width);
   std::vector<std::pair<uint32_t, uint32_t>> group_ranges;  // [begin, end)
   {
     size_t begin = 0;
     for (size_t r = 1; r <= reps.size(); ++r) {
       const bool label_break =
-          r < reps.size() && !hints.group_of.empty() &&
-          hints.group_of[reps[r]] != hints.group_of[reps[begin]];
+          r < reps.size() && !policy.group_of.empty() &&
+          policy.group_of[reps[r]] != policy.group_of[reps[begin]];
       if (r == reps.size() || label_break || r - begin == width) {
         group_ranges.emplace_back(static_cast<uint32_t>(begin),
                                   static_cast<uint32_t>(r));
@@ -281,10 +279,12 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
           BrsMultiQuery{VecView(weights[reps[begin + r]]), k});
     }
     std::vector<TopKResult>& topks = arena->results;
+    BrsMultiOptions multi_options;
+    multi_options.prefetch = policy.prefetch;
     Stopwatch traversal_sw;
     Status st = RunBrsMulti(*pin.flat, engine_->scoring(), arena->group,
                             arena.get(), &topks, &group_stats[g],
-                            &arena->statuses);
+                            &arena->statuses, multi_options);
     const double traversal_ms = traversal_sw.ElapsedMillis();
     if (!st.ok()) {
       for (size_t r = 0; r < m; ++r) out.items[reps[begin + r]].status = st;
@@ -305,12 +305,12 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
         // same pinned epoch with backoff, inside the deadline budget —
         // then degrade to the terminal status, explicitly.
         while (qst.code() == StatusCode::kUnavailable &&
-               item.retries < options_.max_retries) {
+               item.retries < policy.max_retries) {
           const double backoff_ms =
-              BackoffMs(options_.retry_backoff_ms, item.retries);
-          if (hints.deadline_ms > 0.0 &&
+              BackoffMs(policy.retry_backoff_ms, item.retries);
+          if (policy.deadline_ms > 0.0 &&
               traversal_ms + sw.ElapsedMillis() + backoff_ms >=
-                  hints.deadline_ms) {
+                  policy.deadline_ms) {
             break;
           }
           BackoffSleep(backoff_ms);
@@ -385,8 +385,11 @@ Result<BatchResult> BatchEngine::ComputeBatchShared(
   for (size_t g = 0; g < num_groups; ++g) {
     amortized += group_stats[g].unique_reads + group_phase2_reads[g] +
                  group_retry_reads[g];
+    out.stats.prefetch_issued += group_stats[g].prefetch_issued;
+    out.stats.prefetch_hits += group_stats[g].prefetch_hits;
+    out.stats.prefetch_misses += group_stats[g].prefetch_misses;
   }
-  FinalizeStats(&out, hints.deadline_ms);
+  FinalizeStats(&out, policy.deadline_ms);
   out.stats.charged_reads = out.stats.total_reads;
   out.stats.amortized_reads = amortized;
   return out;

@@ -10,11 +10,17 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "gir/engine.h"
+#include "gir/exec_policy.h"
 #include "gir/sharded_cache.h"
 #include "topk/brs.h"
 
 namespace gir {
 
+// Engine-level configuration of a BatchEngine: the resources it owns
+// (threads, cache) plus the default ExecPolicy a plain ComputeBatch
+// call runs under. Per-call execution knobs all live in ExecPolicy —
+// pass one to ComputeBatch to steer a single batch without
+// reconfiguring the engine.
 struct BatchOptions {
   // Worker threads fanning queries over the shared engine. 0 = one per
   // hardware thread.
@@ -25,54 +31,10 @@ struct BatchOptions {
   // Insert computed GIRs back into the cache (lookups are always
   // attempted while the cache is enabled).
   bool populate_cache = true;
-  // Shared-traversal execution: cache-missing queries are deduplicated,
-  // grouped, and run through RunBrsMulti — one physical walk of the
-  // frozen tree per group, multi-weight SIMD scoring per visited node —
-  // instead of one independent BRS per query. Per-query results
-  // (top-k, scores, region constraints, charged IoStats) are
-  // bit-identical to the fan-out path; only the physical read count and
-  // wall time change. OFF by default until a deployment opts in.
-  bool shared_traversal = false;
-  // Maximum queries per shared-traversal group: bounds the score-matrix
-  // working set (group_width * node capacity doubles) and the per-group
-  // heap pool.
-  size_t shared_group_width = 64;
-  // ----- transient-fault handling -----
-  // Per-query retry budget after a kUnavailable from the storage layer
-  // (an injected — or real — transient page-read failure). Each retry
-  // first backs off retry_backoff_ms * 2^attempt of real time; a retry
-  // whose backoff would cross the hint deadline budget is skipped and
-  // the query degrades to its terminal status instead — an explicit
-  // kUnavailable item, never a silent drop. 0 disables retries.
-  size_t max_retries = 2;
-  double retry_backoff_ms = 0.25;
-};
-
-// Per-call execution hints for ComputeBatch: how the admission layer
-// (src/serve/admission.h) steers one batch without reconfiguring the
-// engine. All fields are optional; a default-constructed hints object
-// reproduces the plain ComputeBatch behavior exactly.
-struct BatchExecHints {
-  // Caller-chosen shared-traversal grouping: group_of[i] is the group
-  // label of query i (any uint32 — equal labels traverse together).
-  // Must be empty or exactly weights.size() long. A group boundary
-  // falls wherever the label changes along input order, so labels
-  // should form contiguous runs (the admission former emits batches
-  // cluster-major, so this is free; a non-contiguous label just
-  // traverses as several groups). Groups are still capped at the
-  // effective width below to bound the score-matrix working set. Empty
-  // = chunk representatives by width, as before. Grouping never changes
-  // per-query results (see the shared-traversal contract), only which
-  // pages get amortized together.
-  std::vector<uint32_t> group_of;
-  // Nonzero: replaces BatchOptions::shared_group_width for this call.
-  size_t width_override = 0;
-  // Nonzero: per-item latency budget in ms, measured like
-  // BatchItem::latency_ms (batch start to item reply). Accounting only
-  // — items over budget are *counted* in BatchStats::deadline_misses,
-  // never dropped or truncated; admission-time shedding is the serve
-  // layer's job.
-  double deadline_ms = 0.0;
+  // Default execution policy of this engine's batches (see
+  // gir/exec_policy.h for every knob and its default). A per-call
+  // policy passed to ComputeBatch replaces this wholesale.
+  ExecPolicy exec;
 };
 
 // Outcome of one query of a batch, at its input position.
@@ -116,6 +78,15 @@ struct BatchStats {
   double p99_ms = 0.0;
   double max_ms = 0.0;
 
+  // ----- frontier-prefetch accounting (nonzero only when serving an
+  // mmap'd arena under shared traversal with ExecPolicy::prefetch) ---
+  // Pages madvise'd ahead of their round, and of the unique physical
+  // fetches, how many found their mapped page already resident vs. had
+  // to fault it in synchronously.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+
   // ----- shared-traversal accounting (zero in fan-out mode except
   // charged/amortized, which then both equal total_reads) -----
   // Queries answered by replicating an exact-duplicate twin (same
@@ -129,10 +100,10 @@ struct BatchStats {
   // the amortization the shared executor bought.
   uint64_t charged_reads = 0;
   uint64_t amortized_reads = 0;
-  // Effective shared_group_width of this call (options or hint
-  // override); 0 in fan-out mode.
+  // Effective group width of this call (ExecPolicy::group_width); 0 in
+  // fan-out mode.
   size_t width_used = 0;
-  // Items whose latency exceeded BatchExecHints::deadline_ms (0 when no
+  // Items whose latency exceeded ExecPolicy::deadline_ms (0 when no
   // deadline was given).
   uint64_t deadline_misses = 0;
 
@@ -176,7 +147,7 @@ struct BatchResult {
 // top-k order, which the containment guarantee makes equal to what a
 // fresh computation would produce.
 //
-// Shared traversal (BatchOptions::shared_traversal): instead of one
+// Shared traversal (ExecPolicy::shared_traversal): instead of one
 // independent root-to-leaf search per cache-missing query, the batch is
 // deduplicated (exact weight/k twins computed once), chunked into
 // groups, and each group walks the pinned frozen tree once via
@@ -218,18 +189,21 @@ class BatchEngine {
     mutable_engine_ = engine;
   }
 
-  // Computes the order-sensitive GIR top-k for every weight vector.
-  // Per-query errors (e.g. k out of range) land in the corresponding
-  // item's status; the call itself only fails on malformed batch input.
+  // Computes the order-sensitive GIR top-k for every weight vector,
+  // under this engine's default policy (BatchOptions::exec). Per-query
+  // errors (e.g. k out of range) land in the corresponding item's
+  // status; the call itself only fails on malformed batch input.
   Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
                                    Phase2Method method);
 
-  // Same, steered by per-call hints (caller-chosen traversal groups,
-  // width override, deadline accounting). Results are bit-identical to
-  // the hint-less call for any valid hints; see BatchExecHints.
+  // Same, under an explicit per-call policy (caller-chosen traversal
+  // groups, width, deadline, retry budget, prefetch — see
+  // gir/exec_policy.h). The policy replaces the engine default
+  // wholesale for this call. Results are bit-identical across any
+  // valid policies; only wall time and physical I/O differ.
   Result<BatchResult> ComputeBatch(const std::vector<Vec>& weights, size_t k,
                                    Phase2Method method,
-                                   const BatchExecHints& hints);
+                                   const ExecPolicy& policy);
 
   // Forwards the batch to GirEngine::ApplyUpdates with this engine's
   // cache attached, so cached GIRs are incrementally invalidated and
@@ -241,6 +215,10 @@ class BatchEngine {
   const ShardedGirCache& cache() const { return cache_; }
   ShardedGirCache* mutable_cache() { return &cache_; }
   const GirEngine& engine() const { return *engine_; }
+  // The engine-level configuration, including the default ExecPolicy —
+  // what callers (the serve replay loop) start from when building a
+  // per-batch policy.
+  const BatchOptions& options() const { return options_; }
 
  private:
   // Arena pool for the shared-traversal groups: one arena per in-flight
@@ -252,7 +230,7 @@ class BatchEngine {
 
   Result<BatchResult> ComputeBatchShared(const std::vector<Vec>& weights,
                                          size_t k, Phase2Method method,
-                                         const BatchExecHints& hints);
+                                         const ExecPolicy& policy);
   void FinalizeStats(BatchResult* out, double deadline_ms) const;
 
   const GirEngine* engine_;

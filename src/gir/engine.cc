@@ -1,9 +1,14 @@
 #include "gir/engine.h"
 
+#include <sys/stat.h>
+
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "dataset/csv.h"
 #include "gir/brute_force.h"
 #include "gir/cp.h"
 #include "gir/fp2d.h"
@@ -11,6 +16,8 @@
 #include "gir/phase1.h"
 #include "gir/sharded_cache.h"
 #include "gir/sp.h"
+#include "storage/snapshot_store.h"
+#include "topk/tree_kernels.h"
 
 namespace gir {
 
@@ -66,7 +73,7 @@ GirEngine::GirEngine(const Dataset* dataset, Dataset* mutable_dataset,
       mutable_dataset_ == nullptr
           ? std::shared_ptr<const Dataset>(dataset_, [](const Dataset*) {})
           : std::make_shared<const Dataset>(*dataset_);
-  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  snap->flat = FlatRTree::Freeze(*tree_, snap->dataset.get());
   snap->version = 0;
   snapshot_ = std::move(snap);
 }
@@ -87,7 +94,23 @@ GirEngine::GirEngine(std::unique_ptr<Dataset> owned, RTree tree,
   // restored master tree, stamped with the recovered version.
   auto snap = std::make_shared<Snapshot>();
   snap->dataset = std::make_shared<const Dataset>(*dataset_);
-  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  snap->flat = FlatRTree::Freeze(*tree_, snap->dataset.get());
+  snap->version = version;
+  snapshot_ = std::move(snap);
+  version_.store(version, std::memory_order_release);
+}
+
+GirEngine::GirEngine(std::shared_ptr<const Dataset> dataset, FlatRTree flat,
+                     uint64_t version, DiskManager* disk,
+                     std::unique_ptr<ScoringFunction> scoring,
+                     const GirEngineOptions& options)
+    : dataset_(nullptr),
+      disk_(disk),
+      scoring_(std::move(scoring)),
+      options_(options) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->dataset = std::move(dataset);
+  snap->flat = std::move(flat);
   snap->version = version;
   snapshot_ = std::move(snap);
   version_.store(version, std::memory_order_release);
@@ -100,6 +123,148 @@ std::unique_ptr<GirEngine> GirEngine::Restore(
   return std::unique_ptr<GirEngine>(
       new GirEngine(std::move(dataset), std::move(tree), version, disk,
                     std::move(scoring), options));
+}
+
+namespace {
+
+// One arena epoch, ready to publish: the mapped file, a heap dataset
+// image rebuilt from its rows, and a FlatRTree whose planes point
+// straight into the mapping. Shared by Open(kArena) and AdvanceToArena.
+struct ArenaEpoch {
+  std::shared_ptr<const Dataset> dataset;
+  FlatRTree flat;
+  uint64_t version = 0;
+};
+
+Result<ArenaEpoch> LoadArenaEpoch(std::shared_ptr<const ArenaFile> arena,
+                                  DiskManager* disk) {
+  Result<std::unique_ptr<Dataset>> dataset = arena->BuildDataset();
+  if (!dataset.ok()) return dataset.status();
+  std::shared_ptr<const Dataset> ds(std::move(*dataset));
+  const uint64_t version = arena->version();
+  Result<FlatRTree> flat =
+      FlatRTree::FromArena(std::move(arena), ds.get(), disk);
+  if (!flat.ok()) return flat.status();
+  ArenaEpoch epoch;
+  epoch.dataset = std::move(ds);
+  epoch.flat = std::move(*flat);
+  epoch.version = version;
+  return epoch;
+}
+
+Result<ArenaEpoch> LoadArenaEpoch(const std::string& path, DiskManager* disk) {
+  Result<std::shared_ptr<const ArenaFile>> arena = ArenaFile::Open(path);
+  if (!arena.ok()) return arena.status();
+  return LoadArenaEpoch(std::move(*arena), disk);
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
+  if (config.disk == nullptr) {
+    return Status::InvalidArgument("EngineConfig needs a DiskManager");
+  }
+  if (config.scoring == nullptr) {
+    return Status::InvalidArgument("EngineConfig needs a scoring function");
+  }
+  switch (config.source) {
+    case EngineConfig::Source::kDataset: {
+      if (config.dataset == nullptr) {
+        return Status::InvalidArgument("kDataset source needs a dataset");
+      }
+      return std::unique_ptr<GirEngine>(
+          new GirEngine(config.dataset, nullptr, config.disk,
+                        std::move(config.scoring), config.options));
+    }
+    case EngineConfig::Source::kMutableDataset: {
+      if (config.mutable_dataset == nullptr) {
+        return Status::InvalidArgument(
+            "kMutableDataset source needs a mutable dataset");
+      }
+      return std::unique_ptr<GirEngine>(new GirEngine(
+          config.mutable_dataset, config.mutable_dataset, config.disk,
+          std::move(config.scoring), config.options));
+    }
+    case EngineConfig::Source::kCsv: {
+      Result<Dataset> loaded = LoadCsvDataset(config.path);
+      if (!loaded.ok()) return loaded.status();
+      auto owned = std::make_unique<Dataset>(std::move(*loaded));
+      std::unique_ptr<GirEngine> engine(
+          new GirEngine(owned.get(), owned.get(), config.disk,
+                        std::move(config.scoring), config.options));
+      engine->owned_dataset_ = std::move(owned);
+      return engine;
+    }
+    case EngineConfig::Source::kSnapshotDir: {
+      SnapshotStore store(config.path);
+      Result<SnapshotStore::Recovered> rec = store.RecoverLatest(config.disk);
+      if (!rec.ok()) return rec.status();
+      return std::unique_ptr<GirEngine>(new GirEngine(
+          std::move(rec->dataset), std::move(*rec->tree), rec->version,
+          config.disk, std::move(config.scoring), config.options));
+    }
+    case EngineConfig::Source::kArena: {
+      Result<ArenaEpoch> epoch = Status::Internal("unreachable");
+      if (IsDirectory(config.path)) {
+        // Directory source: the pick hands back the winner's validated
+        // mapping, so the engine builds over it without a second
+        // open-and-checksum pass.
+        SnapshotStore store(config.path);
+        Result<SnapshotStore::ArenaPick> pick = store.RecoverLatestArena();
+        if (!pick.ok()) return pick.status();
+        epoch = LoadArenaEpoch(std::move(pick->file), config.disk);
+      } else {
+        epoch = LoadArenaEpoch(config.path, config.disk);
+      }
+      if (!epoch.ok()) return epoch.status();
+      return std::unique_ptr<GirEngine>(new GirEngine(
+          std::move(epoch->dataset), std::move(epoch->flat), epoch->version,
+          config.disk, std::move(config.scoring), config.options));
+    }
+  }
+  return Status::InvalidArgument("unknown EngineConfig source");
+}
+
+Result<uint64_t> GirEngine::AdvanceToArena(const std::string& path) {
+  if (dataset_ != nullptr || mutable_dataset_ != nullptr) {
+    return Status::FailedPrecondition(
+        "AdvanceToArena needs an arena-backed engine (Open with a kArena "
+        "source)");
+  }
+  std::lock_guard<std::mutex> lock(update_mu_);
+  Result<ArenaEpoch> epoch = LoadArenaEpoch(path, disk_);
+  if (!epoch.ok()) return epoch.status();
+  if (epoch->dataset->dim() != LoadSnapshot()->dataset->dim()) {
+    return Status::InvalidArgument(
+        "arena file has a different dataset dimensionality");
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->dataset = std::move(epoch->dataset);
+  snap->flat = std::move(epoch->flat);
+  snap->version = epoch->version;
+  // Publish; in-flight readers drain on the old mapping, whose
+  // shared_ptr chain (Snapshot -> FlatRTree -> ArenaFile) munmaps the
+  // retired file when the last pin drops.
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const Snapshot>(std::move(snap)),
+                             std::memory_order_release);
+  version_.store(epoch->version, std::memory_order_release);
+  return epoch->version;
+}
+
+std::unique_ptr<GirEngine> OpenEngineOrDie(EngineConfig config) {
+  Result<std::unique_ptr<GirEngine>> engine = GirEngine::Open(std::move(config));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "GirEngine::Open failed: %s\n",
+                 engine.status().message().c_str());
+    std::abort();
+  }
+  return std::move(*engine);
 }
 
 GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
@@ -215,13 +380,17 @@ Result<GirComputation> GirEngine::FinishGir(const FlatRTree& flat,
         }
         // Simulate the full-scan I/O the paper ascribes to this
         // approach: every reachable leaf page is read (freed pages of
-        // the update path never count).
+        // the update path never count). The reads go through the
+        // checked FetchPage path, so fault plans cover them and the
+        // arena-backed mapping pages in inside the accounted read.
         std::vector<PageId> stack = {flat.root()};
         while (!stack.empty()) {
-          const FlatRTree::NodeView node = flat.PeekNode(stack.back());
+          const PageId page = stack.back();
+          const FlatRTree::NodeView node = flat.PeekNode(page);
           stack.pop_back();
           if (node.is_leaf()) {
-            disk_->NoteRead();
+            Status read = TreeReadPage(flat, page);
+            if (!read.ok()) return read;
             continue;
           }
           for (size_t e = 0; e < node.count(); ++e) {
@@ -296,7 +465,7 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
 
   // 1. Mutate the master index + dataset (deletes before inserts).
   for (RecordId id : batch.deletes) {
-    if (!tree_.Delete(id)) {
+    if (!tree_->Delete(id)) {
       return Status::Internal("live record missing from the R*-tree");
     }
     mutable_dataset_->MarkDeleted(id);
@@ -305,7 +474,7 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
   new_ids.reserve(batch.inserts.size());
   for (const Vec& p : batch.inserts) {
     const RecordId id = mutable_dataset_->AppendRecord(p);
-    tree_.Insert(id);
+    tree_->Insert(id);
     new_ids.push_back(id);
   }
   stats.apply_ms = sw.ElapsedMillis();
@@ -315,7 +484,7 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
   sw.Restart();
   auto snap = std::make_shared<Snapshot>();
   snap->dataset = std::make_shared<const Dataset>(*mutable_dataset_);
-  snap->flat = FlatRTree::Freeze(tree_, snap->dataset.get());
+  snap->flat = FlatRTree::Freeze(*tree_, snap->dataset.get());
   const uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
   snap->version = new_version;
   stats.refreeze_ms = sw.ElapsedMillis();

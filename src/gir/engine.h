@@ -4,13 +4,16 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "common/result.h"
 #include "gir/fpnd.h"
 #include "gir/gir_region.h"
 #include "index/flat_rtree.h"
 #include "index/rtree.h"
+#include "storage/arena_file.h"
 #include "topk/brs.h"
 
 namespace gir {
@@ -101,15 +104,121 @@ struct GirEngineOptions {
   bool materialize_polytope = true;
 };
 
+// Unified construction input of GirEngine::Open: one value that names
+// where the engine's data comes from (the source), whether it accepts
+// ApplyUpdates (mutability follows the source), how records are scored,
+// and the engine options. Build one with the factory that matches your
+// source; every factory takes the same trailing (disk, scoring,
+// options) triple. Move-only (it carries the scoring function).
+//
+//   auto engine = GirEngine::Open(
+//       EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
+//
+// Source semantics:
+//   FromDataset(const Dataset*)  read-only engine over a caller-owned
+//                                dataset; ApplyUpdates fails.
+//   FromDataset(Dataset*)        updatable engine; the caller's dataset
+//                                is the mutable master.
+//   FromCsv(path)                loads the CSV into an engine-owned
+//                                mutable master (updatable).
+//   FromSnapshotDir(dir)         recovers the newest valid snapshot in
+//                                `dir` (SnapshotStore::RecoverLatest)
+//                                into an updatable engine.
+//   FromArena(path)              mmaps an arena file (storage/
+//                                arena_file.h) and serves straight from
+//                                the mapping: no rebuild, no refreeze,
+//                                read-only. `path` may be the file
+//                                itself or a snapshot directory — the
+//                                newest valid arena-*.garn then wins
+//                                (SnapshotStore::RecoverLatestArena).
+struct EngineConfig {
+  enum class Source {
+    kDataset,         // caller-owned immutable dataset
+    kMutableDataset,  // caller-owned mutable master dataset
+    kCsv,             // CSV file, loaded into an engine-owned master
+    kSnapshotDir,     // newest valid .gsnp epoch in a directory
+    kArena,           // mmap'd arena file (or newest in a directory)
+  };
+
+  Source source = Source::kDataset;
+  const Dataset* dataset = nullptr;    // kDataset
+  Dataset* mutable_dataset = nullptr;  // kMutableDataset
+  std::string path;                    // kCsv / kSnapshotDir / kArena
+  DiskManager* disk = nullptr;         // required, all sources
+  std::unique_ptr<ScoringFunction> scoring;  // required, all sources
+  GirEngineOptions options;
+
+  static EngineConfig FromDataset(const Dataset* dataset, DiskManager* disk,
+                                  std::unique_ptr<ScoringFunction> scoring,
+                                  GirEngineOptions options = {}) {
+    EngineConfig c;
+    c.source = Source::kDataset;
+    c.dataset = dataset;
+    c.disk = disk;
+    c.scoring = std::move(scoring);
+    c.options = options;
+    return c;
+  }
+  // Overload on mutability, mirroring the ApplyUpdates contract: a
+  // non-const dataset pointer buys an updatable engine.
+  static EngineConfig FromDataset(Dataset* dataset, DiskManager* disk,
+                                  std::unique_ptr<ScoringFunction> scoring,
+                                  GirEngineOptions options = {}) {
+    EngineConfig c;
+    c.source = Source::kMutableDataset;
+    c.dataset = dataset;
+    c.mutable_dataset = dataset;
+    c.disk = disk;
+    c.scoring = std::move(scoring);
+    c.options = options;
+    return c;
+  }
+  static EngineConfig FromCsv(std::string path, DiskManager* disk,
+                              std::unique_ptr<ScoringFunction> scoring,
+                              GirEngineOptions options = {}) {
+    EngineConfig c;
+    c.source = Source::kCsv;
+    c.path = std::move(path);
+    c.disk = disk;
+    c.scoring = std::move(scoring);
+    c.options = options;
+    return c;
+  }
+  static EngineConfig FromSnapshotDir(std::string dir, DiskManager* disk,
+                                      std::unique_ptr<ScoringFunction> scoring,
+                                      GirEngineOptions options = {}) {
+    EngineConfig c;
+    c.source = Source::kSnapshotDir;
+    c.path = std::move(dir);
+    c.disk = disk;
+    c.scoring = std::move(scoring);
+    c.options = options;
+    return c;
+  }
+  static EngineConfig FromArena(std::string path, DiskManager* disk,
+                                std::unique_ptr<ScoringFunction> scoring,
+                                GirEngineOptions options = {}) {
+    EngineConfig c;
+    c.source = Source::kArena;
+    c.path = std::move(path);
+    c.disk = disk;
+    c.scoring = std::move(scoring);
+    c.options = options;
+    return c;
+  }
+};
+
 // Public facade: owns the R*-tree over a dataset and computes top-k
 // results together with their (order-sensitive or order-insensitive)
 // global immutable regions.
 //
 //   DiskManager disk;
-//   GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
-//   auto gir = engine.ComputeGir(weights, 20, Phase2Method::kFP);
+//   auto engine = OpenEngineOrDie(EngineConfig::FromDataset(
+//       &data, &disk, MakeScoring("Linear", data.dim())));
+//   auto gir = engine->ComputeGir(weights, 20, Phase2Method::kFP);
 //
-// The dataset and disk manager must outlive the engine.
+// The dataset (when caller-owned) and disk manager must outlive the
+// engine.
 //
 // Thread safety: ComputeGir / ComputeGirStar only read an immutable
 // epoch snapshot (see below) plus the scoring function, and the
@@ -134,25 +243,39 @@ struct GirEngineOptions {
 // and stamp every GirComputation for cache coherence.
 class GirEngine {
  public:
-  // Read-only engine: serves the dataset frozen at construction;
-  // ApplyUpdates fails with FailedPrecondition.
+  // The one construction entry point: opens an engine from whatever
+  // source the config names (see EngineConfig). Fails with
+  // InvalidArgument on a malformed config (missing disk/scoring/source
+  // operand), and with the underlying error for file-backed sources —
+  // NotFound when nothing is there, DataLoss when every candidate is
+  // torn or corrupt, the CSV parser's status for kCsv.
+  static Result<std::unique_ptr<GirEngine>> Open(EngineConfig config);
+
+  // Deprecated — use Open(EngineConfig::FromDataset(...)). Read-only
+  // engine: serves the dataset frozen at construction; ApplyUpdates
+  // fails with FailedPrecondition. Kept as a thin forwarding shim for
+  // one release; new code goes through Open.
   GirEngine(const Dataset* dataset, DiskManager* disk,
             std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options = {});
 
-  // Updatable engine: same construction, but keeps the mutable handle
-  // so ApplyUpdates can mutate the dataset between epochs.
+  // Deprecated — use Open(EngineConfig::FromDataset(...)) with a
+  // non-const dataset. Updatable engine: same construction, but keeps
+  // the mutable handle so ApplyUpdates can mutate the dataset between
+  // epochs.
   GirEngine(Dataset* dataset, DiskManager* disk,
             std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options = {});
 
-  // Recovery path (see SnapshotStore::RecoverLatest): rebuilds an
-  // updatable engine from a restored epoch, taking ownership of the
-  // recovered dataset image and master tree. The tree's page ids are
-  // the saved ones 1:1, so the restored engine's traversals charge
-  // bit-identical simulated I/O to the pre-crash engine's. `tree` must
-  // have been loaded over `dataset` and `disk`; the published epoch
-  // starts at `version` and the next ApplyUpdates continues from it.
+  // Deprecated — use Open(EngineConfig::FromSnapshotDir(...)), which
+  // runs recovery and restore in one step. Rebuilds an updatable
+  // engine from a restored epoch (see SnapshotStore::RecoverLatest),
+  // taking ownership of the recovered dataset image and master tree.
+  // The tree's page ids are the saved ones 1:1, so the restored
+  // engine's traversals charge bit-identical simulated I/O to the
+  // pre-crash engine's. `tree` must have been loaded over `dataset`
+  // and `disk`; the published epoch starts at `version` and the next
+  // ApplyUpdates continues from it.
   static std::unique_ptr<GirEngine> Restore(
       std::unique_ptr<Dataset> dataset, RTree tree, uint64_t version,
       DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
@@ -218,12 +341,29 @@ class GirEngine {
   Result<UpdateStats> ApplyUpdates(const UpdateBatch& batch,
                                    ShardedGirCache* cache = nullptr);
 
+  // Arena-backed engines only (Open with a kArena source): swaps the
+  // served epoch to the arena file at `path` — mmap the new file,
+  // validate it end to end, publish it with one atomic pointer swap.
+  // In-flight readers finish on the mapping they pinned; the old file
+  // is munmapped when the last of them drains. This is the replica
+  // epoch-advance path: a follower serves arena epoch N while a leader
+  // publishes N+1 via SnapshotStore::WriteArena, then the follower
+  // advances with no rebuild and no reader stall. Returns the new
+  // epoch's version; FailedPrecondition on a non-arena engine,
+  // DataLoss/NotFound/InvalidArgument when the file is damaged,
+  // missing, or from a different dataset shape.
+  Result<uint64_t> AdvanceToArena(const std::string& path);
+
   // Epoch of the currently-published snapshot.
   uint64_t dataset_version() const {
     return version_.load(std::memory_order_acquire);
   }
 
-  const RTree& tree() const { return tree_; }
+  // True when the engine keeps a mutable master R*-tree (every source
+  // except kArena). Arena engines serve the frozen image only; tree()
+  // must not be called on them.
+  bool has_master_tree() const { return tree_.has_value(); }
+  const RTree& tree() const { return *tree_; }
   // The currently-published frozen image. The reference stays valid
   // until the *next* ApplyUpdates retires the snapshot — single-epoch
   // callers (tests, static benches) may hold it freely. Any caller that
@@ -237,7 +377,13 @@ class GirEngine {
     std::shared_ptr<const Snapshot> snap = LoadSnapshot();
     return std::shared_ptr<const FlatRTree>(snap, &snap->flat);
   }
-  const Dataset& dataset() const { return *dataset_; }
+  // The master dataset for dataset-backed engines. An arena engine has
+  // no master — its dataset lives inside the served epoch, so the
+  // reference is only stable until the next AdvanceToArena; pin the
+  // epoch (PinIndex) to hold it across swaps.
+  const Dataset& dataset() const {
+    return dataset_ != nullptr ? *dataset_ : *LoadSnapshot()->dataset;
+  }
   const ScoringFunction& scoring() const { return *scoring_; }
   DiskManager* disk() const { return disk_; }
 
@@ -261,6 +407,14 @@ class GirEngine {
             DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
             const GirEngineOptions& options);
 
+  // Arena path: serves straight from the mapping — no master tree, no
+  // refreeze, read-only. `flat` must be FromArena over `dataset`, which
+  // the published snapshot takes ownership of.
+  GirEngine(std::shared_ptr<const Dataset> dataset, FlatRTree flat,
+            uint64_t version, DiskManager* disk,
+            std::unique_ptr<ScoringFunction> scoring,
+            const GirEngineOptions& options);
+
   std::shared_ptr<const Snapshot> LoadSnapshot() const {
     return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
   }
@@ -276,19 +430,29 @@ class GirEngine {
                                    Phase2Method method, bool order_sensitive,
                                    TopKResult topk, double topk_cpu_ms) const;
 
-  // Restore path only: the engine owns its master dataset (declared
-  // first so dataset_/mutable_dataset_ can alias it during init).
+  // Restore/CSV paths only: the engine owns its master dataset
+  // (declared first so dataset_/mutable_dataset_ can alias it during
+  // init).
   std::unique_ptr<Dataset> owned_dataset_;
-  const Dataset* dataset_;
+  const Dataset* dataset_;  // null iff arena-backed (dataset lives in
+                            // the snapshot, swapped by AdvanceToArena)
   Dataset* mutable_dataset_ = nullptr;  // non-null iff updatable
   DiskManager* disk_;
   std::unique_ptr<ScoringFunction> scoring_;
   GirEngineOptions options_;
-  RTree tree_;  // mutable master index; touched only under update_mu_
+  // Mutable master index; touched only under update_mu_. Absent on
+  // arena-backed engines — they have nothing to re-balance and serve
+  // the mmap'd frozen image directly.
+  std::optional<RTree> tree_;
   std::shared_ptr<const Snapshot> snapshot_;  // atomic publish point
   std::atomic<uint64_t> version_{0};
   std::mutex update_mu_;  // serializes ApplyUpdates writers
 };
+
+// Opens an engine or aborts with the error printed — the construction
+// idiom of tests, benches and examples, where a failed open is a bug,
+// not a condition to handle.
+std::unique_ptr<GirEngine> OpenEngineOrDie(EngineConfig config);
 
 }  // namespace gir
 

@@ -1,0 +1,76 @@
+#ifndef GIR_GIR_EXEC_POLICY_H_
+#define GIR_GIR_EXEC_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gir {
+
+// How one batch executes: the single knob set shared by every layer
+// that runs queries — BatchEngine::ComputeBatch accepts one per call,
+// BatchOptions::exec holds the engine-level default, and the serve
+// replay/admission stack builds its per-batch policy from the engine
+// default plus the admission former's output. A default-constructed
+// policy is the documented baseline: independent fan-out per query,
+// two retries on transient faults, prefetch enabled where an mmap'd
+// arena makes it meaningful.
+//
+// Every field is per-call; none reconfigures the engine. Results are
+// policy-independent — grouping, widths, prefetch and retries change
+// wall time and physical I/O, never which records come back (see the
+// shared-traversal and prefetch contracts).
+struct ExecPolicy {
+  // Shared-traversal execution: cache-missing queries are deduplicated,
+  // grouped, and run through RunBrsMulti — one physical walk of the
+  // frozen tree per group, multi-weight SIMD scoring per visited node —
+  // instead of one independent BRS per query. Per-query results
+  // (top-k, scores, region constraints, charged IoStats) are
+  // bit-identical to the fan-out path; only the physical read count
+  // and wall time change. OFF by default until a deployment opts in.
+  bool shared_traversal = false;
+
+  // Maximum queries per shared-traversal group: bounds the score-matrix
+  // working set (group_width * node capacity doubles) and the per-group
+  // heap pool.
+  size_t group_width = 64;
+
+  // Caller-chosen shared-traversal grouping: group_of[i] is the group
+  // label of query i (any uint32 — equal labels traverse together).
+  // Must be empty or exactly weights.size() long. A group boundary
+  // falls wherever the label changes along input order, so labels
+  // should form contiguous runs (the admission former emits batches
+  // cluster-major, so this is free; a non-contiguous label just
+  // traverses as several groups). Groups are still capped at
+  // group_width. Empty = chunk representatives by width.
+  std::vector<uint32_t> group_of;
+
+  // Nonzero: per-item latency budget in ms, measured like
+  // BatchItem::latency_ms (batch start to item reply). Two effects:
+  // items over budget are counted in BatchStats::deadline_misses
+  // (never dropped or truncated — admission-time shedding is the serve
+  // layer's job), and a fault retry whose backoff would cross the
+  // budget is skipped in favor of an explicit terminal status.
+  double deadline_ms = 0.0;
+
+  // ----- transient-fault handling -----
+  // Per-query retry budget after a kUnavailable from the storage layer
+  // (an injected — or real — transient page-read failure). Each retry
+  // first backs off retry_backoff_ms * 2^attempt of real time; a retry
+  // whose backoff would cross deadline_ms is skipped and the query
+  // degrades to its terminal status instead — an explicit kUnavailable
+  // item, never a silent drop. 0 disables retries.
+  size_t max_retries = 2;
+  double retry_backoff_ms = 0.25;
+
+  // Frontier prefetch on mmap-arena-backed engines: each
+  // shared-traversal round madvise(MADV_WILLNEED)s its whole demanded
+  // page set before fetching/scoring the first page, so kernel
+  // readahead overlaps the round's SIMD scoring. No-op on heap-frozen
+  // images; never changes results, only page-in timing.
+  bool prefetch = true;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_EXEC_POLICY_H_

@@ -1,6 +1,7 @@
 #include "index/flat_rtree.h"
 
 #include <cassert>
+#include <utility>
 
 #include "common/simd.h"
 
@@ -29,6 +30,29 @@ void FlatRTree::NodeView::EntryMbbInto(size_t e, Mbb* out) const {
 void FlatRTree::NodeView::EntryTopCorner(size_t e, Vec* out) const {
   out->resize(dim_);
   for (size_t j = 0; j < dim_; ++j) (*out)[j] = hi(j)[e];
+}
+
+FlatRTree& FlatRTree::operator=(FlatRTree&& other) noexcept {
+  dataset_ = other.dataset_;
+  disk_ = other.disk_;
+  dim_ = other.dim_;
+  capacity_ = other.capacity_;
+  node_stride_ = other.node_stride_;
+  coords_ = std::move(other.coords_);
+  children_ = std::move(other.children_);
+  arena_ = std::move(other.arena_);
+  meta_ = std::move(other.meta_);
+  root_ = other.root_;
+  record_count_ = other.record_count_;
+  // Vector moves transfer the heap buffers, so re-anchoring on our own
+  // vectors keeps the owned case valid; the mapped case keeps the
+  // source's (mapping-stable) pointers.
+  coords_base_ = arena_ != nullptr ? other.coords_base_ : coords_.data();
+  children_base_ =
+      arena_ != nullptr ? other.children_base_ : children_.data();
+  other.coords_base_ = nullptr;
+  other.children_base_ = nullptr;
+  return *this;
 }
 
 FlatRTree FlatRTree::Freeze(const RTree& tree,
@@ -66,6 +90,65 @@ FlatRTree FlatRTree::Freeze(const RTree& tree,
       }
     }
   }
+  flat.coords_base_ = flat.coords_.data();
+  flat.children_base_ = flat.children_.data();
+  return flat;
+}
+
+Result<FlatRTree> FlatRTree::FromArena(
+    std::shared_ptr<const ArenaFile> arena, const Dataset* dataset,
+    DiskManager* disk) {
+  if (arena == nullptr || dataset == nullptr || disk == nullptr) {
+    return Status::InvalidArgument("FromArena needs arena, dataset, disk");
+  }
+  if (dataset->dim() != arena->dim() ||
+      dataset->size() != arena->dataset_rows()) {
+    return Status::InvalidArgument(
+        "dataset shape does not match the arena header");
+  }
+  FlatRTree flat;
+  flat.dataset_ = dataset;
+  flat.disk_ = disk;
+  flat.dim_ = arena->dim();
+  flat.capacity_ = arena->capacity();
+  flat.node_stride_ = 2 * flat.dim_ * flat.capacity_;
+  flat.root_ = arena->root() < 0 ? kInvalidPage
+                                 : static_cast<PageId>(arena->root());
+  flat.record_count_ = arena->record_count();
+  // Hot arrays: straight into the mapping, zero copy.
+  flat.coords_base_ = arena->coords();
+  flat.children_base_ = arena->children();
+  // Per-node metadata: the POD headers plus the MBB planes are small
+  // (O(nodes * dim)), rebuilt on the heap because FlatNodeMeta carries
+  // an allocated Mbb. Child ids must stay inside the arena — a valid
+  // CRC proves integrity, not semantics, so the structural checks here
+  // are what keeps a hostile-but-checksummed file from walking a
+  // traversal out of bounds.
+  const size_t n = arena->node_count();
+  const int64_t node_limit = static_cast<int64_t>(n);
+  flat.meta_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    const ArenaNodeMeta& m = arena->node_meta()[p];
+    if (m.count > flat.capacity_) {
+      return Status::DataLoss("arena node entry count exceeds capacity");
+    }
+    FlatNodeMeta& meta = flat.meta_[p];
+    meta.count = m.count;
+    meta.level = m.level;
+    meta.is_leaf = m.is_leaf != 0;
+    const double* box = arena->node_mbbs() + p * 2 * flat.dim_;
+    meta.mbb.lo.assign(box, box + flat.dim_);
+    meta.mbb.hi.assign(box + flat.dim_, box + 2 * flat.dim_);
+    if (!meta.is_leaf) {
+      const int32_t* children = flat.children_base_ + p * flat.capacity_;
+      for (uint32_t e = 0; e < m.count; ++e) {
+        if (children[e] < 0 || children[e] >= node_limit) {
+          return Status::DataLoss("arena child page id out of range");
+        }
+      }
+    }
+  }
+  flat.arena_ = std::move(arena);
   return flat;
 }
 

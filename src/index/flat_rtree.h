@@ -2,14 +2,18 @@
 #define GIR_INDEX_FLAT_RTREE_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "index/rtree.h"
+#include "storage/arena_file.h"
 
 namespace gir {
 
-// Read-only, cache-friendly image of an RTree, produced by Freeze().
+// Read-only, cache-friendly image of an RTree, produced by Freeze() —
+// or mapped straight from an on-disk arena file by FromArena().
 //
 // The mutable tree stores one heap-allocated std::vector<RTreeEntry> per
 // node with AoS Mbb objects, which defeats locality and vectorization on
@@ -19,6 +23,16 @@ namespace gir {
 // planes — for each dimension j, the `lo` values of all entries are
 // contiguous, then the `hi` values — so a batched kernel can stream
 // `w_j * g_j(hi_j[e])` over whole planes.
+//
+// Storage is pointer-rebased: the hot arrays (coordinate planes,
+// children) are reached through raw base pointers that aim either at
+// the image's own heap vectors (Freeze) or directly into a read-only
+// mmap of an arena file (FromArena). The mapped variant keeps the
+// ArenaFile alive through a shared_ptr, so an epoch swap munmaps the
+// old file exactly when the last pinned reader drains. Both variants
+// serve bit-identical bytes — the on-disk sections are written from the
+// frozen vectors unmodified — so every traversal, score and IoStats
+// count is identical across them (property-tested per SIMD tier).
 //
 // Page ids are preserved 1:1 from the source tree, and ReadNode charges
 // exactly one simulated page read like RTree::ReadNode, so any traversal
@@ -91,6 +105,13 @@ class FlatRTree {
   // make it usable. Lets snapshot holders default-construct in place.
   FlatRTree() = default;
 
+  // The base pointers track the owned vectors, so moves re-anchor them
+  // and copies are forbidden (a copy would alias the source's buffers).
+  FlatRTree(FlatRTree&& other) noexcept { *this = std::move(other); }
+  FlatRTree& operator=(FlatRTree&& other) noexcept;
+  FlatRTree(const FlatRTree&) = delete;
+  FlatRTree& operator=(const FlatRTree&) = delete;
+
   // Compacts `tree` into the flat arena. The source tree, its dataset
   // and disk manager must outlive the frozen image; the freeze itself
   // charges no simulated I/O (it repacks pages already written).
@@ -104,8 +125,22 @@ class FlatRTree {
   static FlatRTree Freeze(const RTree& tree,
                           const Dataset* dataset_override = nullptr);
 
+  // Maps an image straight from a validated arena file: the coordinate
+  // planes and children arrays are served from the read-only mapping
+  // (no copy; the kernel pages them in on demand), only the small
+  // per-node metadata is rebuilt on the heap. `dataset` must be the
+  // record image the arena was written with (ArenaFile::BuildDataset)
+  // and must outlive the image; the shared_ptr keeps the mapping alive
+  // for as long as any reader holds this image. InvalidArgument when
+  // the dataset's shape does not match the arena's header.
+  static Result<FlatRTree> FromArena(std::shared_ptr<const ArenaFile> arena,
+                                     const Dataset* dataset,
+                                     DiskManager* disk);
+
   // Node access, charging one simulated page read (same accounting as
-  // RTree::ReadNode).
+  // RTree::ReadNode). Accounting-only and infallible — used by the
+  // Phase-2 continuations, which re-expand pending nodes already
+  // resident; the fallible traversals fetch through FetchPage instead.
   NodeView ReadNode(PageId page) const {
     disk_->NoteRead();
     return PeekNode(page);
@@ -113,8 +148,40 @@ class FlatRTree {
   // Accounting-free access for tests and validation.
   NodeView PeekNode(PageId page) const {
     const size_t p = page;
-    return NodeView(&meta_[p], coords_.data() + p * node_stride_,
-                    children_.data() + p * capacity_, dim_, capacity_);
+    return NodeView(&meta_[p], coords_base_ + p * node_stride_,
+                    children_base_ + p * capacity_, dim_, capacity_);
+  }
+
+  // Checked fetch of one page: charges the read through the
+  // DiskManager's fault-injectable ReadPage path, and — when the image
+  // is arena-backed — physically touches the node's mapped bytes so
+  // the page-in cost lands inside the charged read. `resident` (may be
+  // null) reports whether the mapped page was already resident
+  // (prefetch hit signal); always true for heap-backed images.
+  Status FetchPage(PageId page, bool* resident = nullptr) const {
+    Status read = disk_->ReadPage(page);
+    if (arena_ != nullptr) {
+      const bool was = arena_->TouchNode(page);
+      if (resident != nullptr) *resident = was;
+      if (read.ok()) disk_->NotePrefetchTouch(was);
+    } else if (resident != nullptr) {
+      *resident = true;
+    }
+    return read;
+  }
+
+  // True when the image serves its arrays from an mmap'd arena file.
+  bool arena_backed() const { return arena_ != nullptr; }
+  const std::shared_ptr<const ArenaFile>& arena() const { return arena_; }
+
+  // Asks the kernel to read ahead `n` nodes' mapped ranges
+  // (madvise(MADV_WILLNEED)) and accounts the issue; no-op on
+  // heap-backed images. The shared-traversal executor calls this with
+  // the union page set of the upcoming lockstep round.
+  void PrefetchPages(const PageId* pages, size_t n) const {
+    if (arena_ == nullptr || n == 0) return;
+    arena_->PrefetchNodes(pages, n);
+    disk_->NotePrefetchIssued(n);
   }
 
   PageId root() const { return root_; }
@@ -135,9 +202,15 @@ class FlatRTree {
   DiskManager* disk_ = nullptr;
   size_t dim_ = 0;
   size_t capacity_ = 0;
-  size_t node_stride_ = 0;  // doubles per node in coords_
+  size_t node_stride_ = 0;  // doubles per node behind coords_base_
+  // Owned storage (Freeze). Empty when arena-backed.
   std::vector<double> coords_;
   std::vector<int32_t> children_;
+  // Hot-array bases: the owned vectors' data, or spans of the mapping.
+  const double* coords_base_ = nullptr;
+  const int32_t* children_base_ = nullptr;
+  // Mapping keepalive (FromArena only).
+  std::shared_ptr<const ArenaFile> arena_;
   std::vector<FlatNodeMeta> meta_;
   PageId root_ = kInvalidPage;
   size_t record_count_ = 0;

@@ -26,7 +26,7 @@ struct AdmissionOptions {
   // front of the engine; unbounded growth just converts overload into
   // unbounded latency).
   size_t queue_capacity = 4096;
-  // ----- adaptive shared_group_width -----
+  // ----- adaptive shared-traversal group width -----
   // Requests whose unit-normalized weight vectors have cosine
   // similarity >= cluster_cos against a cluster's leader join that
   // cluster (greedy leader clustering, deterministic in arrival
@@ -64,9 +64,9 @@ struct ShedRequest {
 struct FormedBatch {
   std::vector<ServiceRequest> requests;
   // group_of[i] labels requests[i]'s cluster; contiguous runs by
-  // construction — pass through to BatchExecHints::group_of.
+  // construction — pass through to ExecPolicy::group_of.
   std::vector<uint32_t> group_of;
-  size_t width = 0;       // adaptive shared_group_width for this batch
+  size_t width = 0;       // adaptive ExecPolicy::group_width this batch
   size_t clusters = 0;    // clusters of size >= 2
   size_t stragglers = 0;  // singleton-cluster requests (fan-out tail)
   double formed_ms = 0.0;

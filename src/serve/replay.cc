@@ -75,17 +75,20 @@ Status ExecuteOneBatch(ReplayState* state, BatchEngine* engine,
     weights.push_back(req.weights);
   }
 
-  BatchExecHints hints;
+  // Per-batch execution policy: the engine's default, specialized with
+  // the admission former's grouping (adaptive) or the configured static
+  // width, plus the SLA deadline for miss accounting.
+  ExecPolicy policy = engine->options().exec;
   if (options.adaptive_width) {
-    hints.group_of = formed.group_of;
-    hints.width_override = formed.width;
-  } else {
-    hints.width_override = options.static_width;
+    policy.group_of = formed.group_of;
+    if (formed.width != 0) policy.group_width = formed.width;
+  } else if (options.static_width != 0) {
+    policy.group_width = options.static_width;
   }
-  hints.deadline_ms = state->queue.options().deadline_ms;
+  policy.deadline_ms = state->queue.options().deadline_ms;
 
   Result<BatchResult> result =
-      engine->ComputeBatch(weights, state->trace_k, options.method, hints);
+      engine->ComputeBatch(weights, state->trace_k, options.method, policy);
   if (!result.ok()) return result.status();
   const double wall_ms = result->stats.wall_ms;
   state->server_free_ms = service_start + wall_ms;
@@ -95,6 +98,9 @@ Status ExecuteOneBatch(ReplayState* state, BatchEngine* engine,
   state->report.deadline_misses += result->stats.deadline_misses;
   state->metrics.RecordFaultRetries(result->stats.fault_retries,
                                     result->stats.retry_successes);
+  state->metrics.RecordPrefetch(result->stats.prefetch_issued,
+                                result->stats.prefetch_hits,
+                                result->stats.prefetch_misses);
   state->metrics.RecordBatch(formed.requests.size(),
                              options.adaptive_width ? formed.width
                                                     : options.static_width);

@@ -97,6 +97,13 @@ void MetricsBuilder::RecordFaultRetries(uint64_t retries,
   metrics_.retry_successes += successes;
 }
 
+void MetricsBuilder::RecordPrefetch(uint64_t issued, uint64_t hits,
+                                    uint64_t misses) {
+  metrics_.prefetch_issued += issued;
+  metrics_.prefetch_hits += hits;
+  metrics_.prefetch_misses += misses;
+}
+
 void MetricsBuilder::RecordRecovery(double ms) {
   ++metrics_.recoveries;
   metrics_.recovery_ms += ms;
@@ -183,6 +190,9 @@ std::string MetricsJson(const ServiceMetrics& m) {
   count("retry_successes", m.retry_successes);
   count("recoveries", m.recoveries);
   field("recovery_ms", m.recovery_ms);
+  count("prefetch_issued", m.prefetch_issued);
+  count("prefetch_hits", m.prefetch_hits);
+  count("prefetch_misses", m.prefetch_misses);
   field("availability", m.Availability());
   out += ", \"occupancy_histogram\": [";
   for (size_t b = 0; b < m.occupancy_histogram.size(); ++b) {

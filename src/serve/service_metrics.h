@@ -89,6 +89,15 @@ struct ServiceMetrics {
   size_t recoveries = 0;         // snapshot recoveries performed
   double recovery_ms = 0.0;      // total time spent in recovery
 
+  // ----- mmap-arena frontier prefetch (zero on heap-backed engines) --
+  // Pages madvise'd ahead of their traversal round, and of the unique
+  // physical fetches, how many found the page resident vs. faulted it
+  // in synchronously. The hit fraction is the overlap the prefetcher
+  // actually bought.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+
   double ShedRate() const {
     return requests == 0
                ? 0.0
@@ -119,6 +128,8 @@ class MetricsBuilder {
   void RecordUpdate();
   // Engine-side retry accounting of one executed batch.
   void RecordFaultRetries(uint64_t retries, uint64_t successes);
+  // Frontier-prefetch accounting of one executed batch.
+  void RecordPrefetch(uint64_t issued, uint64_t hits, uint64_t misses);
   // One snapshot recovery taking `ms` of service time.
   void RecordRecovery(double ms);
 

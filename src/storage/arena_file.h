@@ -1,0 +1,166 @@
+#ifndef GIR_STORAGE_ARENA_FILE_H_
+#define GIR_STORAGE_ARENA_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "storage/disk_manager.h"
+
+namespace gir {
+
+class FlatRTree;
+
+// Version-stamped, page-aligned on-disk image of one engine epoch: the
+// frozen FlatRTree arena (SoA coordinate planes, children, per-node
+// headers and MBBs) plus the dataset image it was frozen against
+// (coordinates + tombstones). The layout is designed to be mmap'd and
+// served directly: every section starts on a kArenaAlign boundary, the
+// coordinate planes and children arrays are bit-identical to the
+// heap-resident FlatRTree's vectors, and the per-node metadata is a POD
+// record (the heap FlatNodeMeta holds an Mbb with allocated corners, so
+// it is split here into a fixed-size header section plus a plain
+// lo/hi-doubles MBB section and rebuilt on map).
+//
+// File layout (little-endian, one kArenaAlign-sized header page):
+//   header: u32 magic 'GARN' | u32 format | u64 epoch version
+//           | u64 dim | u64 node capacity | u64 node count | i64 root
+//           | u64 record count | u64 dataset rows | u64 tombstones
+//           | u32 section count | u32 pad
+//   per section (kArenaSectionCount entries):
+//           u32 kind | u32 pad | u64 offset | u64 length
+//           | u32 crc(payload) | u32 pad
+//   then:   u32 crc(all header bytes above)
+//   body:   each section's payload at its offset, zero-padded up to the
+//           next kArenaAlign boundary.
+//
+// Durability: SnapshotStore::WriteArena publishes these files with the
+// same discipline as snapshots — temp name, fsync, atomic rename, fsync
+// of the directory — and the same injected-fault surface (torn tail,
+// flipped byte). ArenaFile::Open validates the magic, the header CRC
+// and every section CRC before serving a single byte, so a torn or
+// corrupt file is rejected at open, never mapped into an engine.
+constexpr uint32_t kArenaMagic = 0x4E524147;  // "GARN"
+constexpr uint32_t kArenaFormat = 1;
+constexpr size_t kArenaAlign = 4096;
+constexpr uint32_t kArenaSectionCount = 6;
+
+enum class ArenaSection : uint32_t {
+  kNodeMeta = 1,    // ArenaNodeMeta[node_count]
+  kNodeMbb = 2,     // node_count * 2 * dim doubles (lo plane, hi plane)
+  kCoords = 3,      // node_count * (2 * dim * capacity) doubles
+  kChildren = 4,    // node_count * capacity int32
+  kDataset = 5,     // dataset_rows * dim doubles
+  kTombstones = 6,  // tombstone count int32 record ids
+};
+
+// On-disk per-node header; plain data so the mapped section is the
+// runtime representation (no parse step per node).
+struct ArenaNodeMeta {
+  uint32_t count = 0;
+  int32_t level = 0;
+  uint32_t is_leaf = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(ArenaNodeMeta) == 16, "on-disk layout is fixed");
+
+// Serializes one frozen epoch into the arena image (header + sections,
+// fully checksummed, page-aligned). The flat tree supplies the index
+// arrays and its bound dataset supplies the record image.
+std::vector<uint8_t> BuildArenaImage(const FlatRTree& flat, uint64_t version);
+
+// A validated, read-only mmap of one arena file. Shared ownership is
+// the epoch-swap mechanism: the engine's snapshot (and every pinned
+// reader) holds a shared_ptr, so swapping epochs is "open + map the new
+// file, atomically publish the new snapshot" and the old mapping is
+// munmap'd exactly when its last pinned reader drains.
+class ArenaFile {
+ public:
+  // Opens, maps and fully validates `path` (magic, format, header CRC,
+  // section geometry, every section CRC). DataLoss on any damage —
+  // a torn tail or a flipped byte is detected here, before any engine
+  // state is built over the mapping. NotFound when the file is absent.
+  static Result<std::shared_ptr<const ArenaFile>> Open(
+      const std::string& path);
+
+  ~ArenaFile();
+  ArenaFile(const ArenaFile&) = delete;
+  ArenaFile& operator=(const ArenaFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t version() const { return version_; }
+  size_t dim() const { return dim_; }
+  size_t capacity() const { return capacity_; }
+  size_t node_count() const { return node_count_; }
+  int64_t root() const { return root_; }
+  size_t record_count() const { return record_count_; }
+  size_t dataset_rows() const { return dataset_rows_; }
+  size_t tombstone_count() const { return tombstone_count_; }
+  size_t file_bytes() const { return bytes_; }
+
+  const ArenaNodeMeta* node_meta() const { return node_meta_; }
+  const double* node_mbbs() const { return node_mbbs_; }
+  const double* coords() const { return coords_; }
+  const int32_t* children() const { return children_; }
+  const double* dataset_rows_data() const { return dataset_; }
+  const int32_t* tombstones() const { return tombstones_; }
+
+  // Materializes the dataset image (coordinates + tombstones) as a heap
+  // Dataset — Phase 2 and the scoring transforms read records through
+  // the Dataset interface. The index arrays stay mapped; only the
+  // record image is copied out.
+  Result<std::unique_ptr<Dataset>> BuildDataset() const;
+
+  // Asks the kernel to read ahead the byte ranges of `n` nodes
+  // (coordinate planes + children), so a traversal that will touch them
+  // next round overlaps its SIMD scoring with the readahead
+  // (madvise(MADV_WILLNEED); an io_uring read path is the noted
+  // follow-up for hosts where madvise readahead is too passive).
+  void PrefetchNodes(const PageId* pages, size_t n) const;
+
+  // Touches node `page`'s first mapped byte (forcing the page in if it
+  // is not resident) and returns whether it was resident beforehand
+  // (mincore) — the per-fetch hit/miss signal of the prefetcher.
+  bool TouchNode(PageId page) const;
+
+  // Drops the mapping's resident pages (MADV_DONTNEED) and asks the
+  // page cache to drop the file's clean pages (POSIX_FADV_DONTNEED) —
+  // the artificial resident-set cap the larger-than-RAM bench uses.
+  void Evict() const;
+
+  // Currently resident bytes of the mapping (mincore scan).
+  size_t ResidentBytes() const;
+
+ private:
+  ArenaFile() = default;
+
+  // Byte span of node `page` inside the coords section.
+  void NodeSpan(PageId page, const uint8_t** addr, size_t* len) const;
+
+  std::string path_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  size_t bytes_ = 0;
+  uint64_t version_ = 0;
+  size_t dim_ = 0;
+  size_t capacity_ = 0;
+  size_t node_count_ = 0;
+  int64_t root_ = -1;
+  size_t record_count_ = 0;
+  size_t dataset_rows_ = 0;
+  size_t tombstone_count_ = 0;
+  size_t node_stride_ = 0;  // doubles per node in the coords section
+  const ArenaNodeMeta* node_meta_ = nullptr;
+  const double* node_mbbs_ = nullptr;
+  const double* coords_ = nullptr;
+  const int32_t* children_ = nullptr;
+  const double* dataset_ = nullptr;
+  const int32_t* tombstones_ = nullptr;
+};
+
+}  // namespace gir
+
+#endif  // GIR_STORAGE_ARENA_FILE_H_

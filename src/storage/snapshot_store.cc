@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "index/flat_rtree.h"
 #include "index/rtree_codec.h"
+#include "storage/arena_file.h"
 
 namespace gir {
 
@@ -170,6 +172,48 @@ bool ReadWholeFile(const fs::path& path, std::vector<uint8_t>* out) {
   return static_cast<bool>(in);
 }
 
+// Crash-safe publish: temp file in the same directory, fsync the data,
+// atomic rename onto the final name, fsync the directory entry. Shared
+// by the snapshot and arena writers.
+Status PublishAtomically(const std::string& dir, const fs::path& final_path,
+                         const uint8_t* data, size_t publish_len) {
+  const fs::path tmp_path =
+      fs::path(dir) / (final_path.filename().string() + ".tmp");
+  {
+    const int fd =
+        ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      return Status::Internal("cannot open " + tmp_path.string());
+    }
+    size_t off = 0;
+    while (off < publish_len) {
+      const ssize_t w = ::write(fd, data + off, publish_len - off);
+      if (w <= 0) {
+        ::close(fd);
+        return Status::Internal("short write to " + tmp_path.string());
+      }
+      off += static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::Internal("fsync failed on " + tmp_path.string());
+    }
+    ::close(fd);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal("rename to " + final_path.string() +
+                            " failed: " + ec.message());
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string SnapshotStore::FileName(uint64_t version) {
@@ -241,41 +285,122 @@ Result<SnapshotStore::WriteStats> SnapshotStore::WriteSnapshot(
     }
   }
 
-  // Crash-safe publish: temp file in the same directory, fsync the
-  // data, atomic rename onto the final name, fsync the directory entry.
-  const fs::path tmp_path = fs::path(dir_) / (FileName(version) + ".tmp");
-  {
-    const int fd =
-        ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    if (fd < 0) {
-      return Status::Internal("cannot open " + tmp_path.string());
-    }
-    size_t off = 0;
-    while (off < publish_len) {
-      const ssize_t w = ::write(fd, file.data() + off, publish_len - off);
-      if (w <= 0) {
-        ::close(fd);
-        return Status::Internal("short write to " + tmp_path.string());
-      }
-      off += static_cast<size_t>(w);
-    }
-    if (::fsync(fd) != 0) {
-      ::close(fd);
-      return Status::Internal("fsync failed on " + tmp_path.string());
-    }
-    ::close(fd);
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    return Status::Internal("rename to " + final_path.string() +
-                            " failed: " + ec.message());
-  }
-  const int dfd = ::open(dir_.c_str(), O_RDONLY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  Status published =
+      PublishAtomically(dir_, final_path, file.data(), publish_len);
+  if (!published.ok()) return published;
   return stats;
+}
+
+std::string SnapshotStore::ArenaFileName(uint64_t version) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "arena-%020llu.garn",
+                static_cast<unsigned long long>(version));
+  return buf;
+}
+
+Result<SnapshotStore::WriteStats> SnapshotStore::WriteArena(
+    const FlatRTree& flat, uint64_t version) {
+  std::vector<uint8_t> file = BuildArenaImage(flat, version);
+
+  WriteStats stats;
+  stats.bytes = file.size();
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot dir " + dir_ + ": " +
+                            ec.message());
+  }
+  const fs::path final_path = fs::path(dir_) / ArenaFileName(version);
+  stats.path = final_path.string();
+
+  // Same fault surface as WriteSnapshot: one decision per published
+  // file, shaped deterministically from the decision's op ordinal.
+  size_t publish_len = file.size();
+  if (injector_ != nullptr) {
+    const FaultInjector::WriteDecision d = injector_->OnSnapshotWrite();
+    stats.injected = d.fault;
+    if (d.fault == FaultInjector::WriteFault::kTorn) {
+      publish_len = 1 + static_cast<size_t>(
+                            injector_->ShapeDraw(d.op, 0) *
+                            static_cast<double>(file.size() - 2));
+    } else if (d.fault == FaultInjector::WriteFault::kCorrupt) {
+      // Flip one byte inside a section *payload* — the alignment
+      // padding between sections carries no data, so a flip there is
+      // not a loss and would never (and should never) be detected. The
+      // section table sits right after the fixed header fields; each
+      // 32-byte entry holds u64 offset / u64 length at bytes 8 / 16.
+      constexpr size_t kHeaderFixed = 80;
+      constexpr size_t kEntryBytes = 32;
+      uint64_t total = 0;
+      uint64_t offsets[kArenaSectionCount];
+      uint64_t lengths[kArenaSectionCount];
+      for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
+        const uint8_t* entry = file.data() + kHeaderFixed + s * kEntryBytes;
+        std::memcpy(&offsets[s], entry + 8, sizeof(uint64_t));
+        std::memcpy(&lengths[s], entry + 16, sizeof(uint64_t));
+        total += lengths[s];
+      }
+      uint64_t at = static_cast<uint64_t>(injector_->ShapeDraw(d.op, 1) *
+                                          static_cast<double>(total - 1));
+      for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
+        if (at < lengths[s]) {
+          file[offsets[s] + at] ^= 0x40;
+          break;
+        }
+        at -= lengths[s];
+      }
+    }
+  }
+
+  Status published =
+      PublishAtomically(dir_, final_path, file.data(), publish_len);
+  if (!published.ok()) return published;
+  return stats;
+}
+
+Result<SnapshotStore::ArenaPick> SnapshotStore::RecoverLatestArena() const {
+  ArenaPick out;
+  std::error_code ec;
+  std::vector<fs::path> candidates;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("arena-", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".garn") == 0) {
+      candidates.push_back(e.path());
+    }
+  }
+  if (ec) {
+    return Status::NotFound("no snapshot directory at " + dir_);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  bool found = false;
+  for (const fs::path& path : candidates) {
+    ++out.scanned;
+    // Full validation (header + every section CRC). The winning
+    // mapping is kept open and handed to the caller — re-opening would
+    // checksum the whole file a second time, doubling the cold-restart
+    // cost this path exists to cut.
+    Result<std::shared_ptr<const ArenaFile>> arena =
+        ArenaFile::Open(path.string());
+    if (!arena.ok()) {
+      ++out.rejected;
+      continue;
+    }
+    if (!found || (*arena)->version() > out.version) {
+      found = true;
+      out.version = (*arena)->version();
+      out.path = path.string();
+      out.file = std::move(*arena);
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        "no valid arena in " + dir_ + " (" + std::to_string(out.scanned) +
+        " scanned, " + std::to_string(out.rejected) + " rejected)");
+  }
+  return out;
 }
 
 Result<SnapshotStore::Recovered> SnapshotStore::RecoverLatest(

@@ -13,6 +13,9 @@
 
 namespace gir {
 
+class ArenaFile;
+class FlatRTree;
+
 // Crash-safe persistence of engine epochs. One snapshot file holds a
 // complete frozen epoch — the dataset image (coordinates + tombstones)
 // and the master R*-tree's page image (rtree_codec layout, page ids
@@ -81,6 +84,36 @@ class SnapshotStore {
   Result<Recovered> RecoverLatest(DiskManager* disk) const;
 
   static std::string FileName(uint64_t version);
+
+  // ----- mmap'able arena epochs -----
+  // Serializes one frozen epoch as a page-aligned arena file (see
+  // storage/arena_file.h) and publishes it as ArenaFileName(version)
+  // under dir(), with the same temp + fsync + rename + dir-fsync
+  // discipline and the same injected-fault surface (one OnSnapshotWrite
+  // decision: kTorn truncates the published bytes, kCorrupt flips one
+  // body byte) as WriteSnapshot. The payoff over WriteSnapshot: a
+  // restart mmaps this file and serves it directly, instead of
+  // deserializing and refreezing.
+  Result<WriteStats> WriteArena(const FlatRTree& flat, uint64_t version);
+
+  struct ArenaPick {
+    std::string path;     // newest arena file that validated
+    uint64_t version = 0;
+    size_t scanned = 0;   // candidate arena files considered
+    size_t rejected = 0;  // torn/corrupt/malformed candidates skipped
+    // The winner's validated mapping, kept open so the caller serves
+    // it directly instead of re-opening (and re-checksumming) the file.
+    std::shared_ptr<const ArenaFile> file;
+  };
+
+  // Finds the newest valid arena epoch in dir(), validating every
+  // candidate via ArenaFile::Open (full CRC + geometry check; damaged
+  // files are skipped and counted, never served). The chosen file
+  // comes back already mapped — GirEngine::Open with an arena source
+  // builds straight over it. NotFound when no candidate validates.
+  Result<ArenaPick> RecoverLatestArena() const;
+
+  static std::string ArenaFileName(uint64_t version);
 
  private:
   std::string dir_;

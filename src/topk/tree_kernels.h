@@ -33,6 +33,16 @@ inline Status TreeReadPage(const Tree& tree, PageId page) {
   return tree.disk()->ReadPage(page);
 }
 
+// Frozen-image overload: FetchPage additionally touches the node's
+// mmap'd bytes when the image is arena-backed, so the physical page-in
+// happens inside the checked, fault-injectable read — never as a
+// silent fault inside a scoring kernel. `resident` (optional) is the
+// prefetch hit/miss signal.
+inline Status TreeReadPage(const FlatRTree& tree, PageId page,
+                           bool* resident = nullptr) {
+  return tree.FetchPage(page, resident);
+}
+
 // ----- RTreeNode shims -----
 
 inline bool NodeIsLeaf(const RTreeNode& node) { return node.is_leaf; }

@@ -40,7 +40,8 @@ TEST(BatchEngineTest, BitIdenticalToSequentialWithoutCache) {
   Rng rng(42);
   Dataset data = GenerateIndependent(3000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
 
   const size_t k = 10;
   std::vector<Vec> weights = RandomWeights(64, 3, 7);
@@ -48,7 +49,7 @@ TEST(BatchEngineTest, BitIdenticalToSequentialWithoutCache) {
   std::vector<GirComputation> sequential;
   sequential.reserve(weights.size());
   for (const Vec& w : weights) {
-    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     sequential.push_back(std::move(*gir));
   }
@@ -56,7 +57,7 @@ TEST(BatchEngineTest, BitIdenticalToSequentialWithoutCache) {
   BatchOptions options;
   options.threads = 4;
   options.cache_capacity = 0;  // pure fan-out, every query computed
-  BatchEngine batch(&engine, options);
+  BatchEngine batch(engine.get(), options);
   Result<BatchResult> result = batch.ComputeBatch(weights, k,
                                                   Phase2Method::kFP);
   ASSERT_TRUE(result.ok());
@@ -88,12 +89,13 @@ TEST(BatchEngineTest, WarmCacheServesRepeatsWithoutIo) {
   Rng rng(43);
   Dataset data = GenerateIndependent(2000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
 
   BatchOptions options;
   options.threads = 2;
   options.cache_capacity = 128;
-  BatchEngine batch(&engine, options);
+  BatchEngine batch(engine.get(), options);
 
   const size_t k = 8;
   std::vector<Vec> weights = RandomWeights(16, 3, 9);
@@ -116,12 +118,13 @@ TEST(BatchEngineTest, LargerKIsAPartialHitAndRecomputes) {
   Rng rng(44);
   Dataset data = GenerateIndependent(2000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
 
   BatchOptions options;
   options.threads = 2;
   options.cache_capacity = 64;
-  BatchEngine batch(&engine, options);
+  BatchEngine batch(engine.get(), options);
 
   std::vector<Vec> weights = {Vec{0.5, 0.6, 0.7}};
   Result<BatchResult> first = batch.ComputeBatch(weights, 5, Phase2Method::kFP);
@@ -146,11 +149,12 @@ TEST(BatchEngineTest, PerQueryErrorsLandInItemStatus) {
   Rng rng(45);
   Dataset data = GenerateIndependent(100, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
 
   BatchOptions options;
   options.threads = 2;
-  BatchEngine batch(&engine, options);
+  BatchEngine batch(engine.get(), options);
 
   std::vector<Vec> weights = {Vec{0.5, 0.5}, Vec{0.4, 0.6}};
   // k > n fails per query, not for the whole batch.
@@ -168,8 +172,9 @@ TEST(BatchEngineTest, RejectsDimensionMismatch) {
   Rng rng(46);
   Dataset data = GenerateIndependent(100, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
-  BatchEngine batch(&engine, BatchOptions{});
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
+  BatchEngine batch(engine.get(), BatchOptions{});
   std::vector<Vec> weights = {Vec{0.5, 0.5}};  // d=2 vs dataset d=3
   Result<BatchResult> result = batch.ComputeBatch(weights, 5,
                                                   Phase2Method::kFP);

@@ -161,7 +161,8 @@ TEST(BatchSharedTest, SharedMatchesFanoutBitwise) {
     Dataset data = MakeData(dist, n, dim, 1000 + dist.size());
     for (const std::string& scoring : scorings) {
       DiskManager disk;
-      GirEngine engine(&data, &disk, MakeScoring(scoring, dim));
+      auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring(scoring, dim)));
       std::vector<Vec> weights =
           ClusteredWeights(18, dim, 5, 0.02, 6, rng);
       for (simd::Tier want : tiers) {
@@ -174,16 +175,16 @@ TEST(BatchSharedTest, SharedMatchesFanoutBitwise) {
           // cannot depend on intra-batch scheduling.
           fan_opts.populate_cache = false;
           BatchOptions shared_opts = fan_opts;
-          shared_opts.shared_traversal = true;
-          shared_opts.shared_group_width = 5;  // multiple ragged groups
-          BatchEngine fanout(&engine, fan_opts);
-          BatchEngine shared(&engine, shared_opts);
+          shared_opts.exec.shared_traversal = true;
+          shared_opts.exec.group_width = 5;  // multiple ragged groups
+          BatchEngine fanout(engine.get(), fan_opts);
+          BatchEngine shared(engine.get(), shared_opts);
           if (cache_on) {
             // Identical warm state on both caches: sequential
             // computations inserted directly.
             for (size_t a = 0; a < 3; ++a) {
               Result<GirComputation> gir =
-                  engine.ComputeGir(weights[a], k, Phase2Method::kFP);
+                  engine->ComputeGir(weights[a], k, Phase2Method::kFP);
               ASSERT_TRUE(gir.ok());
               fanout.mutable_cache()->Insert(k, gir->topk.result,
                                              gir->region,
@@ -218,17 +219,18 @@ TEST(BatchSharedTest, SharedMatchesFanoutWithSpPhase2) {
   TierGuard guard;
   Dataset data = MakeData("IND", 1200, 4, 5);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   Rng rng(9);
   std::vector<Vec> weights = ClusteredWeights(20, 4, 4, 0.03, 5, rng);
   BatchOptions fan_opts;
   fan_opts.threads = 2;
   fan_opts.cache_capacity = 0;
   BatchOptions shared_opts = fan_opts;
-  shared_opts.shared_traversal = true;
-  shared_opts.shared_group_width = 8;
-  BatchEngine fanout(&engine, fan_opts);
-  BatchEngine shared(&engine, shared_opts);
+  shared_opts.exec.shared_traversal = true;
+  shared_opts.exec.group_width = 8;
+  BatchEngine fanout(engine.get(), fan_opts);
+  BatchEngine shared(engine.get(), shared_opts);
   Result<BatchResult> a = fanout.ComputeBatch(weights, 12, Phase2Method::kSP);
   Result<BatchResult> b = shared.ComputeBatch(weights, 12, Phase2Method::kSP);
   ASSERT_TRUE(a.ok() && b.ok());
@@ -241,7 +243,8 @@ TEST(BatchSharedTest, SharedMatchesFanoutWithSpPhase2) {
 TEST(BatchSharedTest, DuplicateAndAmortizationAccounting) {
   Dataset data = MakeData("IND", 1500, 3, 11);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Rng rng(13);
   // 24 queries over 4 archetypes, every 3rd an exact center repeat:
   // 8 exact duplicates beyond the first occurrences.
@@ -253,9 +256,9 @@ TEST(BatchSharedTest, DuplicateAndAmortizationAccounting) {
   BatchOptions opts;
   opts.threads = 2;
   opts.cache_capacity = 0;
-  opts.shared_traversal = true;
-  opts.shared_group_width = 6;
-  BatchEngine shared(&engine, opts);
+  opts.exec.shared_traversal = true;
+  opts.exec.group_width = 6;
+  BatchEngine shared(engine.get(), opts);
   Result<BatchResult> r = shared.ComputeBatch(weights, 10, Phase2Method::kFP);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->stats.failures, 0u);
@@ -275,8 +278,8 @@ TEST(BatchSharedTest, DuplicateAndAmortizationAccounting) {
   EXPECT_EQ(r->stats.duplicate_hits, weights.size() - uniq.size());
   EXPECT_GT(r->stats.duplicate_hits, 0u);
   EXPECT_EQ(r->stats.shared_groups,
-            (uniq.size() + opts.shared_group_width - 1) /
-                opts.shared_group_width);
+            (uniq.size() + opts.exec.group_width - 1) /
+                opts.exec.group_width);
   // Every item answered with identical content for duplicate twins.
   for (size_t i = 0; i < weights.size(); ++i) {
     for (size_t j = i + 1; j < weights.size(); ++j) {
@@ -302,8 +305,9 @@ TEST(BatchSharedTest, RunBrsMultiMatchesSoloRunBrs) {
   TierGuard guard;
   Dataset data = MakeData("COR", 2000, 4, 21);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Polynomial", 4));
-  const FlatRTree& flat = engine.flat_tree();
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Polynomial", 4)));
+  const FlatRTree& flat = engine->flat_tree();
   Rng rng(31);
   std::vector<Vec> weights = ClusteredWeights(10, 4, 3, 0.02, 0, rng);
   for (simd::Tier want :
@@ -314,12 +318,12 @@ TEST(BatchSharedTest, RunBrsMultiMatchesSoloRunBrs) {
     BrsFrontierArena arena;
     std::vector<TopKResult> multi;
     BrsMultiStats stats;
-    ASSERT_TRUE(RunBrsMulti(flat, engine.scoring(), queries, &arena, &multi,
+    ASSERT_TRUE(RunBrsMulti(flat, engine->scoring(), queries, &arena, &multi,
                             &stats)
                     .ok());
     uint64_t charged = 0;
     for (size_t q = 0; q < weights.size(); ++q) {
-      Result<TopKResult> solo = RunBrs(flat, engine.scoring(), weights[q], 7);
+      Result<TopKResult> solo = RunBrs(flat, engine->scoring(), weights[q], 7);
       ASSERT_TRUE(solo.ok());
       SCOPED_TRACE(std::string(simd::TierName(want)) + " query " +
                    std::to_string(q));
@@ -337,17 +341,18 @@ TEST(BatchSharedTest, RunBrsMultiMatchesSoloRunBrs) {
 TEST(BatchSharedTest, RunBrsMultiRejectsMalformedQueries) {
   Dataset data = MakeData("IND", 200, 3, 3);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
-  const FlatRTree& flat = engine.flat_tree();
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
+  const FlatRTree& flat = engine->flat_tree();
   Vec good(3, 0.5);
   Vec bad(2, 0.5);
   BrsFrontierArena arena;
   std::vector<TopKResult> out;
   std::vector<BrsMultiQuery> zero_k = {{VecView(good), 0}};
-  EXPECT_FALSE(RunBrsMulti(flat, engine.scoring(), zero_k, &arena, &out)
+  EXPECT_FALSE(RunBrsMulti(flat, engine->scoring(), zero_k, &arena, &out)
                    .ok());
   std::vector<BrsMultiQuery> wrong_dim = {{VecView(bad), 5}};
-  EXPECT_FALSE(RunBrsMulti(flat, engine.scoring(), wrong_dim, &arena, &out)
+  EXPECT_FALSE(RunBrsMulti(flat, engine->scoring(), wrong_dim, &arena, &out)
                    .ok());
 }
 
@@ -384,8 +389,9 @@ TEST(BatchSharedTest, FrontierArenaZeroSteadyStateAllocation) {
   for (const char* scoring_name : {"Linear", "Polynomial"}) {
     Dataset data = MakeData("IND", 1500, 3, 17);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring(scoring_name, 3));
-    const FlatRTree& flat = engine.flat_tree();
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring(scoring_name, 3)));
+    const FlatRTree& flat = engine->flat_tree();
     Rng rng(19);
     std::vector<Vec> weights = ClusteredWeights(8, 3, 2, 0.015, 0, rng);
     std::vector<BrsMultiQuery> queries;
@@ -394,11 +400,11 @@ TEST(BatchSharedTest, FrontierArenaZeroSteadyStateAllocation) {
     std::vector<TopKResult> out;
     // Warm-up sizes every pooled buffer and the retained output.
     ASSERT_TRUE(
-        RunBrsMulti(flat, engine.scoring(), queries, &arena, &out).ok());
+        RunBrsMulti(flat, engine->scoring(), queries, &arena, &out).ok());
     const size_t grow_after_warmup = arena.grow_events;
     const uint64_t before = g_allocations.load(std::memory_order_relaxed);
     for (int rep = 0; rep < 5; ++rep) {
-      Status st = RunBrsMulti(flat, engine.scoring(), queries, &arena, &out);
+      Status st = RunBrsMulti(flat, engine->scoring(), queries, &arena, &out);
       if (!st.ok()) FAIL();
     }
     const uint64_t after = g_allocations.load(std::memory_order_relaxed);

@@ -85,15 +85,16 @@ FaultPlan ChaosPlan(uint64_t seed) {
 Result<ServiceReport> ChaosReplay(const Trace& trace, Dataset* data,
                                   FaultInjector* injector, size_t threads) {
   DiskManager disk;
-  GirEngine engine(data, &disk, MakeScoring("Linear", trace.config.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(data, &disk, MakeScoring("Linear", trace.config.dim)));
   if (injector != nullptr) disk.AttachFaultInjector(injector);
   BatchOptions opts;
   opts.threads = threads;
   opts.cache_capacity = 0;  // every query exercises the storage path
-  opts.shared_traversal = true;
-  opts.max_retries = 3;
-  opts.retry_backoff_ms = 0.01;
-  BatchEngine batch(&engine, opts);
+  opts.exec.shared_traversal = true;
+  opts.exec.max_retries = 3;
+  opts.exec.retry_backoff_ms = 0.01;
+  BatchEngine batch(engine.get(), opts);
   ReplayOptions ro;
   ro.admission.max_batch = 16;
   ro.admission.max_wait_ms = 2.0;
@@ -210,23 +211,24 @@ TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
   // snapshot the survivor state.
   Dataset data = FreshData(trace->config);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", trace->config.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", trace->config.dim)));
   FaultInjector injector(ChaosPlan(55));
   disk.AttachFaultInjector(&injector);
   BatchOptions opts;
   opts.threads = 2;
   opts.cache_capacity = 0;
-  opts.shared_traversal = true;
-  opts.max_retries = 3;
-  opts.retry_backoff_ms = 0.01;
-  BatchEngine batch(&engine, opts);
+  opts.exec.shared_traversal = true;
+  opts.exec.max_retries = 3;
+  opts.exec.retry_backoff_ms = 0.01;
+  BatchEngine batch(engine.get(), opts);
   ReplayOptions ro;
   ro.admission.deadline_ms = 1e12;
   ro.admission.queue_capacity = 1 << 20;
   ro.shed_on_dispatch = false;
   ASSERT_TRUE(ReplayTrace(*trace, &batch, ro).ok());
   disk.AttachFaultInjector(nullptr);
-  ASSERT_GT(engine.dataset_version(), 0u);
+  ASSERT_GT(engine->dataset_version(), 0u);
 
   const std::string dir =
       (std::filesystem::path(testing::TempDir()) / "chaos_recovery")
@@ -234,8 +236,8 @@ TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
   std::filesystem::remove_all(dir);
   SnapshotStore store(dir);
   ASSERT_TRUE(store
-                  .WriteSnapshot(engine.dataset(), engine.tree(),
-                                 engine.dataset_version())
+                  .WriteSnapshot(engine->dataset(), engine->tree(),
+                                 engine->dataset_version())
                   .ok());
 
   // "Crash", recover, and serve: the restored engine answers every
@@ -243,7 +245,7 @@ TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
   DiskManager disk2;
   auto rec = store.RecoverLatest(&disk2);
   ASSERT_TRUE(rec.ok()) << rec.status().message();
-  EXPECT_EQ(rec->version, engine.dataset_version());
+  EXPECT_EQ(rec->version, engine->dataset_version());
   auto restored = GirEngine::Restore(
       std::move(rec->dataset), std::move(*rec->tree), rec->version, &disk2,
       MakeScoring("Linear", trace->config.dim));
@@ -254,7 +256,7 @@ TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
     double sum = 0.0;
     for (double& x : w) sum += (x = 0.05 + rng.Uniform());
     for (double& x : w) x /= sum;
-    auto a = engine.ComputeGir(w, trace->config.k, Phase2Method::kFP);
+    auto a = engine->ComputeGir(w, trace->config.k, Phase2Method::kFP);
     auto b = restored->ComputeGir(w, trace->config.k, Phase2Method::kFP);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());

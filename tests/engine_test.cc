@@ -16,9 +16,10 @@ TEST(EngineStatsTest, AccountingFieldsArePopulated) {
   Rng rng(1);
   Dataset data = GenerateIndependent(5000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.6, 0.7};
-  Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   const GirStats& s = gir->stats;
   EXPECT_GE(s.topk_cpu_ms, 0.0);
@@ -36,12 +37,13 @@ TEST(EngineStatsTest, CandidateOrderingAcrossMethods) {
   Rng rng(2);
   Dataset data = GenerateAnticorrelated(8000, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   Vec w = {0.6, 0.5, 0.7, 0.4};
-  auto sp = engine.ComputeGir(w, 20, Phase2Method::kSP);
-  auto cp = engine.ComputeGir(w, 20, Phase2Method::kCP);
-  auto fp = engine.ComputeGir(w, 20, Phase2Method::kFP);
-  auto bf = engine.ComputeGir(w, 20, Phase2Method::kBruteForce);
+  auto sp = engine->ComputeGir(w, 20, Phase2Method::kSP);
+  auto cp = engine->ComputeGir(w, 20, Phase2Method::kCP);
+  auto fp = engine->ComputeGir(w, 20, Phase2Method::kFP);
+  auto bf = engine->ComputeGir(w, 20, Phase2Method::kBruteForce);
   ASSERT_TRUE(sp.ok() && cp.ok() && fp.ok() && bf.ok());
   // BF considers everything; SP ⊇ CP; FP's critical set is smallest.
   EXPECT_EQ(bf->stats.candidates, data.size() - 20);
@@ -52,8 +54,8 @@ TEST(EngineStatsTest, CandidateOrderingAcrossMethods) {
   EXPECT_LE(fp->stats.phase2_reads, sp->stats.phase2_reads);
   // The brute-force scan touches every leaf page.
   size_t leaves = 0;
-  for (size_t n = 0; n < engine.tree().node_count(); ++n) {
-    if (engine.tree().PeekNode(static_cast<PageId>(n)).is_leaf) ++leaves;
+  for (size_t n = 0; n < engine->tree().node_count(); ++n) {
+    if (engine->tree().PeekNode(static_cast<PageId>(n)).is_leaf) ++leaves;
   }
   EXPECT_EQ(bf->stats.phase2_reads, leaves);
 }
@@ -64,9 +66,10 @@ TEST(EngineStatsTest, SkippingPolytopeSkipsIntersectTime) {
   DiskManager disk;
   GirEngineOptions opt;
   opt.materialize_polytope = false;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3), opt);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3), opt));
   Result<GirComputation> gir =
-      engine.ComputeGir(Vec{0.5, 0.5, 0.5}, 5, Phase2Method::kFP);
+      engine->ComputeGir(Vec{0.5, 0.5, 0.5}, 5, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   EXPECT_DOUBLE_EQ(gir->stats.intersect_cpu_ms, 0.0);
 }
@@ -75,9 +78,10 @@ TEST(EngineEdgeTest, KEqualsN) {
   Rng rng(4);
   Dataset data = GenerateIndependent(50, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   Result<GirComputation> gir =
-      engine.ComputeGir(Vec{0.5, 0.5}, 50, Phase2Method::kFP);
+      engine->ComputeGir(Vec{0.5, 0.5}, 50, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   EXPECT_EQ(gir->topk.result.size(), 50u);
   // No non-result records: the GIR is the Phase-1 cone only.
@@ -90,9 +94,10 @@ TEST(EngineEdgeTest, KEqualsOne) {
   Rng rng(5);
   Dataset data = GenerateIndependent(500, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Result<GirComputation> gir =
-      engine.ComputeGir(Vec{0.7, 0.4, 0.6}, 1, Phase2Method::kFP);
+      engine->ComputeGir(Vec{0.7, 0.4, 0.6}, 1, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   // No ordering constraints for k=1.
   for (const GirConstraint& c : gir->region.constraints()) {
@@ -112,9 +117,10 @@ TEST(EngineEdgeTest, DuplicateRecordsAreHandled) {
   }
   Dataset data = Dataset::FromRows(rows);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   Result<GirComputation> gir =
-      engine.ComputeGir(Vec{0.5, 0.5}, 10, Phase2Method::kFP);
+      engine->ComputeGir(Vec{0.5, 0.5}, 10, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   // The duplicated k-th record means the "region" collapses to (at
   // most) the tie hyperplane — Contains(query) may legitimately sit on
@@ -154,13 +160,14 @@ TEST(EngineEdgeTest, HigherDimensionSmoke) {
   Rng rng(8);
   Dataset data = GenerateIndependent(1500, 7, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 7));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 7)));
   Vec w(7);
   for (int j = 0; j < 7; ++j) w[j] = rng.Uniform(0.3, 0.9);
-  Result<GirComputation> gir = engine.ComputeGir(w, 5, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 5, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   EXPECT_TRUE(gir->region.Contains(w, 1e-10));
-  Result<GirComputation> sp = engine.ComputeGir(w, 5, Phase2Method::kSP);
+  Result<GirComputation> sp = engine->ComputeGir(w, 5, Phase2Method::kSP);
   ASSERT_TRUE(sp.ok());
   for (int probe = 0; probe < 100; ++probe) {
     Vec q(7);
@@ -173,12 +180,13 @@ TEST(EngineEdgeTest, SameEngineServesManyQueries) {
   Rng rng(9);
   Dataset data = GenerateCorrelated(3000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   for (int i = 0; i < 20; ++i) {
     Vec w = {rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0),
              rng.Uniform(0.1, 1.0)};
     Result<GirComputation> gir =
-        engine.ComputeGir(w, 5, Phase2Method::kFP);
+        engine->ComputeGir(w, 5, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok()) << "query " << i;
     EXPECT_TRUE(gir->region.Contains(w, 1e-10));
   }

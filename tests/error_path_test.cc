@@ -62,7 +62,8 @@ std::vector<Vec> SpreadWeights(size_t m) {
 TEST(ErrorPathTest, SoloComputeSurfacesInjectedFaultAsUnavailable) {
   Dataset data = FreshData();
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
 
   FaultPlan plan;
   plan.seed = 8;
@@ -70,25 +71,26 @@ TEST(ErrorPathTest, SoloComputeSurfacesInjectedFaultAsUnavailable) {
   FaultInjector fi(plan);
   disk.AttachFaultInjector(&fi);
   const Vec w = {0.5, 0.3, 0.2};
-  auto gir = engine.ComputeGir(w, kK, Phase2Method::kFP);
+  auto gir = engine->ComputeGir(w, kK, Phase2Method::kFP);
   ASSERT_FALSE(gir.ok());
   EXPECT_EQ(gir.status().code(), StatusCode::kUnavailable);
 
   // Detach: the engine is healthy again, no residual state.
   disk.AttachFaultInjector(nullptr);
-  EXPECT_TRUE(engine.ComputeGir(w, kK, Phase2Method::kFP).ok());
+  EXPECT_TRUE(engine->ComputeGir(w, kK, Phase2Method::kFP).ok());
 }
 
 TEST(ErrorPathTest, NonFiniteWeightsAreInvalidArgumentEverywhere) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double inf = std::numeric_limits<double>::infinity();
   for (const Vec& bad :
        {Vec{0.5, nan, 0.2}, Vec{inf, 0.3, 0.2}, Vec{0.5, 0.3, -inf}}) {
-    auto gir = engine.ComputeGir(bad, kK, Phase2Method::kFP);
+    auto gir = engine->ComputeGir(bad, kK, Phase2Method::kFP);
     ASSERT_FALSE(gir.ok());
     EXPECT_EQ(gir.status().code(), StatusCode::kInvalidArgument);
     EXPECT_NE(gir.status().message().find("dimension"), std::string::npos);
@@ -101,8 +103,8 @@ TEST(ErrorPathTest, NonFiniteWeightsAreInvalidArgumentEverywhere) {
     BatchOptions opts;
     opts.threads = 2;
     opts.cache_capacity = 0;
-    opts.shared_traversal = shared;
-    BatchEngine batch(&engine, opts);
+    opts.exec.shared_traversal = shared;
+    BatchEngine batch(engine.get(), opts);
     std::vector<Vec> weights = SpreadWeights(4);
     weights[2][1] = nan;
     auto result = batch.ComputeBatch(weights, kK, Phase2Method::kFP);
@@ -115,7 +117,7 @@ TEST(ErrorPathTest, NonFiniteWeightsAreInvalidArgumentEverywhere) {
         EXPECT_TRUE(result->items[i].topk.empty());
       } else {
         ASSERT_TRUE(result->items[i].status.ok()) << "item " << i;
-        auto want = engine.ComputeGir(weights[i], kK, Phase2Method::kFP);
+        auto want = engine->ComputeGir(weights[i], kK, Phase2Method::kFP);
         ASSERT_TRUE(want.ok());
         EXPECT_EQ(result->items[i].topk, want->topk.result);
       }
@@ -128,7 +130,8 @@ TEST(ErrorPathTest, SharedTraversalDegradesOnlyFaultedQueries) {
   TierGuard guard;
   Dataset data = FreshData();
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
   const std::vector<Vec> weights = SpreadWeights(12);
   std::vector<BrsMultiQuery> queries;
   for (const Vec& w : weights) queries.push_back({VecView(w), kK});
@@ -137,12 +140,12 @@ TEST(ErrorPathTest, SharedTraversalDegradesOnlyFaultedQueries) {
        {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2}) {
     if (simd::ForceTier(tier) != tier) continue;  // unsupported CPU
     SCOPED_TRACE(simd::TierName(tier));
-    GirEngine::PinnedIndex pin = engine.PinIndex();
+    GirEngine::PinnedIndex pin = engine->PinIndex();
 
     BrsFrontierArena arena;
     std::vector<TopKResult> want;
     BrsMultiStats clean_stats;
-    ASSERT_TRUE(RunBrsMulti(*pin.flat, engine.scoring(), queries, &arena,
+    ASSERT_TRUE(RunBrsMulti(*pin.flat, engine->scoring(), queries, &arena,
                             &want, &clean_stats)
                     .ok());
     ASSERT_GE(clean_stats.unique_reads, 3u);
@@ -165,7 +168,7 @@ TEST(ErrorPathTest, SharedTraversalDegradesOnlyFaultedQueries) {
       BrsMultiStats stats;
       std::vector<TopKResult> got;
       std::vector<Status> statuses;
-      Status st = RunBrsMulti(*pin.flat, engine.scoring(), queries, &arena,
+      Status st = RunBrsMulti(*pin.flat, engine->scoring(), queries, &arena,
                               &got, &stats, &statuses);
       disk.AttachFaultInjector(nullptr);
 
@@ -202,7 +205,7 @@ TEST(ErrorPathTest, SharedTraversalDegradesOnlyFaultedQueries) {
     disk.AttachFaultInjector(&fi);
     BrsMultiStats stats;
     std::vector<TopKResult> got;
-    Status all = RunBrsMulti(*pin.flat, engine.scoring(), queries, &arena,
+    Status all = RunBrsMulti(*pin.flat, engine->scoring(), queries, &arena,
                              &got, &stats);
     disk.AttachFaultInjector(nullptr);
     EXPECT_FALSE(all.ok());
@@ -214,7 +217,8 @@ TEST(ErrorPathTest, BatchRetriesSalvageTransientFaults) {
   TierGuard guard;
   Dataset data = FreshData();
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
   const std::vector<Vec> weights = SpreadWeights(8);
 
   for (simd::Tier tier :
@@ -226,10 +230,10 @@ TEST(ErrorPathTest, BatchRetriesSalvageTransientFaults) {
       BatchOptions opts;
       opts.threads = 1;  // deterministic op ordering for the fault plan
       opts.cache_capacity = 0;
-      opts.shared_traversal = shared;
-      opts.max_retries = 3;
-      opts.retry_backoff_ms = 0.01;
-      BatchEngine batch(&engine, opts);
+      opts.exec.shared_traversal = shared;
+      opts.exec.max_retries = 3;
+      opts.exec.retry_backoff_ms = 0.01;
+      BatchEngine batch(engine.get(), opts);
 
       auto clean = batch.ComputeBatch(weights, kK, Phase2Method::kFP);
       ASSERT_TRUE(clean.ok());
@@ -262,7 +266,8 @@ TEST(ErrorPathTest, BatchRetriesSalvageTransientFaults) {
 TEST(ErrorPathTest, ExhaustedRetryBudgetDegradesExplicitly) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
   const std::vector<Vec> weights = SpreadWeights(6);
 
   for (bool shared : {false, true}) {
@@ -270,10 +275,10 @@ TEST(ErrorPathTest, ExhaustedRetryBudgetDegradesExplicitly) {
     BatchOptions opts;
     opts.threads = 2;
     opts.cache_capacity = 0;
-    opts.shared_traversal = shared;
-    opts.max_retries = 2;
-    opts.retry_backoff_ms = 0.01;
-    BatchEngine batch(&engine, opts);
+    opts.exec.shared_traversal = shared;
+    opts.exec.max_retries = 2;
+    opts.exec.retry_backoff_ms = 0.01;
+    BatchEngine batch(engine.get(), opts);
 
     FaultPlan plan;  // a dead device: every read fails, forever
     plan.seed = 3;
@@ -299,7 +304,8 @@ TEST(ErrorPathTest, ExhaustedRetryBudgetDegradesExplicitly) {
 TEST(ErrorPathTest, DeadlineBudgetSuppressesRetries) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", kDim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", kDim)));
   const std::vector<Vec> weights = SpreadWeights(4);
 
   for (bool shared : {false, true}) {
@@ -307,20 +313,20 @@ TEST(ErrorPathTest, DeadlineBudgetSuppressesRetries) {
     BatchOptions opts;
     opts.threads = 1;
     opts.cache_capacity = 0;
-    opts.shared_traversal = shared;
-    opts.max_retries = 5;
-    opts.retry_backoff_ms = 50.0;  // any retry would blow the budget
-    BatchEngine batch(&engine, opts);
+    opts.exec.shared_traversal = shared;
+    opts.exec.max_retries = 5;
+    opts.exec.retry_backoff_ms = 50.0;  // any retry would blow the budget
+    BatchEngine batch(engine.get(), opts);
 
     FaultPlan plan;
     plan.seed = 3;
     plan.read_error_rate = 1.0;
     FaultInjector fi(plan);
     disk.AttachFaultInjector(&fi);
-    BatchExecHints hints;
-    hints.deadline_ms = 5.0;  // smaller than one backoff step
+    ExecPolicy policy = opts.exec;
+    policy.deadline_ms = 5.0;  // smaller than one backoff step
     auto result =
-        batch.ComputeBatch(weights, kK, Phase2Method::kFP, hints);
+        batch.ComputeBatch(weights, kK, Phase2Method::kFP, policy);
     disk.AttachFaultInjector(nullptr);
 
     // Degradation is immediate and explicit: no retry can fit the

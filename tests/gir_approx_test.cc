@@ -74,10 +74,11 @@ TEST(ApproxGirTest, AgreesWithExactGirOnLinearScoring) {
   Rng rng(43);
   Dataset data = GenerateIndependent(1500, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec q = {0.5, 0.6, 0.7};
   const size_t k = 8;
-  Result<GirComputation> exact = engine.ComputeGir(q, k, Phase2Method::kFP);
+  Result<GirComputation> exact = engine->ComputeGir(q, k, Phase2Method::kFP);
   ASSERT_TRUE(exact.ok());
 
   GeneralFromDecomposable fn(MakeScoring("Linear", 3));
@@ -85,7 +86,7 @@ TEST(ApproxGirTest, AgreesWithExactGirOnLinearScoring) {
   opt.rays = 40;
   opt.probability_samples = 500;
   Result<ApproxGir> approx =
-      ApproxGir::Compute(engine.tree(), fn, q, k, opt);
+      ApproxGir::Compute(engine->tree(), fn, q, k, opt);
   ASSERT_TRUE(approx.ok());
   EXPECT_EQ(approx->result(), exact->topk.result);
 

@@ -56,11 +56,12 @@ TEST_P(BoundaryCrossingTest, CrossingAFacetCausesThePredictedChange) {
   const size_t k = 8;
   Dataset data = GenerateIndependent(600, d, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
   LinearScoring scoring(d);
   Vec w = {rng.Uniform(0.3, 0.8), rng.Uniform(0.3, 0.8),
            rng.Uniform(0.3, 0.8)};
-  Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   const std::vector<RecordId>& original = gir->topk.result;
 
@@ -117,9 +118,10 @@ TEST(BoundaryCrossingTest, OvertakeEventsNameRealChallengers) {
   Rng rng(100);
   Dataset data = GenerateAnticorrelated(800, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.6, 0.4};
-  Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   for (const BoundaryEvent& e : gir->region.BoundaryEvents()) {
     if (e.constraint.provenance.kind ==

@@ -62,17 +62,19 @@ TEST_P(TighteningTest, SameRegionFewerOrEqualReads) {
   ASSERT_TRUE(data.ok());
   DiskManager disk_a;
   GirEngineOptions plain;
-  GirEngine engine_a(&*data, &disk_a, MakeScoring("Linear", c.dim), plain);
+  auto engine_a = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk_a, MakeScoring("Linear", c.dim), plain));
   DiskManager disk_b;
   GirEngineOptions tight;
   tight.fp.phase1_tightening = true;
-  GirEngine engine_b(&*data, &disk_b, MakeScoring("Linear", c.dim), tight);
+  auto engine_b = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk_b, MakeScoring("Linear", c.dim), tight));
 
   for (int trial = 0; trial < 4; ++trial) {
     Vec w(c.dim);
     for (int j = 0; j < c.dim; ++j) w[j] = rng.Uniform(0.1, 1.0);
-    Result<GirComputation> a = engine_a.ComputeGir(w, c.k, Phase2Method::kFP);
-    Result<GirComputation> b = engine_b.ComputeGir(w, c.k, Phase2Method::kFP);
+    Result<GirComputation> a = engine_a->ComputeGir(w, c.k, Phase2Method::kFP);
+    Result<GirComputation> b = engine_b->ComputeGir(w, c.k, Phase2Method::kFP);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a->topk.result, b->topk.result);
@@ -100,11 +102,12 @@ TEST(StbTest, BallIsInsideTheGir) {
   Rng rng(61);
   Dataset data = GenerateIndependent(2000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   for (int trial = 0; trial < 6; ++trial) {
     Vec w = {rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8),
              rng.Uniform(0.2, 0.8)};
-    Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     double r = StbRadius(gir->region);
     EXPECT_GT(r, 0.0);
@@ -144,9 +147,10 @@ TEST(StbTest, StbUnderestimatesGirVolume) {
   Rng rng(62);
   Dataset data = GenerateIndependent(3000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.6, 0.7};
-  Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   double gir_volume = gir->region.polytope().Volume();
   double stb_volume = BallVolume(3, StbRadius(gir->region));
@@ -257,14 +261,16 @@ TEST(FpSeedingTest, HeuristicDoesNotChangeTheRegion) {
   DiskManager disk_a;
   GirEngineOptions with;
   with.fp.max_coordinate_seeding = true;
-  GirEngine engine_a(&data, &disk_a, MakeScoring("Linear", 4), with);
+  auto engine_a = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk_a, MakeScoring("Linear", 4), with));
   DiskManager disk_b;
   GirEngineOptions without;
   without.fp.max_coordinate_seeding = false;
-  GirEngine engine_b(&data, &disk_b, MakeScoring("Linear", 4), without);
+  auto engine_b = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk_b, MakeScoring("Linear", 4), without));
   Vec w = {0.5, 0.7, 0.4, 0.8};
-  Result<GirComputation> a = engine_a.ComputeGir(w, 15, Phase2Method::kFP);
-  Result<GirComputation> b = engine_b.ComputeGir(w, 15, Phase2Method::kFP);
+  Result<GirComputation> a = engine_a->ComputeGir(w, 15, Phase2Method::kFP);
+  Result<GirComputation> b = engine_b->ComputeGir(w, 15, Phase2Method::kFP);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   for (int probe = 0; probe < 400; ++probe) {
@@ -279,20 +285,21 @@ TEST(Fp2dVsNdTest, IdenticalRegionsIn2D) {
   Rng rng(91);
   Dataset data = GenerateIndependent(2500, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   LinearScoring scoring(2);
   for (int trial = 0; trial < 6; ++trial) {
     Vec w = {rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0)};
     // Engine dispatches to the angular variant at d == 2.
-    Result<GirComputation> via2d = engine.ComputeGir(w, 8, Phase2Method::kFP);
+    Result<GirComputation> via2d = engine->ComputeGir(w, 8, Phase2Method::kFP);
     ASSERT_TRUE(via2d.ok());
     // Run the d-dimensional star machinery on the same query.
-    Result<TopKResult> topk = RunBrs(engine.tree(), scoring, w, 8);
+    Result<TopKResult> topk = RunBrs(engine->tree(), scoring, w, 8);
     ASSERT_TRUE(topk.ok());
     GirRegion region_nd(2, w, topk->result);
     AddPhase1Constraints(data, scoring, topk->result, &region_nd);
     Result<Phase2Output> nd =
-        RunFpNdPhase2(engine.tree(), scoring, w, *topk, &region_nd);
+        RunFpNdPhase2(engine->tree(), scoring, w, *topk, &region_nd);
     ASSERT_TRUE(nd.ok());
     for (int probe = 0; probe < 400; ++probe) {
       Vec q = {rng.Uniform(), rng.Uniform()};

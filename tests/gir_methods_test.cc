@@ -46,16 +46,17 @@ TEST_P(GirEquivalenceTest, AllMethodsDescribeTheSameRegion) {
   Result<Dataset> data = GenerateByName(c.dataset, 600, c.dim, rng);
   ASSERT_TRUE(data.ok());
   DiskManager disk;
-  GirEngine engine(&*data, &disk, MakeScoring("Linear", c.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk, MakeScoring("Linear", c.dim)));
 
   Vec w(c.dim);
   for (int j = 0; j < c.dim; ++j) w[j] = rng.Uniform(0.1, 1.0);
 
   Result<GirComputation> bf =
-      engine.ComputeGir(w, c.k, Phase2Method::kBruteForce);
-  Result<GirComputation> sp = engine.ComputeGir(w, c.k, Phase2Method::kSP);
-  Result<GirComputation> cp = engine.ComputeGir(w, c.k, Phase2Method::kCP);
-  Result<GirComputation> fp = engine.ComputeGir(w, c.k, Phase2Method::kFP);
+      engine->ComputeGir(w, c.k, Phase2Method::kBruteForce);
+  Result<GirComputation> sp = engine->ComputeGir(w, c.k, Phase2Method::kSP);
+  Result<GirComputation> cp = engine->ComputeGir(w, c.k, Phase2Method::kCP);
+  Result<GirComputation> fp = engine->ComputeGir(w, c.k, Phase2Method::kFP);
   ASSERT_TRUE(bf.ok());
   ASSERT_TRUE(sp.ok());
   ASSERT_TRUE(cp.ok());
@@ -110,12 +111,13 @@ TEST_P(GirSemanticsTest, RegionMembershipPredictsResultPreservation) {
   Result<Dataset> data = GenerateByName(c.dataset, 400, c.dim, rng);
   ASSERT_TRUE(data.ok());
   DiskManager disk;
-  GirEngine engine(&*data, &disk, MakeScoring("Linear", c.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk, MakeScoring("Linear", c.dim)));
   LinearScoring scoring(c.dim);
 
   Vec w(c.dim);
   for (int j = 0; j < c.dim; ++j) w[j] = rng.Uniform(0.2, 0.9);
-  Result<GirComputation> fp = engine.ComputeGir(w, c.k, Phase2Method::kFP);
+  Result<GirComputation> fp = engine->ComputeGir(w, c.k, Phase2Method::kFP);
   ASSERT_TRUE(fp.ok());
   std::vector<RecordId> original = ScanTopK(*data, scoring, w, c.k);
   ASSERT_EQ(fp->topk.result, original);
@@ -165,8 +167,9 @@ TEST(GirMethodsTest, BruteForceStandaloneMatchesEngine) {
   Result<GirRegion> standalone = ComputeGirBruteForce(data, scoring, w, 10);
   ASSERT_TRUE(standalone.ok());
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
-  Result<GirComputation> fp = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
+  Result<GirComputation> fp = engine->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(fp.ok());
   EXPECT_EQ(standalone->result(), fp->topk.result);
   for (int probe = 0; probe < 300; ++probe) {
@@ -179,11 +182,12 @@ TEST(GirMethodsTest, QueryVectorAlwaysInsideItsGir) {
   Rng rng(321);
   Dataset data = GenerateAnticorrelated(500, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   for (int trial = 0; trial < 10; ++trial) {
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = rng.Uniform(0.05, 1.0);
-    Result<GirComputation> fp = engine.ComputeGir(w, 7, Phase2Method::kFP);
+    Result<GirComputation> fp = engine->ComputeGir(w, 7, Phase2Method::kFP);
     ASSERT_TRUE(fp.ok());
     EXPECT_TRUE(fp->region.Contains(w, 1e-12));
   }
@@ -196,10 +200,11 @@ TEST(GirMethodsTest, NonLinearScoringViaSp) {
   Dataset data = GenerateIndependent(400, 4, rng);
   for (const char* fn : {"Polynomial", "Mixed"}) {
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring(fn, 4));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring(fn, 4)));
     auto scoring = MakeScoring(fn, 4);
     Vec w = {0.6, 0.4, 0.8, 0.5};
-    Result<GirComputation> sp = engine.ComputeGir(w, 8, Phase2Method::kSP);
+    Result<GirComputation> sp = engine->ComputeGir(w, 8, Phase2Method::kSP);
     ASSERT_TRUE(sp.ok()) << fn;
     std::vector<RecordId> original = ScanTopK(data, *scoring, w, 8);
     EXPECT_EQ(sp->topk.result, original) << fn;
@@ -231,14 +236,15 @@ TEST(GirMethodsTest, FpIoNeverExceedsSp) {
   Rng rng(77);
   Dataset data = GenerateAnticorrelated(20000, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   double sp_reads = 0;
   double fp_reads = 0;
   for (int trial = 0; trial < 3; ++trial) {
     Vec w(4);
     for (int j = 0; j < 4; ++j) w[j] = rng.Uniform(0.2, 1.0);
-    Result<GirComputation> sp = engine.ComputeGir(w, 20, Phase2Method::kSP);
-    Result<GirComputation> fp = engine.ComputeGir(w, 20, Phase2Method::kFP);
+    Result<GirComputation> sp = engine->ComputeGir(w, 20, Phase2Method::kSP);
+    Result<GirComputation> fp = engine->ComputeGir(w, 20, Phase2Method::kFP);
     ASSERT_TRUE(sp.ok());
     ASSERT_TRUE(fp.ok());
     sp_reads += static_cast<double>(sp->stats.phase2_reads);
@@ -251,9 +257,10 @@ TEST(GirMethodsTest, EngineRejectsBadK) {
   Rng rng(88);
   Dataset data = GenerateIndependent(50, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
-  EXPECT_FALSE(engine.ComputeGir(Vec{0.5, 0.5}, 0, Phase2Method::kFP).ok());
-  EXPECT_FALSE(engine.ComputeGir(Vec{0.5, 0.5}, 51, Phase2Method::kFP).ok());
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
+  EXPECT_FALSE(engine->ComputeGir(Vec{0.5, 0.5}, 0, Phase2Method::kFP).ok());
+  EXPECT_FALSE(engine->ComputeGir(Vec{0.5, 0.5}, 51, Phase2Method::kFP).ok());
 }
 
 TEST(GirMethodsTest, MethodNamesRoundTrip) {

@@ -65,14 +65,15 @@ TEST_P(GirStarTest, MembershipPredictsCompositionPreservation) {
   Result<Dataset> data = GenerateByName(c.dataset, 400, c.dim, rng);
   ASSERT_TRUE(data.ok());
   DiskManager disk;
-  GirEngine engine(&*data, &disk, MakeScoring("Linear", c.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&*data, &disk, MakeScoring("Linear", c.dim)));
   LinearScoring scoring(c.dim);
   Result<Phase2Method> method = ParsePhase2Method(c.method);
   ASSERT_TRUE(method.ok());
 
   Vec w(c.dim);
   for (int j = 0; j < c.dim; ++j) w[j] = rng.Uniform(0.2, 0.9);
-  Result<GirComputation> star = engine.ComputeGirStar(w, c.k, *method);
+  Result<GirComputation> star = engine->ComputeGirStar(w, c.k, *method);
   ASSERT_TRUE(star.ok());
   std::set<RecordId> original = ScanTopKSet(*data, scoring, w, c.k);
 
@@ -113,11 +114,12 @@ TEST(GirStarTest, VariantsDescribeTheSameRegion) {
   Rng rng(2024);
   Dataset data = GenerateIndependent(500, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.7, 0.4};
-  Result<GirComputation> sp = engine.ComputeGirStar(w, 8, Phase2Method::kSP);
-  Result<GirComputation> cp = engine.ComputeGirStar(w, 8, Phase2Method::kCP);
-  Result<GirComputation> fp = engine.ComputeGirStar(w, 8, Phase2Method::kFP);
+  Result<GirComputation> sp = engine->ComputeGirStar(w, 8, Phase2Method::kSP);
+  Result<GirComputation> cp = engine->ComputeGirStar(w, 8, Phase2Method::kCP);
+  Result<GirComputation> fp = engine->ComputeGirStar(w, 8, Phase2Method::kFP);
   ASSERT_TRUE(sp.ok());
   ASSERT_TRUE(cp.ok());
   ASSERT_TRUE(fp.ok());
@@ -134,13 +136,14 @@ TEST(GirStarTest, GirStarEnclosesGir) {
   Rng rng(31337);
   Dataset data = GenerateAnticorrelated(400, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   for (int trial = 0; trial < 5; ++trial) {
     Vec w(3);
     for (int j = 0; j < 3; ++j) w[j] = rng.Uniform(0.2, 0.9);
-    Result<GirComputation> gir = engine.ComputeGir(w, 6, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 6, Phase2Method::kFP);
     Result<GirComputation> star =
-        engine.ComputeGirStar(w, 6, Phase2Method::kFP);
+        engine->ComputeGirStar(w, 6, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     ASSERT_TRUE(star.ok());
     // Sample inside the order-sensitive GIR; must be inside GIR*.
@@ -162,9 +165,10 @@ TEST(GirStarTest, BruteForceMethodRejected) {
   Rng rng(5);
   Dataset data = GenerateIndependent(100, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   EXPECT_FALSE(
-      engine.ComputeGirStar(Vec{0.5, 0.5}, 5, Phase2Method::kBruteForce)
+      engine->ComputeGirStar(Vec{0.5, 0.5}, 5, Phase2Method::kBruteForce)
           .ok());
 }
 

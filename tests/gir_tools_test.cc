@@ -157,11 +157,12 @@ TEST(SensitivityTest, LargerKGivesSmallerRegion) {
   Rng rng(777);
   Dataset data = GenerateIndependent(2000, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.6, 0.7};
   double prev = 1.0;
   for (size_t k : {5, 20, 60}) {
-    Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     Rng mc(k);
     double ratio = VolumeRatioAuto(gir->region, mc);
@@ -174,9 +175,10 @@ TEST(CacheTest, ExactHitInsideGir) {
   Rng rng(99);
   Dataset data = GenerateIndependent(800, 3, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Vec w = {0.5, 0.5, 0.5};
-  Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   GirCache cache;
   cache.Insert(10, gir->topk.result, gir->region);
@@ -213,7 +215,8 @@ TEST(CacheTest, HitsAreCorrectAnswers) {
   Rng rng(123);
   Dataset data = GenerateIndependent(600, 2, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   LinearScoring scoring(2);
   GirCache cache;
   int verified_hits = 0;
@@ -225,7 +228,7 @@ TEST(CacheTest, HitsAreCorrectAnswers) {
       ++verified_hits;
       continue;
     }
-    Result<GirComputation> gir = engine.ComputeGir(q, 10, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(q, 10, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     cache.Insert(10, gir->topk.result, gir->region);
   }
@@ -250,9 +253,10 @@ TEST(VisualizationTest, MahInFourDimensions) {
   Rng rng(808);
   Dataset data = GenerateIndependent(1200, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   Vec w = {0.5, 0.6, 0.4, 0.7};
-  Result<GirComputation> gir = engine.ComputeGir(w, 6, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 6, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   MahBox box = ComputeMah(gir->region);
   EXPECT_GT(box.Volume(), 0.0);

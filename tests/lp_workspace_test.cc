@@ -219,13 +219,14 @@ TEST(LpWorkspaceTest, FirstAdmittedGainMatchesPerCallLoop) {
   Rng rng(53);
   Dataset data = GenerateIndependent(800, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   LpWorkspace ws;
   size_t lp_paths_exercised = 0;
   for (int q = 0; q < 12; ++q) {
     Vec w(4);
     for (double& x : w) x = rng.Uniform(0.05, 1.0);
-    Result<GirComputation> gir = engine.ComputeGir(w, 10, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 10, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     const GirRegion& region = gir->region;
     const size_t count = 48;
@@ -265,12 +266,13 @@ TEST(LpWorkspaceTest, SteadyStateInvalidationLoopAllocatesNothing) {
   Rng rng(67);
   Dataset data = GenerateIndependent(600, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   std::vector<GirRegion> regions;
   for (int q = 0; q < 8; ++q) {
     Vec w(4);
     for (double& x : w) x = rng.Uniform(0.05, 1.0);
-    Result<GirComputation> gir = engine.ComputeGir(w, 8, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 8, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     regions.push_back(gir->region.ConstraintsOnly());
   }
@@ -314,12 +316,13 @@ TEST(LpWorkspaceTest, SteadyStateCacheInvalidationAllocatesNothing) {
   Rng rng(79);
   Dataset data = GenerateIndependent(600, 4, rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 4));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 4)));
   ShardedGirCache cache(64, 4);
   for (int q = 0; q < 8; ++q) {
     Vec w(4);
     for (double& x : w) x = rng.Uniform(0.05, 1.0);
-    Result<GirComputation> gir = engine.ComputeGir(w, 8, Phase2Method::kFP);
+    Result<GirComputation> gir = engine->ComputeGir(w, 8, Phase2Method::kFP);
     ASSERT_TRUE(gir.ok());
     cache.Insert(8, gir->topk.result, gir->region, /*version=*/0);
   }
@@ -339,7 +342,7 @@ TEST(LpWorkspaceTest, SteadyStateCacheInvalidationAllocatesNothing) {
   size_t mismatches = 0;
   auto run_pass = [&]() {
     UpdateInvalidation inv = cache.InvalidateForUpdates(
-        no_deletes, inserted_g, data, engine.scoring(), version++);
+        no_deletes, inserted_g, data, engine->scoring(), version++);
     mismatches += inv.survived != 8;
     mismatches +=
         (inv.insert_evicted + inv.delete_evicted + inv.stale_evicted) != 0;

@@ -64,16 +64,17 @@ Dataset FreshData(const TrafficConfig& c) {
 std::vector<std::vector<RecordId>> DirectReference(const Trace& trace) {
   Dataset data = FreshData(trace.config);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", trace.config.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", trace.config.dim)));
   std::vector<std::vector<RecordId>> topk;
   for (const TraceEvent& ev : trace.events) {
     if (ev.kind == TraceEventKind::kUpdate) {
-      Result<UpdateStats> up = engine.ApplyUpdates(ev.update);
+      Result<UpdateStats> up = engine->ApplyUpdates(ev.update);
       EXPECT_TRUE(up.ok()) << up.status().ToString();
       continue;
     }
     Result<GirComputation> gir =
-        engine.ComputeGir(ev.weights, ev.k, Phase2Method::kFP);
+        engine->ComputeGir(ev.weights, ev.k, Phase2Method::kFP);
     EXPECT_TRUE(gir.ok()) << gir.status().ToString();
     topk.push_back(gir.ok() ? gir->topk.result : std::vector<RecordId>{});
   }
@@ -85,12 +86,13 @@ std::vector<std::vector<RecordId>> DirectReference(const Trace& trace) {
 Result<ServiceReport> ShedFreeReplay(const Trace& trace, Dataset* data,
                                      bool adaptive, size_t static_width) {
   DiskManager disk;
-  GirEngine engine(data, &disk, MakeScoring("Linear", trace.config.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(data, &disk, MakeScoring("Linear", trace.config.dim)));
   BatchOptions opts;
   opts.threads = 2;
   opts.cache_capacity = 0;  // probe-order independence is cache_test's job
-  opts.shared_traversal = true;
-  BatchEngine batch(&engine, opts);
+  opts.exec.shared_traversal = true;
+  BatchEngine batch(engine.get(), opts);
   ReplayOptions ro;
   ro.admission.max_batch = 16;
   ro.admission.max_wait_ms = 2.0;
@@ -171,12 +173,13 @@ TEST(ServeReplayTest, OverloadShedsExplicitlyAndConservesRequests) {
 
   Dataset data = FreshData(c);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", c.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", c.dim)));
   BatchOptions opts;
   opts.threads = 2;
   opts.cache_capacity = 0;
-  opts.shared_traversal = true;
-  BatchEngine batch(&engine, opts);
+  opts.exec.shared_traversal = true;
+  BatchEngine batch(engine.get(), opts);
   ReplayOptions ro;
   ro.admission.max_batch = 32;
   ro.admission.max_wait_ms = 0.5;

@@ -144,11 +144,12 @@ TEST(TrafficGenTest, UpdateStreamAppliesCleanly) {
   Result<Dataset> data = GenerateByName("IND", c.initial_records, c.dim, rng);
   ASSERT_TRUE(data.ok());
   DiskManager disk;
-  GirEngine engine(&data.value(), &disk, MakeScoring("Linear", c.dim));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data.value(), &disk, MakeScoring("Linear", c.dim)));
   size_t applied = 0;
   for (const TraceEvent& ev : t->events) {
     if (ev.kind != TraceEventKind::kUpdate) continue;
-    Result<UpdateStats> up = engine.ApplyUpdates(ev.update);
+    Result<UpdateStats> up = engine->ApplyUpdates(ev.update);
     ASSERT_TRUE(up.ok()) << "update " << applied << ": "
                          << up.status().ToString();
     ++applied;

@@ -279,16 +279,18 @@ TEST(SimdDispatchTest, EngineResultsAndIoStatsIdentical) {
 
         simd::ForceTier(simd::Tier::kScalar);
         DiskManager ref_disk;
-        GirEngine ref_engine(&data, &ref_disk, MakeScoring(sname, d));
-        Result<GirComputation> ref = ref_engine.ComputeGir(w, 8,
+        auto ref_engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &ref_disk, MakeScoring(sname, d)));
+        Result<GirComputation> ref = ref_engine->ComputeGir(w, 8,
                                                            Phase2Method::kFP);
         ASSERT_TRUE(ref.ok()) << ref.status().message();
 
         for (simd::Tier tier : tiers) {
           simd::ForceTier(tier);
           DiskManager disk;
-          GirEngine engine(&data, &disk, MakeScoring(sname, d));
-          Result<GirComputation> got = engine.ComputeGir(w, 8,
+          auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring(sname, d)));
+          Result<GirComputation> got = engine->ComputeGir(w, 8,
                                                          Phase2Method::kFP);
           ASSERT_TRUE(got.ok()) << got.status().message();
           SCOPED_TRACE(std::string("tier=") + simd::TierName(tier) +

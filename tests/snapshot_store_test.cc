@@ -56,19 +56,20 @@ void ExpectSameDataset(const Dataset& a, const Dataset& b) {
 TEST(SnapshotStoreTest, RoundTripIsBitIdentical) {
   Dataset data = FreshData();
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
 
   // Mutate once so tombstones and a non-zero epoch are part of the
   // image being persisted.
   UpdateBatch batch;
   batch.deletes = {3, 17, 42};
   batch.inserts = {{0.21, 0.84, 0.33}, {0.55, 0.12, 0.97}};
-  ASSERT_TRUE(engine.ApplyUpdates(batch).ok());
-  ASSERT_EQ(engine.dataset_version(), 1u);
+  ASSERT_TRUE(engine->ApplyUpdates(batch).ok());
+  ASSERT_EQ(engine->dataset_version(), 1u);
 
   SnapshotStore store(FreshDir("snap_roundtrip"));
-  auto wrote = store.WriteSnapshot(engine.dataset(), engine.tree(),
-                                   engine.dataset_version());
+  auto wrote = store.WriteSnapshot(engine->dataset(), engine->tree(),
+                                   engine->dataset_version());
   ASSERT_TRUE(wrote.ok()) << wrote.status().message();
   EXPECT_EQ(wrote->injected, FaultInjector::WriteFault::kNone);
   EXPECT_GT(wrote->bytes, 0u);
@@ -80,10 +81,10 @@ TEST(SnapshotStoreTest, RoundTripIsBitIdentical) {
   EXPECT_EQ(rec->version, 1u);
   EXPECT_EQ(rec->scanned, 1u);
   EXPECT_EQ(rec->rejected, 0u);
-  ExpectSameDataset(engine.dataset(), *rec->dataset);
+  ExpectSameDataset(engine->dataset(), *rec->dataset);
 
   // The recovered master tree has the saved page image 1:1.
-  auto img_before = SaveRTreeImage(engine.tree());
+  auto img_before = SaveRTreeImage(engine->tree());
   auto img_after = SaveRTreeImage(*rec->tree);
   ASSERT_TRUE(img_before.ok());
   ASSERT_TRUE(img_after.ok());
@@ -94,11 +95,11 @@ TEST(SnapshotStoreTest, RoundTripIsBitIdentical) {
   auto restored =
       GirEngine::Restore(std::move(rec->dataset), std::move(*rec->tree),
                          rec->version, &disk2,
-                         MakeScoring("Linear", engine.dataset().dim()));
+                         MakeScoring("Linear", engine->dataset().dim()));
   ASSERT_NE(restored, nullptr);
   EXPECT_EQ(restored->dataset_version(), 1u);
   const Vec w = {0.5, 0.3, 0.2};
-  auto before = engine.ComputeGir(w, 10, Phase2Method::kFP);
+  auto before = engine->ComputeGir(w, 10, Phase2Method::kFP);
   auto after = restored->ComputeGir(w, 10, Phase2Method::kFP);
   ASSERT_TRUE(before.ok());
   ASSERT_TRUE(after.ok());
@@ -114,10 +115,11 @@ TEST(SnapshotStoreTest, RoundTripIsBitIdentical) {
 TEST(SnapshotStoreTest, NewestValidVersionWins) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
   SnapshotStore store(FreshDir("snap_newest"));
   for (uint64_t v : {4u, 9u, 2u}) {
-    ASSERT_TRUE(store.WriteSnapshot(engine.dataset(), engine.tree(), v).ok());
+    ASSERT_TRUE(store.WriteSnapshot(engine->dataset(), engine->tree(), v).ok());
   }
   DiskManager disk2;
   auto rec = store.RecoverLatest(&disk2);
@@ -131,18 +133,19 @@ TEST(SnapshotStoreTest, NewestValidVersionWins) {
 TEST(SnapshotStoreTest, TornWriteIsRejectedAndOlderEpochSurvives) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
   const std::string dir = FreshDir("snap_torn");
 
   SnapshotStore clean(dir);
-  ASSERT_TRUE(clean.WriteSnapshot(engine.dataset(), engine.tree(), 1).ok());
+  ASSERT_TRUE(clean.WriteSnapshot(engine->dataset(), engine->tree(), 1).ok());
 
   FaultPlan plan;
   plan.seed = 31;
   plan.torn_write_rate = 1.0;
   FaultInjector fi(plan);
   SnapshotStore faulty(dir, &fi);
-  auto wrote = faulty.WriteSnapshot(engine.dataset(), engine.tree(), 2);
+  auto wrote = faulty.WriteSnapshot(engine->dataset(), engine->tree(), 2);
   // The write itself reports success — a crashed publish does not
   // announce itself; detection is recovery's job.
   ASSERT_TRUE(wrote.ok());
@@ -156,24 +159,25 @@ TEST(SnapshotStoreTest, TornWriteIsRejectedAndOlderEpochSurvives) {
   EXPECT_EQ(rec->version, 1u);
   EXPECT_EQ(rec->scanned, 2u);
   EXPECT_EQ(rec->rejected, 1u);
-  ExpectSameDataset(engine.dataset(), *rec->dataset);
+  ExpectSameDataset(engine->dataset(), *rec->dataset);
 }
 
 TEST(SnapshotStoreTest, CorruptedPayloadIsRejectedByChecksum) {
   Dataset data = FreshData(200);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
   const std::string dir = FreshDir("snap_corrupt");
 
   SnapshotStore clean(dir);
-  ASSERT_TRUE(clean.WriteSnapshot(engine.dataset(), engine.tree(), 5).ok());
+  ASSERT_TRUE(clean.WriteSnapshot(engine->dataset(), engine->tree(), 5).ok());
 
   FaultPlan plan;
   plan.seed = 32;
   plan.corrupt_rate = 1.0;
   FaultInjector fi(plan);
   SnapshotStore faulty(dir, &fi);
-  auto wrote = faulty.WriteSnapshot(engine.dataset(), engine.tree(), 6);
+  auto wrote = faulty.WriteSnapshot(engine->dataset(), engine->tree(), 6);
   ASSERT_TRUE(wrote.ok());
   EXPECT_EQ(wrote->injected, FaultInjector::WriteFault::kCorrupt);
   // Same size as the intact file — only a checksum can tell.
@@ -210,23 +214,24 @@ TEST(SnapshotStoreTest, EmptyOrAllInvalidDirectoryIsNotFound) {
 TEST(SnapshotStoreTest, RestoredEngineContinuesTheEpochSequence) {
   Dataset data = FreshData(300);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", data.dim()));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
   UpdateBatch batch;
   batch.deletes = {1, 2};
-  ASSERT_TRUE(engine.ApplyUpdates(batch).ok());
-  ASSERT_TRUE(engine.ApplyUpdates(UpdateBatch{{{0.4, 0.4, 0.4}}, {}}).ok());
-  ASSERT_EQ(engine.dataset_version(), 2u);
+  ASSERT_TRUE(engine->ApplyUpdates(batch).ok());
+  ASSERT_TRUE(engine->ApplyUpdates(UpdateBatch{{{0.4, 0.4, 0.4}}, {}}).ok());
+  ASSERT_EQ(engine->dataset_version(), 2u);
 
   SnapshotStore store(FreshDir("snap_continue"));
   ASSERT_TRUE(
-      store.WriteSnapshot(engine.dataset(), engine.tree(), 2).ok());
+      store.WriteSnapshot(engine->dataset(), engine->tree(), 2).ok());
 
   DiskManager disk2;
   auto rec = store.RecoverLatest(&disk2);
   ASSERT_TRUE(rec.ok());
   auto restored = GirEngine::Restore(
       std::move(rec->dataset), std::move(*rec->tree), rec->version, &disk2,
-      MakeScoring("Linear", engine.dataset().dim()));
+      MakeScoring("Linear", engine->dataset().dim()));
   ASSERT_NE(restored, nullptr);
 
   // The next update publishes epoch 3, exactly as the pre-crash engine
@@ -237,13 +242,13 @@ TEST(SnapshotStoreTest, RestoredEngineContinuesTheEpochSequence) {
   auto up_restored = restored->ApplyUpdates(next);
   ASSERT_TRUE(up_restored.ok()) << up_restored.status().message();
   EXPECT_EQ(up_restored->version, 3u);
-  auto up_original = engine.ApplyUpdates(next);
+  auto up_original = engine->ApplyUpdates(next);
   ASSERT_TRUE(up_original.ok());
 
   // And both timelines remain bit-identical.
-  ExpectSameDataset(engine.dataset(), restored->dataset());
+  ExpectSameDataset(engine->dataset(), restored->dataset());
   const Vec w = {0.2, 0.5, 0.3};
-  auto a = engine.ComputeGir(w, 8, Phase2Method::kFP);
+  auto a = engine->ComputeGir(w, 8, Phase2Method::kFP);
   auto b = restored->ComputeGir(w, 8, Phase2Method::kFP);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());

@@ -227,7 +227,8 @@ TEST(UpdateEngineTest, UpdatedEngineMatchesScratchRebuild) {
                  " -" + std::to_string(c.deletes));
     Dataset data = MakeData(c.dist, n, d, ++seed);
     DiskManager disk;
-    GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+    auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
     Rng rng(seed * 3);
 
     for (int batch_no = 0; batch_no < 3; ++batch_no) {
@@ -236,7 +237,7 @@ TEST(UpdateEngineTest, UpdatedEngineMatchesScratchRebuild) {
         batch.inserts.push_back(Point(rng, d));
       }
       batch.deletes = PickLive(data, static_cast<size_t>(c.deletes), rng);
-      Result<UpdateStats> applied = engine.ApplyUpdates(batch);
+      Result<UpdateStats> applied = engine->ApplyUpdates(batch);
       ASSERT_TRUE(applied.ok()) << applied.status().message();
       EXPECT_EQ(applied->version, static_cast<uint64_t>(batch_no + 1));
       EXPECT_EQ(applied->applied_inserts, batch.inserts.size());
@@ -246,14 +247,15 @@ TEST(UpdateEngineTest, UpdatedEngineMatchesScratchRebuild) {
       // the shared tombstone layout).
       Dataset rebuilt = data;
       DiskManager rdisk;
-      GirEngine reference(&rebuilt, &rdisk, MakeScoring("Linear", d));
+      auto reference = OpenEngineOrDie(
+      EngineConfig::FromDataset(&rebuilt, &rdisk, MakeScoring("Linear", d)));
 
       for (int q = 0; q < 4; ++q) {
         Vec w = Query(rng, d);
         for (Phase2Method m : {Phase2Method::kSP, Phase2Method::kFP,
                                Phase2Method::kBruteForce}) {
-          Result<GirComputation> got = engine.ComputeGir(w, k, m);
-          Result<GirComputation> want = reference.ComputeGir(w, k, m);
+          Result<GirComputation> got = engine->ComputeGir(w, k, m);
+          Result<GirComputation> want = reference->ComputeGir(w, k, m);
           ASSERT_TRUE(got.ok()) << got.status().message();
           ASSERT_TRUE(want.ok()) << want.status().message();
           // Bit-identical result: ids and raw score doubles.
@@ -284,42 +286,44 @@ TEST(UpdateEngineTest, UpdatedEngineMatchesScratchRebuild) {
 TEST(UpdateEngineTest, RejectsMalformedBatches) {
   Dataset data = MakeData("IND", 60, 2, 9);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
 
   UpdateBatch bad_dim;
   bad_dim.inserts.push_back(Vec{0.5, 0.5, 0.5});
-  EXPECT_EQ(engine.ApplyUpdates(bad_dim).status().code(),
+  EXPECT_EQ(engine->ApplyUpdates(bad_dim).status().code(),
             StatusCode::kInvalidArgument);
 
   UpdateBatch out_of_cube;
   out_of_cube.inserts.push_back(Vec{0.5, 1.5});
-  EXPECT_EQ(engine.ApplyUpdates(out_of_cube).status().code(),
+  EXPECT_EQ(engine->ApplyUpdates(out_of_cube).status().code(),
             StatusCode::kInvalidArgument);
 
   UpdateBatch dup;
   dup.deletes = {3, 3};
-  EXPECT_EQ(engine.ApplyUpdates(dup).status().code(),
+  EXPECT_EQ(engine->ApplyUpdates(dup).status().code(),
             StatusCode::kInvalidArgument);
 
   UpdateBatch out_of_range;
   out_of_range.deletes = {999};
-  EXPECT_EQ(engine.ApplyUpdates(out_of_range).status().code(),
+  EXPECT_EQ(engine->ApplyUpdates(out_of_range).status().code(),
             StatusCode::kInvalidArgument);
 
   // Nothing was mutated by the rejected batches.
-  EXPECT_EQ(engine.dataset_version(), 0u);
+  EXPECT_EQ(engine->dataset_version(), 0u);
   EXPECT_EQ(data.live_size(), 60u);
 
   UpdateBatch dead;
   dead.deletes = {3};
-  ASSERT_TRUE(engine.ApplyUpdates(dead).ok());
-  EXPECT_EQ(engine.ApplyUpdates(dead).status().code(),
+  ASSERT_TRUE(engine->ApplyUpdates(dead).ok());
+  EXPECT_EQ(engine->ApplyUpdates(dead).status().code(),
             StatusCode::kInvalidArgument);  // already tombstoned
 
   const Dataset& cdata = data;
   DiskManager disk2;
-  GirEngine frozen(&cdata, &disk2, MakeScoring("Linear", 2));
-  EXPECT_EQ(frozen.ApplyUpdates(UpdateBatch{}).status().code(),
+  auto frozen = OpenEngineOrDie(
+      EngineConfig::FromDataset(&cdata, &disk2, MakeScoring("Linear", 2)));
+  EXPECT_EQ(frozen->ApplyUpdates(UpdateBatch{}).status().code(),
             StatusCode::kFailedPrecondition);
 }
 
@@ -330,10 +334,11 @@ TEST(UpdateEngineTest, IncrementalInvalidationServesOnlyFreshResults) {
   const size_t k = 6;
   Dataset data = MakeData("IND", 300, d, 77);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
   BatchOptions opts;
   opts.threads = 2;
-  BatchEngine batch(&engine, opts);
+  BatchEngine batch(engine.get(), opts);
 
   // Warm the cache with a pool of repeated queries.
   Rng rng(78);
@@ -366,12 +371,13 @@ TEST(UpdateEngineTest, IncrementalInvalidationServesOnlyFreshResults) {
   // match a from-scratch rebuild of the mutated dataset.
   Dataset rebuilt = data;
   DiskManager rdisk;
-  GirEngine reference(&rebuilt, &rdisk, MakeScoring("Linear", d));
+  auto reference = OpenEngineOrDie(
+      EngineConfig::FromDataset(&rebuilt, &rdisk, MakeScoring("Linear", d)));
   Result<BatchResult> after = batch.ComputeBatch(pool, k, Phase2Method::kFP);
   ASSERT_TRUE(after.ok());
   for (size_t i = 0; i < pool.size(); ++i) {
     ASSERT_TRUE(after->items[i].status.ok());
-    Result<GirComputation> want = reference.ComputeGir(pool[i], k,
+    Result<GirComputation> want = reference->ComputeGir(pool[i], k,
                                                        Phase2Method::kFP);
     ASSERT_TRUE(want.ok());
     EXPECT_EQ(after->items[i].topk, want->topk.result) << "query " << i;
@@ -388,8 +394,9 @@ TEST(UpdateEngineTest, VersionStampBlocksStaleHitsWithoutInvalidation) {
   const size_t k = 4;
   Dataset data = MakeData("IND", 150, d, 31);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
-  BatchEngine batch(&engine);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
+  BatchEngine batch(engine.get());
 
   Rng rng(32);
   std::vector<Vec> pool = {Query(rng, d), Query(rng, d)};
@@ -400,7 +407,7 @@ TEST(UpdateEngineTest, VersionStampBlocksStaleHitsWithoutInvalidation) {
   // mismatch alone must prevent every stale hit.
   UpdateBatch updates;
   updates.deletes = PickLive(data, 3, rng);
-  ASSERT_TRUE(engine.ApplyUpdates(updates).ok());
+  ASSERT_TRUE(engine->ApplyUpdates(updates).ok());
 
   Result<BatchResult> after = batch.ComputeBatch(pool, k, Phase2Method::kFP);
   ASSERT_TRUE(after.ok());
@@ -408,10 +415,11 @@ TEST(UpdateEngineTest, VersionStampBlocksStaleHitsWithoutInvalidation) {
 
   Dataset rebuilt = data;
   DiskManager rdisk;
-  GirEngine reference(&rebuilt, &rdisk, MakeScoring("Linear", d));
+  auto reference = OpenEngineOrDie(
+      EngineConfig::FromDataset(&rebuilt, &rdisk, MakeScoring("Linear", d)));
   for (size_t i = 0; i < pool.size(); ++i) {
     Result<GirComputation> want =
-        reference.ComputeGir(pool[i], k, Phase2Method::kFP);
+        reference->ComputeGir(pool[i], k, Phase2Method::kFP);
     ASSERT_TRUE(want.ok());
     EXPECT_EQ(after->items[i].topk, want->topk.result);
   }
@@ -426,9 +434,10 @@ TEST(UpdateEngineTest, InvalidationNeverResurrectsOldEpochEntries) {
   const size_t k = 4;
   Dataset data = MakeData("IND", 120, d, 41);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
   Vec w{0.5, 0.8};
-  Result<GirComputation> gir = engine.ComputeGir(w, k, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, k, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
 
   ShardedGirCache cache(16, 2);
@@ -436,12 +445,12 @@ TEST(UpdateEngineTest, InvalidationNeverResurrectsOldEpochEntries) {
   // a laggard from epoch 0 (inserted by a reader that raced an update).
   cache.Insert(k, gir->topk.result, gir->region, /*version=*/1);
   Vec w2{0.9, 0.2};
-  Result<GirComputation> gir2 = engine.ComputeGir(w2, k, Phase2Method::kFP);
+  Result<GirComputation> gir2 = engine->ComputeGir(w2, k, Phase2Method::kFP);
   ASSERT_TRUE(gir2.ok());
   cache.Insert(k, gir2->topk.result, gir2->region, /*version=*/0);
 
   UpdateInvalidation inv = cache.InvalidateForUpdates(
-      /*deleted=*/{}, /*inserted_g=*/{}, data, engine.scoring(),
+      /*deleted=*/{}, /*inserted_g=*/{}, data, engine->scoring(),
       /*new_version=*/2);
   EXPECT_EQ(inv.entries_before, 2u);
   EXPECT_EQ(inv.stale_evicted, 1u);
@@ -461,9 +470,10 @@ TEST(UpdateEngineTest, InvalidationNeverResurrectsOldEpochEntries) {
 TEST(UpdateEngineTest, StaleProbeDoesNotEraseNewerEpochEntries) {
   Dataset data = MakeData("IND", 120, 2, 43);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   Vec w{0.4, 0.9};
-  Result<GirComputation> gir = engine.ComputeGir(w, 4, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 4, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
 
   ShardedGirCache cache(16, 2);
@@ -484,9 +494,10 @@ TEST(UpdateEngineTest, StaleProbeDoesNotEraseNewerEpochEntries) {
 TEST(GirCacheTest, VersionedProbeEvictsStaleEpochs) {
   Dataset data = MakeData("IND", 80, 2, 55);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 2));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 2)));
   Vec w{0.6, 0.7};
-  Result<GirComputation> gir = engine.ComputeGir(w, 4, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 4, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
 
   GirCache cache(8);
@@ -504,10 +515,11 @@ TEST(GirCacheTest, VersionedProbeEvictsStaleEpochs) {
 TEST(GirRegionTest, AdmitsGainMatchesBruteForceSampling) {
   Dataset data = MakeData("ANTI", 200, 3, 63);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", 3));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", 3)));
   Rng rng(64);
   Vec w = Query(rng, 3);
-  Result<GirComputation> gir = engine.ComputeGir(w, 5, Phase2Method::kFP);
+  Result<GirComputation> gir = engine->ComputeGir(w, 5, Phase2Method::kFP);
   ASSERT_TRUE(gir.ok());
   const GirRegion& region = gir->region;
   Vec gk = Vec(data.Get(gir->topk.result.back()).begin(),

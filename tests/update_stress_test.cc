@@ -37,11 +37,12 @@ TEST(UpdateStressTest, ConcurrentQueriesAndUpdates) {
   Rng gen_rng(2024);
   Dataset data = GenerateIndependent(n, d, gen_rng);
   DiskManager disk;
-  GirEngine engine(&data, &disk, MakeScoring("Linear", d));
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d)));
   BatchOptions opts;
   opts.threads = 2;
   opts.cache_capacity = 64;
-  BatchEngine batch(&engine, opts);
+  BatchEngine batch(engine.get(), opts);
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> queries_ok{0};
@@ -56,7 +57,7 @@ TEST(UpdateStressTest, ConcurrentQueriesAndUpdates) {
       while (!stop.load(std::memory_order_relaxed)) {
         Vec w = Query(rng, d);
         Result<GirComputation> gir =
-            engine.ComputeGir(w, k, Phase2Method::kFP);
+            engine->ComputeGir(w, k, Phase2Method::kFP);
         if (!gir.ok()) {
           failures.fetch_add(1);
           continue;
@@ -123,19 +124,20 @@ TEST(UpdateStressTest, ConcurrentQueriesAndUpdates) {
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(queries_ok.load(), 0u);
-  EXPECT_EQ(engine.dataset_version(), 12u);
+  EXPECT_EQ(engine->dataset_version(), 12u);
 
   // Post-hammer ground truth: the updated engine agrees with a scratch
   // rebuild of the final dataset.
   Dataset rebuilt = data;
   DiskManager rdisk;
-  GirEngine reference(&rebuilt, &rdisk, MakeScoring("Linear", d));
+  auto reference = OpenEngineOrDie(
+      EngineConfig::FromDataset(&rebuilt, &rdisk, MakeScoring("Linear", d)));
   Rng vrng(1000);
   for (int q = 0; q < 5; ++q) {
     Vec w = Query(vrng, d);
-    Result<GirComputation> got = engine.ComputeGir(w, k, Phase2Method::kFP);
+    Result<GirComputation> got = engine->ComputeGir(w, k, Phase2Method::kFP);
     Result<GirComputation> want =
-        reference.ComputeGir(w, k, Phase2Method::kFP);
+        reference->ComputeGir(w, k, Phase2Method::kFP);
     ASSERT_TRUE(got.ok());
     ASSERT_TRUE(want.ok());
     EXPECT_EQ(got->topk.result, want->topk.result);
