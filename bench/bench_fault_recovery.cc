@@ -3,7 +3,7 @@
 // 1. Recovery cost: push the engine through several update epochs,
 //    snapshot each one, then "crash" and measure the full restart path
 //    — directory scan + checksum validation + dataset/tree rebuild +
-//    GirEngine::Restore — and prove the restored engine answers probe
+//    Open(FromSnapshotDir) — and prove the restored engine answers probe
 //    queries bit-identically (ids, scores, simulated reads). A torn
 //    last snapshot (injected) must be rejected by checksum with
 //    recovery falling back to the previous valid epoch.
@@ -74,7 +74,7 @@ struct RecoveryResult {
   uint64_t snapshot_bytes = 0;
   double write_ms = 0.0;    // last intact snapshot publish
   double recover_ms = 0.0;  // scan + validate + rebuild dataset/tree
-  double restore_ms = 0.0;  // GirEngine::Restore (refreeze)
+  double restore_ms = 0.0;  // Open(FromSnapshotDir): scan + refreeze
   uint64_t recovered_version = 0;
   size_t scanned = 0;
   size_t rejected = 0;
@@ -126,10 +126,13 @@ RecoveryResult MeasureRecovery(const BenchConfig& cfg,
   out.recovered_version = rec->version;
   out.scanned = rec->scanned;
   out.rejected = rec->rejected;
+  // Restore = the one-call path a restarting process actually runs:
+  // Open scans, validates and refreezes in one step (so this figure
+  // includes its own recovery scan, not just the refreeze).
+  DiskManager disk3;
   Stopwatch restore_sw;
-  auto restored = GirEngine::Restore(std::move(rec->dataset),
-                                     std::move(*rec->tree), rec->version,
-                                     &disk2, MakeScoring("Linear", cfg.dim));
+  auto restored = OpenEngineOrDie(EngineConfig::FromSnapshotDir(
+      dir, &disk3, MakeScoring("Linear", cfg.dim)));
   out.restore_ms = restore_sw.ElapsedMillis();
 
   // Bitwise probes: ids, scores and charged simulated reads must all

@@ -166,15 +166,14 @@ int main(int argc, char** argv) {
   // ----- cold restart: rebuild vs mmap -----
   DiskManager rebuild_disk;
   Stopwatch rebuild_sw;
-  auto rec = store.RecoverLatest(&rebuild_disk);
-  if (!rec.ok()) {
-    std::fprintf(stderr, "recover: %s\n", rec.status().ToString().c_str());
+  auto rebuilt_open = GirEngine::Open(EngineConfig::FromSnapshotDir(
+      arena_dir, &rebuild_disk, MakeScoring("Linear", dim), eopts));
+  if (!rebuilt_open.ok()) {
+    std::fprintf(stderr, "recover: %s\n",
+                 rebuilt_open.status().ToString().c_str());
     return 1;
   }
-  auto rebuilt = GirEngine::Restore(std::move(rec->dataset),
-                                    std::move(*rec->tree), rec->version,
-                                    &rebuild_disk,
-                                    MakeScoring("Linear", dim), eopts);
+  auto rebuilt = std::move(*rebuilt_open);
   const double rebuild_ms = rebuild_sw.ElapsedMillis();
 
   // Best of three opens: the mmap path is microseconds-scale, one

@@ -1,0 +1,419 @@
+// Replica-tier chaos benchmark (JSON + exit-code gated):
+//
+// One leader publishes arena epochs; three replicas — independent
+// failure domains — serve them behind the Router (circuit breakers,
+// hedged requests, epoch-pinned failover). Four scenarios replay the
+// same seeded query stream:
+//
+//   healthy   — no faults: the availability and p99 baseline.
+//   kill_one  — one replica is killed mid-trace and revived later,
+//               with an epoch published (and pinned to) while it is
+//               down. The gated scenario: availability must clear
+//               --min_availability with one of three replicas dead,
+//               and p99 inflation over healthy stays bounded.
+//   slow_one  — one replica degrades (injected per-query delay);
+//               hedged requests should win past it.
+//   stale_one — one replica stops receiving ships; reads pinned to a
+//               newer epoch must never be served by it (no
+//               time-travel), while unpinned reads still may.
+//
+// Every served reply is checked bit-identical (ids and scores) to a
+// fault-free single engine mapped over the same arena epoch — replica
+// serving must not change a single byte of any answer, no matter
+// which replicas die mid-trace.
+//
+// Emits BENCH_PR9.json (schema bench/BENCH_PR9.schema.json); exits
+// non-zero unless availability at the gate, bit-identity, zero pin
+// violations, and the p99 bound all hold. Faults are schedule-driven
+// (kill/slow/stale at fixed query indices), so the gate is
+// machine-portable.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/replica_group.h"
+#include "serve/router.h"
+#include "storage/snapshot_store.h"
+
+using namespace gir;
+using namespace gir::bench;
+using gir::serve::EpochShipper;
+using gir::serve::Replica;
+using gir::serve::ReplicaConfig;
+using gir::serve::ReplicaGroup;
+using gir::serve::ReplicaGroupConfig;
+using gir::serve::RoutedReply;
+using gir::serve::Router;
+using gir::serve::RouterMetrics;
+using gir::serve::RouterOptions;
+
+namespace {
+
+constexpr size_t kReplicas = 3;
+
+struct BenchConfig {
+  Params params;
+  int64_t dim = 3;
+  double min_availability = 0.995;
+  double p99_inflation_cap = 20.0;  // p99_kill <= cap * p99_healthy + slack
+  double p99_slack_ms = 50.0;
+  std::string scratch_dir;
+};
+
+// One leader + three replicas + router, plus a fault-free reference
+// engine per published epoch (mapped over the same leader arena file)
+// that every served reply is compared against.
+struct Fleet {
+  std::unique_ptr<Dataset> data;
+  DiskManager leader_disk;
+  std::unique_ptr<GirEngine> leader;
+  std::unique_ptr<SnapshotStore> store;
+  std::unique_ptr<ReplicaGroup> group;
+  std::unique_ptr<EpochShipper> shipper;
+  std::unique_ptr<Router> router;
+  std::vector<std::unique_ptr<DiskManager>> ref_disks;
+  std::map<uint64_t, std::unique_ptr<GirEngine>> refs;
+  size_t ships = 0;
+
+  uint64_t leader_epoch() const { return leader->dataset_version(); }
+
+  // Maps a fault-free reference engine over the epoch just published
+  // (FromArena picks the newest file in the leader's directory).
+  void OpenReference(const BenchConfig& cfg) {
+    ref_disks.push_back(std::make_unique<DiskManager>());
+    auto ref = GirEngine::Open(EngineConfig::FromArena(
+        store->dir(), ref_disks.back().get(),
+        MakeScoring("Linear", cfg.dim)));
+    if (!ref.ok()) {
+      std::fprintf(stderr, "reference open: %s\n",
+                   ref.status().ToString().c_str());
+      std::exit(1);
+    }
+    refs[(*ref)->dataset_version()] = std::move(*ref);
+  }
+
+  // Applies one small update batch on the leader, publishes the new
+  // epoch as an arena file, and ships it to the fleet.
+  void PublishEpoch(const BenchConfig& cfg, Rng& rng) {
+    UpdateBatch batch;
+    for (int i = 0; i < 4; ++i) {
+      Vec v(static_cast<size_t>(cfg.dim));
+      for (double& x : v) x = rng.Uniform();
+      batch.inserts.push_back(std::move(v));
+    }
+    auto up = leader->ApplyUpdates(batch);
+    if (!up.ok()) {
+      std::fprintf(stderr, "update: %s\n", up.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto wrote = store->WriteArena(leader->flat_tree(), up->version);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "publish: %s\n",
+                   wrote.status().ToString().c_str());
+      std::exit(1);
+    }
+    OpenReference(cfg);
+    Ship();
+  }
+
+  void Ship() {
+    auto report = shipper->ShipLatest();
+    if (!report.ok()) {
+      std::fprintf(stderr, "ship: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    ++ships;
+  }
+};
+
+std::unique_ptr<Fleet> OpenFleet(const BenchConfig& cfg,
+                                 const std::string& name) {
+  auto fleet = std::make_unique<Fleet>();
+  fleet->data = std::make_unique<Dataset>(MakeNamedDataset(
+      "IND", cfg.params.n, cfg.dim, cfg.params.seed));
+  fleet->leader = OpenEngineOrDie(EngineConfig::FromDataset(
+      fleet->data.get(), &fleet->leader_disk, MakeScoring("Linear", cfg.dim)));
+
+  const std::filesystem::path base =
+      std::filesystem::path(cfg.scratch_dir) / name;
+  std::filesystem::remove_all(base);
+  fleet->store = std::make_unique<SnapshotStore>((base / "leader").string());
+  auto wrote = fleet->store->WriteArena(fleet->leader->flat_tree(), 0);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "seed publish: %s\n",
+                 wrote.status().ToString().c_str());
+    std::exit(1);
+  }
+  fleet->OpenReference(cfg);
+
+  ReplicaGroupConfig gc;
+  for (size_t i = 0; i < kReplicas; ++i) {
+    ReplicaConfig rc;
+    rc.dir = (base / ("replica" + std::to_string(i))).string();
+    gc.replicas.push_back(rc);
+  }
+  const size_t dim = static_cast<size_t>(cfg.dim);
+  gc.scoring = [dim] { return MakeScoring("Linear", dim); };
+  auto group = ReplicaGroup::Open(gc, *fleet->store);
+  if (!group.ok()) {
+    std::fprintf(stderr, "group open: %s\n",
+                 group.status().ToString().c_str());
+    std::exit(1);
+  }
+  fleet->group = std::move(*group);
+  fleet->shipper =
+      std::make_unique<EpochShipper>(fleet->store.get(), fleet->group.get());
+  fleet->router = std::make_unique<Router>(fleet->group.get());
+  return fleet;
+}
+
+struct ScenarioResult {
+  std::string name;
+  size_t offered = 0;
+  RouterMetrics m;
+  size_t mismatches = 0;  // served replies not bit-identical to reference
+  uint64_t max_lag = 0;
+  double availability = 0.0;
+
+  bool bitwise_identical() const { return mismatches == 0; }
+};
+
+// Replays `queries` seeded queries through the router, applying
+// `chaos(fleet, q)` before each and `pin(q)` as the per-query epoch
+// pin, and checks every served reply against the reference engine of
+// the epoch it was served at.
+template <typename Chaos, typename Pin>
+ScenarioResult RunScenario(const BenchConfig& cfg, const std::string& name,
+                           Chaos&& chaos, Pin&& pin) {
+  auto fleet = OpenFleet(cfg, name);
+  ScenarioResult out;
+  out.name = name;
+  Rng qrng(static_cast<uint64_t>(cfg.params.seed) * 131 + 9);
+  const size_t queries = static_cast<size_t>(cfg.params.queries);
+  const size_t k = static_cast<size_t>(cfg.params.k);
+  for (size_t q = 0; q < queries; ++q) {
+    chaos(*fleet, q);
+    if (q % 12 == 0) fleet->router->RunHealthChecks();
+    Vec w = RandomQuery(qrng, static_cast<size_t>(cfg.dim));
+    ExecPolicy policy;
+    policy.pin_epoch = pin(*fleet, q);
+    ++out.offered;
+    auto reply = fleet->router->Route(VecView(w.data(), w.size()), k,
+                                      Phase2Method::kFP, policy);
+    if (!reply.ok()) continue;
+    auto it = fleet->refs.find(reply->served_epoch);
+    if (it == fleet->refs.end()) {
+      ++out.mismatches;
+      continue;
+    }
+    auto ref = it->second->ComputeGir(w, k, Phase2Method::kFP);
+    if (!ref.ok() || ref->topk.result != reply->topk ||
+        ref->topk.scores != reply->scores) {
+      ++out.mismatches;
+    }
+  }
+  for (size_t i = 0; i < fleet->group->size(); ++i) {
+    out.max_lag = std::max(out.max_lag, fleet->shipper->lag(i));
+  }
+  out.m = fleet->router->Snapshot();
+  out.availability =
+      out.offered == 0
+          ? 0.0
+          : static_cast<double>(out.m.served) / static_cast<double>(out.offered);
+  return out;
+}
+
+void PrintScenario(const ScenarioResult& r) {
+  PrintRow(r.name,
+           {static_cast<double>(r.offered), static_cast<double>(r.m.served),
+            static_cast<double>(r.m.failed + r.m.unroutable),
+            static_cast<double>(r.m.failovers),
+            static_cast<double>(r.m.hedge_wins), r.availability, r.m.p99_ms,
+            static_cast<double>(r.mismatches)});
+}
+
+void EmitScenarioJson(FILE* f, const ScenarioResult& r, bool gated,
+                      bool last) {
+  std::fprintf(
+      f,
+      "    {\"name\": \"%s\", \"gated\": %s, \"offered\": %zu, "
+      "\"served\": %llu, \"failed\": %llu, \"unroutable\": %llu, "
+      "\"failovers\": %llu, \"hedges_dispatched\": %llu, "
+      "\"hedge_wins\": %llu, \"hedge_losses\": %llu, "
+      "\"pin_violations\": %llu, \"availability\": %.6f, "
+      "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"max_epoch_lag\": %llu, "
+      "\"mismatches\": %zu, \"bitwise_identical\": %s}%s\n",
+      r.name.c_str(), gated ? "true" : "false", r.offered,
+      static_cast<unsigned long long>(r.m.served),
+      static_cast<unsigned long long>(r.m.failed),
+      static_cast<unsigned long long>(r.m.unroutable),
+      static_cast<unsigned long long>(r.m.failovers),
+      static_cast<unsigned long long>(r.m.hedges_dispatched),
+      static_cast<unsigned long long>(r.m.hedge_wins),
+      static_cast<unsigned long long>(r.m.hedge_losses),
+      static_cast<unsigned long long>(r.m.pin_violations), r.availability,
+      r.m.p50_ms, r.m.p99_ms, static_cast<unsigned long long>(r.max_lag),
+      r.mismatches, r.bitwise_identical() ? "true" : "false",
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.params.n = 20000;
+  cfg.params.queries = 240;
+  FlagSet flags;
+  cfg.params.Register(&flags);
+  std::string out_path = "BENCH_PR9.json";
+  cfg.scratch_dir =
+      (std::filesystem::temp_directory_path() / "gir_bench_replicas")
+          .string();
+  flags.AddInt("d", &cfg.dim, "dimensionality");
+  flags.AddDouble("min_availability", &cfg.min_availability,
+                  "required served/offered with one of three replicas down");
+  flags.AddDouble("p99_inflation_cap", &cfg.p99_inflation_cap,
+                  "p99_kill must stay within cap * p99_healthy + slack");
+  flags.AddDouble("p99_slack_ms", &cfg.p99_slack_ms,
+                  "absolute slack on the p99 inflation bound");
+  flags.AddString("scratch_dir", &cfg.scratch_dir,
+                  "scratch directory for leader/replica epoch files");
+  flags.AddString("out", &out_path, "output JSON path");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) return s.code() == StatusCode::kNotFound ? 0 : 1;
+  cfg.params.ApplyFullDefaults();
+
+  const size_t queries = static_cast<size_t>(cfg.params.queries);
+  const size_t kill_at = queries / 4;
+  const size_t publish_at = queries / 2;  // epoch lands while r0 is down
+  const size_t revive_at = (queries * 3) / 4;
+
+  std::printf("Replica chaos bench (n=%lld, d=%lld, k=%lld, queries=%zu, "
+              "replicas=%zu)\n",
+              static_cast<long long>(cfg.params.n),
+              static_cast<long long>(cfg.dim),
+              static_cast<long long>(cfg.params.k), queries, kReplicas);
+
+  Rng pub_rng(static_cast<uint64_t>(cfg.params.seed) * 57 + 3);
+
+  // healthy: no chaos, one epoch published mid-trace, unpinned reads.
+  ScenarioResult healthy = RunScenario(
+      cfg, "healthy",
+      [&](Fleet& fleet, size_t q) {
+        if (q == publish_at) fleet.PublishEpoch(cfg, pub_rng);
+      },
+      [](Fleet&, size_t) -> uint64_t { return 0; });
+
+  // kill_one: r0 dies, an epoch is published (and pinned to) while it
+  // is down, r0 revives and catches up via the shipper.
+  ScenarioResult kill_one = RunScenario(
+      cfg, "kill_one",
+      [&](Fleet& fleet, size_t q) {
+        if (q == kill_at) fleet.group->replica(0)->Kill();
+        if (q == publish_at) fleet.PublishEpoch(cfg, pub_rng);
+        if (q == revive_at) {
+          fleet.group->replica(0)->Revive();
+          fleet.Ship();  // catch the revived replica up
+          fleet.router->RunHealthChecks();
+        }
+      },
+      [&](Fleet& fleet, size_t q) -> uint64_t {
+        // Reads after the publish pin to the new epoch: failover must
+        // never time-travel to a replica still on the old one.
+        return q >= publish_at ? fleet.leader_epoch() : 0;
+      });
+
+  // slow_one: r1 degrades mid-trace; hedging wins past it.
+  ScenarioResult slow_one = RunScenario(
+      cfg, "slow_one",
+      [&](Fleet& fleet, size_t q) {
+        if (q == kill_at) fleet.group->replica(1)->SetSlowMs(15.0);
+        if (q == revive_at) fleet.group->replica(1)->SetSlowMs(0.0);
+      },
+      [](Fleet&, size_t) -> uint64_t { return 0; });
+
+  // stale_one: r2 stops receiving ships before an epoch lands; pinned
+  // reads must avoid it while unpinned reads may still use it.
+  ScenarioResult stale_one = RunScenario(
+      cfg, "stale_one",
+      [&](Fleet& fleet, size_t q) {
+        if (q == kill_at) fleet.group->replica(2)->SetStale(true);
+        if (q == publish_at) fleet.PublishEpoch(cfg, pub_rng);
+      },
+      [&](Fleet& fleet, size_t q) -> uint64_t {
+        return q >= publish_at ? fleet.leader_epoch() : 0;
+      });
+
+  PrintTitle("scenarios (offered/served/failed/failovers/hedge_wins/"
+             "availability/p99_ms/mismatches)");
+  PrintHeader("scenario", {"offered", "served", "failed", "failovers",
+                           "hedge_w", "avail", "p99_ms", "mismatch"});
+  const std::vector<const ScenarioResult*> all = {&healthy, &kill_one,
+                                                  &slow_one, &stale_one};
+  for (const ScenarioResult* r : all) PrintScenario(*r);
+
+  // ----- gate -----
+  const double availability_at_gate = kill_one.availability;
+  const bool availability_ok = availability_at_gate >= cfg.min_availability;
+  bool bitwise = true;
+  uint64_t pin_violations = 0;
+  for (const ScenarioResult* r : all) {
+    bitwise = bitwise && r->bitwise_identical();
+    pin_violations += r->m.pin_violations;
+  }
+  const double p99_bound =
+      healthy.m.p99_ms * cfg.p99_inflation_cap + cfg.p99_slack_ms;
+  const bool p99_bounded = kill_one.m.p99_ms <= p99_bound;
+  const bool pass =
+      availability_ok && bitwise && pin_violations == 0 && p99_bounded;
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_replica_chaos\",\n");
+  std::fprintf(f,
+               "  \"params\": {\"n\": %lld, \"d\": %lld, \"k\": %lld, "
+               "\"queries\": %zu, \"replicas\": %zu, \"seed\": %lld, "
+               "\"method\": \"FP\"},\n",
+               static_cast<long long>(cfg.params.n),
+               static_cast<long long>(cfg.dim),
+               static_cast<long long>(cfg.params.k), queries, kReplicas,
+               static_cast<long long>(cfg.params.seed));
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    EmitScenarioJson(f, *all[i], all[i] == &kill_one, i + 1 == all.size());
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"gate\": {\"min_availability\": %.4f, "
+               "\"availability_at_gate\": %.6f, "
+               "\"p99_healthy_ms\": %.4f, \"p99_kill_ms\": %.4f, "
+               "\"p99_inflation_cap\": %.2f, \"p99_slack_ms\": %.2f, "
+               "\"p99_bounded\": %s, \"bitwise_identical\": %s, "
+               "\"pin_violations_zero\": %s, \"pass\": %s}\n",
+               cfg.min_availability, availability_at_gate, healthy.m.p99_ms,
+               kill_one.m.p99_ms, cfg.p99_inflation_cap, cfg.p99_slack_ms,
+               p99_bounded ? "true" : "false", bitwise ? "true" : "false",
+               pin_violations == 0 ? "true" : "false",
+               pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("\nwrote %s (availability with one of %zu down: %.4f %s %.3f; "
+              "bitwise %s; pin violations %llu; p99 %.2fms vs bound %.2fms: "
+              "%s)\n",
+              out_path.c_str(), kReplicas, availability_at_gate,
+              availability_ok ? ">=" : "<", cfg.min_availability,
+              bitwise ? "yes" : "NO",
+              static_cast<unsigned long long>(pin_violations),
+              kill_one.m.p99_ms, p99_bound, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

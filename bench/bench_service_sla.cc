@@ -61,15 +61,16 @@ struct BenchConfig {
 struct ServingStack {
   Dataset data;
   DiskManager disk;
-  GirEngine engine;
+  std::unique_ptr<GirEngine> engine;
   BatchEngine batch;
 
   ServingStack(const BenchConfig& cfg, const GirEngineOptions& eopts,
                const BatchOptions& bopts)
       : data(MakeNamedDataset("IND", cfg.params.n, cfg.dim,
                               cfg.params.seed)),
-        engine(&data, &disk, MakeScoring("Linear", cfg.dim), eopts),
-        batch(&engine, bopts) {}
+        engine(OpenEngineOrDie(EngineConfig::FromDataset(
+            &data, &disk, MakeScoring("Linear", cfg.dim), eopts))),
+        batch(engine.get(), bopts) {}
 };
 
 GirEngineOptions EngineOptions() {

@@ -76,6 +76,8 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
 Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
                                               size_t k, Phase2Method method,
                                               const ExecPolicy& policy) {
+  Status policy_ok = ValidateExecPolicy(policy);
+  if (!policy_ok.ok()) return policy_ok;
   const size_t dim = engine_->dataset().dim();
   for (const Vec& w : weights) {
     if (w.size() != dim) {
@@ -85,6 +87,19 @@ Result<BatchResult> BatchEngine::ComputeBatch(const std::vector<Vec>& weights,
   if (!policy.group_of.empty() && policy.group_of.size() != weights.size()) {
     return Status::InvalidArgument(
         "policy.group_of must be empty or match the batch size");
+  }
+  if (policy.pin_epoch > engine_->dataset_version()) {
+    // Epoch pin: this engine has not yet caught up to the epoch the
+    // caller's reply must reflect. Answering from the older epoch would
+    // be time travel; an explicit kUnavailable item lets the routing
+    // tier fail over to a replica at or ahead of the pin.
+    BatchResult out;
+    out.items.resize(weights.size());
+    for (BatchItem& item : out.items) {
+      item.status = Status::Unavailable("engine epoch behind pinned version");
+    }
+    FinalizeStats(&out, policy.deadline_ms);
+    return out;
   }
   if (policy.shared_traversal) {
     return ComputeBatchShared(weights, k, method, policy);

@@ -116,15 +116,6 @@ GirEngine::GirEngine(std::shared_ptr<const Dataset> dataset, FlatRTree flat,
   version_.store(version, std::memory_order_release);
 }
 
-std::unique_ptr<GirEngine> GirEngine::Restore(
-    std::unique_ptr<Dataset> dataset, RTree tree, uint64_t version,
-    DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
-    const GirEngineOptions& options) {
-  return std::unique_ptr<GirEngine>(
-      new GirEngine(std::move(dataset), std::move(tree), version, disk,
-                    std::move(scoring), options));
-}
-
 namespace {
 
 // One arena epoch, ready to publish: the mapped file, a heap dataset
@@ -171,6 +162,14 @@ Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
   }
   if (config.scoring == nullptr) {
     return Status::InvalidArgument("EngineConfig needs a scoring function");
+  }
+  if ((config.source == EngineConfig::Source::kCsv ||
+       config.source == EngineConfig::Source::kSnapshotDir ||
+       config.source == EngineConfig::Source::kArena) &&
+      config.path.empty()) {
+    // Fail fast and by name: an empty path would otherwise surface as a
+    // confusing NotFound against the working directory.
+    return Status::InvalidArgument("EngineConfig file source needs a path");
   }
   switch (config.source) {
     case EngineConfig::Source::kDataset: {
@@ -266,16 +265,6 @@ std::unique_ptr<GirEngine> OpenEngineOrDie(EngineConfig config) {
   }
   return std::move(*engine);
 }
-
-GirEngine::GirEngine(const Dataset* dataset, DiskManager* disk,
-                     std::unique_ptr<ScoringFunction> scoring,
-                     const GirEngineOptions& options)
-    : GirEngine(dataset, nullptr, disk, std::move(scoring), options) {}
-
-GirEngine::GirEngine(Dataset* dataset, DiskManager* disk,
-                     std::unique_ptr<ScoringFunction> scoring,
-                     const GirEngineOptions& options)
-    : GirEngine(dataset, dataset, disk, std::move(scoring), options) {}
 
 Result<GirComputation> GirEngine::Compute(VecView weights, size_t k,
                                           Phase2Method method,

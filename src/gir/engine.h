@@ -251,36 +251,6 @@ class GirEngine {
   // torn or corrupt, the CSV parser's status for kCsv.
   static Result<std::unique_ptr<GirEngine>> Open(EngineConfig config);
 
-  // Deprecated — use Open(EngineConfig::FromDataset(...)). Read-only
-  // engine: serves the dataset frozen at construction; ApplyUpdates
-  // fails with FailedPrecondition. Kept as a thin forwarding shim for
-  // one release; new code goes through Open.
-  GirEngine(const Dataset* dataset, DiskManager* disk,
-            std::unique_ptr<ScoringFunction> scoring,
-            const GirEngineOptions& options = {});
-
-  // Deprecated — use Open(EngineConfig::FromDataset(...)) with a
-  // non-const dataset. Updatable engine: same construction, but keeps
-  // the mutable handle so ApplyUpdates can mutate the dataset between
-  // epochs.
-  GirEngine(Dataset* dataset, DiskManager* disk,
-            std::unique_ptr<ScoringFunction> scoring,
-            const GirEngineOptions& options = {});
-
-  // Deprecated — use Open(EngineConfig::FromSnapshotDir(...)), which
-  // runs recovery and restore in one step. Rebuilds an updatable
-  // engine from a restored epoch (see SnapshotStore::RecoverLatest),
-  // taking ownership of the recovered dataset image and master tree.
-  // The tree's page ids are the saved ones 1:1, so the restored
-  // engine's traversals charge bit-identical simulated I/O to the
-  // pre-crash engine's. `tree` must have been loaded over `dataset`
-  // and `disk`; the published epoch starts at `version` and the next
-  // ApplyUpdates continues from it.
-  static std::unique_ptr<GirEngine> Restore(
-      std::unique_ptr<Dataset> dataset, RTree tree, uint64_t version,
-      DiskManager* disk, std::unique_ptr<ScoringFunction> scoring,
-      const GirEngineOptions& options = {});
-
   // Order-sensitive GIR (Definition 1).
   Result<GirComputation> ComputeGir(VecView weights, size_t k,
                                     Phase2Method method) const;

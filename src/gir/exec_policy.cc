@@ -1,0 +1,32 @@
+#include "gir/exec_policy.h"
+
+#include <cmath>
+
+namespace gir {
+
+Status ValidateExecPolicy(const ExecPolicy& policy) {
+  if (!std::isfinite(policy.deadline_ms) || policy.deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "ExecPolicy::deadline_ms must be finite and >= 0");
+  }
+  if (!std::isfinite(policy.retry_backoff_ms) || policy.retry_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "ExecPolicy::retry_backoff_ms must be finite and >= 0");
+  }
+  if (!std::isfinite(policy.hedge_delay_ms) || policy.hedge_delay_ms < 0.0) {
+    return Status::InvalidArgument(
+        "ExecPolicy::hedge_delay_ms must be finite and >= 0");
+  }
+  if (policy.shared_traversal && policy.group_width == 0) {
+    return Status::InvalidArgument(
+        "ExecPolicy::group_width must be >= 1 under shared traversal");
+  }
+  if (policy.max_retries > kMaxRetriesCap) {
+    return Status::InvalidArgument(
+        "ExecPolicy::max_retries exceeds the sanity cap (negative value "
+        "converted to size_t?)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gir

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace gir {
 
 // How one batch executes: the single knob set shared by every layer
@@ -69,7 +71,37 @@ struct ExecPolicy {
   // readahead overlaps the round's SIMD scoring. No-op on heap-frozen
   // images; never changes results, only page-in timing.
   bool prefetch = true;
+
+  // ----- replicated-serving hints -----
+  // These two fields ride the policy down through the serve router
+  // (src/serve/router.h); a single-engine BatchEngine enforces the pin
+  // and ignores the hedge delay (there is no peer to hedge to).
+
+  // Hedged requests: if the primary replica has not replied within this
+  // many ms, the router dispatches the same query to a healthy peer and
+  // takes the first reply (both attempts are charged in metrics). 0 =
+  // derive the delay from the router's trailing p99 of reply latencies.
+  double hedge_delay_ms = 0.0;
+
+  // Epoch pin: the reply must reflect a dataset epoch >= this version
+  // (no time-travel after an acknowledged update). The router only
+  // routes — and only fails over — to replicas at or ahead of the pin;
+  // a single engine behind the pin answers kUnavailable. 0 = unpinned.
+  uint64_t pin_epoch = 0;
 };
+
+// API-boundary validation, shared by BatchEngine::ComputeBatch and the
+// serve router: kInvalidArgument names the offending field, kOk means
+// every numeric knob is representable and in-domain. Notably rejects
+// non-finite or negative time budgets (a NaN deadline silently disables
+// deadline accounting — worse than failing fast), a zero group_width
+// under shared traversal (an empty group can make no progress), and a
+// max_retries so large it can only be a negative value cast to size_t.
+Status ValidateExecPolicy(const ExecPolicy& policy);
+
+// Retry budgets beyond this are rejected as nonsensical: the practical
+// way to exceed it is size_t(-1) from a careless signed conversion.
+constexpr size_t kMaxRetriesCap = 1000;
 
 }  // namespace gir
 

@@ -1,0 +1,359 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gir::serve {
+
+namespace {
+
+// Per-request rendezvous between the routing thread and its attempts.
+// Shared by shared_ptr so a straggler (hedge loser, post-deadline
+// reply) lands harmlessly after Route returned.
+struct Rendezvous {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;    // a winning reply was recorded
+  int pending = 0;      // attempts dispatched but not yet replied
+  size_t winner = 0;
+  bool winner_is_hedge = false;
+  std::optional<GirComputation> win;
+  Status last_error = Status::Ok();
+};
+
+double WindowPercentile(std::vector<double> sorted_copy, double q) {
+  if (sorted_copy.empty()) return 0.0;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  const size_t at = static_cast<size_t>(
+      q * static_cast<double>(sorted_copy.size() - 1) + 0.5);
+  return sorted_copy[std::min(at, sorted_copy.size() - 1)];
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Router::Router(ReplicaGroup* group, RouterOptions options)
+    : group_(group),
+      options_(options),
+      breakers_(group->size()),
+      pool_(options.threads > 0 ? options.threads : group->size() + 1) {}
+
+Router::~Router() = default;
+
+std::vector<size_t> Router::EligibleOrder(uint64_t pin_epoch) {
+  const double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = group_->size();
+  std::vector<size_t> order;
+  order.reserve(n);
+  const size_t start = rr_cursor_++ % n;
+  for (size_t j = 0; j < n; ++j) {
+    const size_t i = (start + j) % n;
+    if (!BreakerAdmits(i, now)) continue;
+    // The epoch pin: a replica behind the request's pinned version is
+    // not an answer source, not even as a last resort — failing the
+    // request is better than un-seeing an acknowledged update.
+    if (group_->replica(i)->epoch() < pin_epoch) continue;
+    order.push_back(i);
+  }
+  return order;
+}
+
+bool Router::BreakerAdmits(size_t i, double now_ms) {
+  Breaker& b = breakers_[i];
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      // Live traffic through a half-open breaker doubles as a probe.
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms < b.open_until_ms) return false;
+      b.state = BreakerState::kHalfOpen;
+      return true;
+  }
+  return false;
+}
+
+void Router::OnAttemptResult(size_t i, bool ok, bool won_as_hedge,
+                             double ms) {
+  (void)ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[i];
+  if (ok) {
+    ++b.served;
+    if (won_as_hedge) ++b.hedges_won;
+    b.consecutive_failures = 0;
+    b.reopen_count = 0;
+    b.state = BreakerState::kClosed;
+    return;
+  }
+  ++b.failures;
+  ++b.consecutive_failures;
+  if (b.consecutive_failures >= options_.breaker_threshold ||
+      b.state == BreakerState::kHalfOpen) {
+    const double backoff =
+        std::min(options_.breaker_open_ms *
+                     std::pow(options_.breaker_backoff_factor,
+                              static_cast<double>(b.reopen_count)),
+                 options_.breaker_max_open_ms);
+    b.state = BreakerState::kOpen;
+    b.open_until_ms = NowMs() + backoff;
+    ++b.reopen_count;
+  }
+}
+
+double Router::HedgeDelayMs(const ExecPolicy& policy) const {
+  if (policy.hedge_delay_ms > 0.0) return policy.hedge_delay_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latency_window_.size() < 16) return options_.hedge_cold_ms;
+  return std::max(options_.hedge_floor_ms,
+                  WindowPercentile(latency_window_, 0.99));
+}
+
+void Router::RecordLatency(double ms) {
+  if (latency_window_.size() < options_.latency_window) {
+    latency_window_.push_back(ms);
+  } else if (!latency_window_.empty()) {
+    latency_window_[latency_next_ % latency_window_.size()] = ms;
+  }
+  ++latency_next_;
+}
+
+Result<RoutedReply> Router::Route(VecView weights, size_t k,
+                                  Phase2Method method,
+                                  const ExecPolicy& policy) {
+  Status policy_ok = ValidateExecPolicy(policy);
+  if (!policy_ok.ok()) return policy_ok;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++metrics_.requests;
+  }
+  std::vector<size_t> order = EligibleOrder(policy.pin_epoch);
+  if (order.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++metrics_.unroutable;
+    return Status::Unavailable(
+        "no eligible replica (breakers open or every epoch behind pin " +
+        std::to_string(policy.pin_epoch) + ")");
+  }
+
+  auto state = std::make_shared<Rendezvous>();
+  auto w = std::make_shared<const Vec>(weights.data(),
+                                       weights.data() + weights.size());
+  Stopwatch sw;
+  size_t next = 0;
+  const auto dispatch = [&](bool is_hedge) {
+    const size_t idx = order[next++];
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->pending;
+    }
+    pool_.Submit([this, state, w, k, method, idx, is_hedge] {
+      Stopwatch attempt_sw;
+      Result<GirComputation> r = group_->replica(idx)->Compute(
+          VecView(w->data(), w->size()), k, method);
+      const double ms = attempt_sw.ElapsedMillis();
+      bool won = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->pending;
+        if (r.ok() && !state->done) {
+          state->done = true;
+          state->winner = idx;
+          state->winner_is_hedge = is_hedge;
+          state->win.emplace(std::move(*r));
+          won = true;
+        } else if (!r.ok()) {
+          state->last_error = r.status();
+        }
+      }
+      state->cv.notify_all();
+      OnAttemptResult(idx, r.ok(), won && is_hedge, ms);
+    });
+  };
+
+  dispatch(/*is_hedge=*/false);
+  const double hedge_delay =
+      options_.hedge && order.size() > 1 ? HedgeDelayMs(policy) : -1.0;
+  const double deadline = policy.deadline_ms;
+  bool hedged = false;
+  uint32_t failovers = 0;
+  bool deadline_hit = false;
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    if (state->done) break;
+    const double now = sw.ElapsedMillis();
+    if (deadline > 0.0 && now >= deadline) {
+      deadline_hit = true;
+      break;
+    }
+    if (state->pending == 0) {
+      // Every outstanding attempt failed: fail over to the next
+      // eligible replica, if one remains.
+      if (next < order.size()) {
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          ++metrics_.failovers;
+        }
+        ++failovers;
+        dispatch(/*is_hedge=*/false);
+        lock.lock();
+        continue;
+      }
+      break;  // exhausted every eligible replica
+    }
+    if (!hedged && hedge_delay >= 0.0 && next < order.size() &&
+        now >= hedge_delay) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        ++metrics_.hedges_dispatched;
+      }
+      hedged = true;
+      dispatch(/*is_hedge=*/true);
+      lock.lock();
+      continue;
+    }
+    // Sleep until the next horizon: a reply, the hedge point, or the
+    // deadline — whichever lands first (bounded heartbeat otherwise).
+    double wait_ms = 10.0;
+    if (deadline > 0.0) wait_ms = std::min(wait_ms, deadline - now);
+    if (!hedged && hedge_delay >= 0.0 && next < order.size()) {
+      wait_ms = std::min(wait_ms, std::max(hedge_delay - now, 0.0));
+    }
+    state->cv.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 std::max(wait_ms, 0.05)));
+  }
+  const bool done = state->done;
+  RoutedReply reply;
+  Status last_error = state->last_error;
+  if (done) {
+    GirComputation& gc = *state->win;
+    reply.topk = std::move(gc.topk.result);
+    reply.scores = std::move(gc.topk.scores);
+    reply.served_epoch = gc.snapshot_version;
+    reply.replica = static_cast<int>(state->winner);
+    reply.hedge_won = state->winner_is_hedge;
+  }
+  lock.unlock();
+
+  if (!done) {
+    std::lock_guard<std::mutex> g(mu_);
+    ++metrics_.failed;
+    if (deadline_hit) {
+      return Status::Unavailable("routed request missed its deadline");
+    }
+    return Status::Unavailable("every eligible replica failed: " +
+                               last_error.message());
+  }
+
+  reply.hedged = hedged;
+  reply.failovers = failovers;
+  reply.latency_ms = sw.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++metrics_.served;
+    if (hedged) {
+      if (reply.hedge_won) {
+        ++metrics_.hedge_wins;
+      } else {
+        ++metrics_.hedge_losses;
+      }
+    }
+    if (policy.pin_epoch > 0 && reply.served_epoch < policy.pin_epoch) {
+      ++metrics_.pin_violations;  // must never happen; gated at 0
+    }
+    RecordLatency(reply.latency_ms);
+  }
+  return reply;
+}
+
+void Router::RunHealthChecks() {
+  const size_t n = group_->size();
+  for (size_t i = 0; i < n; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Breaker& b = breakers_[i];
+      if (b.state == BreakerState::kOpen) {
+        if (NowMs() < b.open_until_ms) continue;  // still backing off
+        b.state = BreakerState::kHalfOpen;
+      }
+      ++b.probes;
+    }
+    Replica* replica = group_->replica(i);
+    const size_t dim = replica->dim();
+    const Vec w(dim, 1.0 / static_cast<double>(dim));
+    Stopwatch probe_sw;
+    Result<GirComputation> r = replica->Compute(
+        VecView(w.data(), w.size()), options_.probe_k, Phase2Method::kFP);
+    const double ms = probe_sw.ElapsedMillis();
+    const bool ok = r.ok() && ms <= options_.probe_timeout_ms;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    Breaker& b = breakers_[i];
+    if (ok) {
+      b.consecutive_failures = 0;
+      b.reopen_count = 0;
+      b.state = BreakerState::kClosed;
+      continue;
+    }
+    ++b.probe_failures;
+    ++b.consecutive_failures;
+    if (b.consecutive_failures >= options_.breaker_threshold ||
+        b.state == BreakerState::kHalfOpen) {
+      const double backoff =
+          std::min(options_.breaker_open_ms *
+                       std::pow(options_.breaker_backoff_factor,
+                                static_cast<double>(b.reopen_count)),
+                   options_.breaker_max_open_ms);
+      b.state = BreakerState::kOpen;
+      b.open_until_ms = NowMs() + backoff;
+      ++b.reopen_count;
+    }
+  }
+}
+
+RouterMetrics Router::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterMetrics out = metrics_;
+  out.p50_ms = WindowPercentile(latency_window_, 0.50);
+  out.p99_ms = WindowPercentile(latency_window_, 0.99);
+  out.replicas.clear();
+  out.replicas.reserve(breakers_.size());
+  for (size_t i = 0; i < breakers_.size(); ++i) {
+    const Breaker& b = breakers_[i];
+    ReplicaHealthView view;
+    view.state = b.state;
+    view.epoch = group_->replica(i)->epoch();
+    view.consecutive_failures = b.consecutive_failures;
+    view.served = b.served;
+    view.failures = b.failures;
+    view.probes = b.probes;
+    view.probe_failures = b.probe_failures;
+    view.hedges_won = b.hedges_won;
+    out.replicas.push_back(view);
+  }
+  return out;
+}
+
+}  // namespace gir::serve

@@ -1,0 +1,168 @@
+#ifndef GIR_SERVE_ROUTER_H_
+#define GIR_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "gir/exec_policy.h"
+#include "serve/replica_group.h"
+
+namespace gir::serve {
+
+// Routing tier over a ReplicaGroup: per-replica circuit breakers fed
+// by active health checks, hedged requests against a p99-derived
+// delay, and epoch-pinned failover — a read pinned to epoch v is only
+// ever dispatched (primary, hedge, or failover) to a replica whose
+// epoch >= v, so an acknowledged update is never un-seen by a later
+// read, no matter which replicas die mid-request.
+//
+// Threading: Route and RunHealthChecks may be called from any thread;
+// attempts run on the router's own pool and a straggler (hedge loser,
+// post-deadline reply) finishes harmlessly against per-request shared
+// state. The router must outlive nothing: its destructor joins the
+// pool, draining every in-flight attempt.
+
+struct RouterOptions {
+  // Circuit breaker: closed → open after `breaker_threshold`
+  // consecutive failures (kUnavailable replies, failed or over-budget
+  // probes); open → half-open when the backoff expires (base doubles
+  // per consecutive re-open, capped); half-open → closed on one good
+  // probe or served read, back to open on a bad one.
+  int breaker_threshold = 3;
+  double breaker_open_ms = 25.0;
+  double breaker_backoff_factor = 2.0;
+  double breaker_max_open_ms = 1000.0;
+
+  // Active health checks (RunHealthChecks): one cheap probe query per
+  // replica; a reply slower than probe_timeout_ms counts as a miss.
+  double probe_timeout_ms = 100.0;
+  size_t probe_k = 1;
+
+  // Hedged requests: when the primary hasn't replied within the hedge
+  // delay, dispatch the same query to the next eligible replica and
+  // take the first success — both attempts are charged in metrics.
+  // The delay is ExecPolicy::hedge_delay_ms when nonzero, else the
+  // trailing p99 of served latencies (floored at hedge_floor_ms;
+  // hedge_cold_ms before enough samples exist).
+  bool hedge = true;
+  double hedge_floor_ms = 0.25;
+  double hedge_cold_ms = 5.0;
+  size_t latency_window = 512;
+
+  // Attempt pool size; 0 = replica count + 1.
+  size_t threads = 0;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+// Point-in-time health of one replica, as the router sees it.
+struct ReplicaHealthView {
+  BreakerState state = BreakerState::kClosed;
+  uint64_t epoch = 0;
+  int consecutive_failures = 0;
+  uint64_t served = 0;          // attempts this replica answered ok
+  uint64_t failures = 0;        // attempts it failed
+  uint64_t probes = 0;
+  uint64_t probe_failures = 0;
+  uint64_t hedges_won = 0;      // hedge attempts it won
+};
+
+struct RouterMetrics {
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t unroutable = 0;   // no eligible replica (breakers/pins)
+  uint64_t failed = 0;       // routed but every attempt failed
+  uint64_t failovers = 0;    // extra dispatches after all outstanding failed
+  uint64_t hedges_dispatched = 0;
+  uint64_t hedge_wins = 0;    // hedge replied first
+  uint64_t hedge_losses = 0;  // hedge charged, primary still won
+  uint64_t pin_violations = 0;  // served from behind the pin (must stay 0)
+  double p50_ms = 0.0;  // over the trailing served-latency window
+  double p99_ms = 0.0;
+  std::vector<ReplicaHealthView> replicas;
+};
+
+// One routed reply: the result plus where and how it was served.
+struct RoutedReply {
+  std::vector<RecordId> topk;
+  std::vector<double> scores;
+  uint64_t served_epoch = 0;
+  int replica = -1;
+  bool hedged = false;      // a hedge was dispatched for this request
+  bool hedge_won = false;   // ...and it replied first
+  uint32_t failovers = 0;   // failover dispatches this request needed
+  double latency_ms = 0.0;
+};
+
+class Router {
+ public:
+  Router(ReplicaGroup* group, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Routes one query. policy.pin_epoch restricts eligibility;
+  // policy.hedge_delay_ms overrides the derived hedge delay;
+  // policy.deadline_ms bounds the whole routed request (0 = none).
+  // kUnavailable when no eligible replica exists or every attempt
+  // failed / the deadline passed first.
+  Result<RoutedReply> Route(VecView weights, size_t k, Phase2Method method,
+                            const ExecPolicy& policy = {});
+
+  // One active probe per replica, updating breakers: called on a
+  // schedule by the serving loop (deterministic for tests — no hidden
+  // background thread).
+  void RunHealthChecks();
+
+  RouterMetrics Snapshot() const;
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    int reopen_count = 0;      // consecutive opens, drives the backoff
+    double open_until_ms = 0;  // router-clock time the open state ends
+    uint64_t served = 0;
+    uint64_t failures = 0;
+    uint64_t probes = 0;
+    uint64_t probe_failures = 0;
+    uint64_t hedges_won = 0;
+  };
+
+  double NowMs() const { return clock_.ElapsedMillis(); }
+  // Replica indices admitted for this request — breaker allows, epoch
+  // covers the pin — in dispatch order (round-robin rotation).
+  std::vector<size_t> EligibleOrder(uint64_t pin_epoch);
+  bool BreakerAdmits(size_t i, double now_ms);  // may flip open→half-open
+  void OnAttemptResult(size_t i, bool ok, bool is_hedge, double ms);
+  double HedgeDelayMs(const ExecPolicy& policy) const;
+  void RecordLatency(double ms);
+
+  ReplicaGroup* group_;
+  RouterOptions options_;
+  Stopwatch clock_;  // router-relative monotonic time
+
+  mutable std::mutex mu_;
+  std::vector<Breaker> breakers_;
+  RouterMetrics metrics_;
+  std::vector<double> latency_window_;  // ring buffer of served latencies
+  size_t latency_next_ = 0;
+  size_t rr_cursor_ = 0;
+
+  // Declared last: the destructor joins workers first, so an attempt
+  // never touches a dead router.
+  ThreadPool pool_;
+};
+
+}  // namespace gir::serve
+
+#endif  // GIR_SERVE_ROUTER_H_

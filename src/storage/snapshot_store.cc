@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -172,6 +173,56 @@ bool ReadWholeFile(const fs::path& path, std::vector<uint8_t>* out) {
   return static_cast<bool>(in);
 }
 
+// Applies one OnSnapshotWrite fault decision to an arena image about
+// to be published (by WriteArena or by a replication ship): kTorn
+// shortens the published length to a strict nonempty prefix, kCorrupt
+// flips one byte inside a section *payload* — the alignment padding
+// between sections carries no data, so a flip there is not a loss and
+// would never (and should never) be detected. The section table sits
+// right after the fixed header fields; each 32-byte entry holds u64
+// offset / u64 length at bytes 8 / 16.
+size_t ShapeArenaFault(FaultInjector* injector, std::vector<uint8_t>* file,
+                       FaultInjector::WriteFault* injected) {
+  size_t publish_len = file->size();
+  if (injector == nullptr) return publish_len;
+  const FaultInjector::WriteDecision d = injector->OnSnapshotWrite();
+  *injected = d.fault;
+  if (d.fault == FaultInjector::WriteFault::kTorn) {
+    publish_len = 1 + static_cast<size_t>(
+                          injector->ShapeDraw(d.op, 0) *
+                          static_cast<double>(file->size() - 2));
+  } else if (d.fault == FaultInjector::WriteFault::kCorrupt) {
+    constexpr size_t kHeaderFixed = 80;
+    constexpr size_t kEntryBytes = 32;
+    if (file->size() < kHeaderFixed + kArenaSectionCount * kEntryBytes) {
+      // Shipping an already-torn source: no intact section table to
+      // aim at; flip the middle byte instead.
+      (*file)[file->size() / 2] ^= 0x40;
+      return publish_len;
+    }
+    uint64_t total = 0;
+    uint64_t offsets[kArenaSectionCount];
+    uint64_t lengths[kArenaSectionCount];
+    for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
+      const uint8_t* entry = file->data() + kHeaderFixed + s * kEntryBytes;
+      std::memcpy(&offsets[s], entry + 8, sizeof(uint64_t));
+      std::memcpy(&lengths[s], entry + 16, sizeof(uint64_t));
+      total += lengths[s];
+    }
+    uint64_t at = static_cast<uint64_t>(injector->ShapeDraw(d.op, 1) *
+                                        static_cast<double>(total - 1));
+    for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
+      if (at < lengths[s] && offsets[s] + at < file->size()) {
+        (*file)[offsets[s] + at] ^= 0x40;
+        break;
+      }
+      if (at < lengths[s]) break;  // torn source: flip target truncated away
+      at -= lengths[s];
+    }
+  }
+  return publish_len;
+}
+
 // Crash-safe publish: temp file in the same directory, fsync the data,
 // atomic rename onto the final name, fsync the directory entry. Shared
 // by the snapshot and arena writers.
@@ -316,42 +367,7 @@ Result<SnapshotStore::WriteStats> SnapshotStore::WriteArena(
 
   // Same fault surface as WriteSnapshot: one decision per published
   // file, shaped deterministically from the decision's op ordinal.
-  size_t publish_len = file.size();
-  if (injector_ != nullptr) {
-    const FaultInjector::WriteDecision d = injector_->OnSnapshotWrite();
-    stats.injected = d.fault;
-    if (d.fault == FaultInjector::WriteFault::kTorn) {
-      publish_len = 1 + static_cast<size_t>(
-                            injector_->ShapeDraw(d.op, 0) *
-                            static_cast<double>(file.size() - 2));
-    } else if (d.fault == FaultInjector::WriteFault::kCorrupt) {
-      // Flip one byte inside a section *payload* — the alignment
-      // padding between sections carries no data, so a flip there is
-      // not a loss and would never (and should never) be detected. The
-      // section table sits right after the fixed header fields; each
-      // 32-byte entry holds u64 offset / u64 length at bytes 8 / 16.
-      constexpr size_t kHeaderFixed = 80;
-      constexpr size_t kEntryBytes = 32;
-      uint64_t total = 0;
-      uint64_t offsets[kArenaSectionCount];
-      uint64_t lengths[kArenaSectionCount];
-      for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
-        const uint8_t* entry = file.data() + kHeaderFixed + s * kEntryBytes;
-        std::memcpy(&offsets[s], entry + 8, sizeof(uint64_t));
-        std::memcpy(&lengths[s], entry + 16, sizeof(uint64_t));
-        total += lengths[s];
-      }
-      uint64_t at = static_cast<uint64_t>(injector_->ShapeDraw(d.op, 1) *
-                                          static_cast<double>(total - 1));
-      for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
-        if (at < lengths[s]) {
-          file[offsets[s] + at] ^= 0x40;
-          break;
-        }
-        at -= lengths[s];
-      }
-    }
-  }
+  const size_t publish_len = ShapeArenaFault(injector_, &file, &stats.injected);
 
   Status published =
       PublishAtomically(dir_, final_path, file.data(), publish_len);
@@ -461,6 +477,150 @@ Result<SnapshotStore::Recovered> SnapshotStore::RecoverLatest(
   out.version = best.version;
   out.dataset = std::move(*dataset);
   out.tree.emplace(std::move(*tree));
+  return out;
+}
+
+namespace {
+
+// Parses the version out of a canonical epoch filename
+// (prefix-<20 digits>.suffix); false when the name is not ours.
+bool ParseEpochName(const std::string& name, const char* prefix,
+                    const char* suffix, uint64_t* version) {
+  const size_t plen = std::strlen(prefix);
+  const size_t slen = std::strlen(suffix);
+  if (name.size() <= plen + slen) return false;
+  if (name.rfind(prefix, 0) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  const std::string digits = name.substr(plen, name.size() - plen - slen);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *version = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint64_t> SnapshotStore::ListArenaVersions() const {
+  std::vector<uint64_t> out;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    uint64_t v = 0;
+    if (ParseEpochName(e.path().filename().string(), "arena-", ".garn", &v)) {
+      out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<SnapshotStore::WriteStats> SnapshotStore::ShipArenaFrom(
+    const SnapshotStore& src, uint64_t version) {
+  const fs::path src_path = fs::path(src.dir()) / ArenaFileName(version);
+  std::vector<uint8_t> file;
+  if (!ReadWholeFile(src_path, &file) || file.empty()) {
+    return Status::NotFound("no arena epoch " + std::to_string(version) +
+                            " in " + src.dir());
+  }
+
+  WriteStats stats;
+  stats.bytes = file.size();
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot dir " + dir_ + ": " +
+                            ec.message());
+  }
+  const fs::path final_path = fs::path(dir_) / ArenaFileName(version);
+  stats.path = final_path.string();
+
+  // The ship is a write on the receiving side: it draws from the same
+  // injected-fault surface as a local publish, because a replication
+  // transport fails the same ways a local disk does.
+  const size_t publish_len = ShapeArenaFault(injector_, &file, &stats.injected);
+
+  Status published =
+      PublishAtomically(dir_, final_path, file.data(), publish_len);
+  if (!published.ok()) return published;
+  return stats;
+}
+
+Result<SnapshotStore::GcStats> SnapshotStore::GarbageCollect(
+    size_t keep_last_n) {
+  if (keep_last_n == 0) {
+    return Status::InvalidArgument(
+        "GarbageCollect keep_last_n must be >= 1 (the newest valid epoch is "
+        "never deleted)");
+  }
+  struct Candidate {
+    fs::path path;
+    uint64_t version = 0;
+    bool valid = false;
+  };
+  std::vector<Candidate> snaps;
+  std::vector<Candidate> arenas;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    uint64_t v = 0;
+    if (ParseEpochName(name, "snapshot-", ".gsnp", &v)) {
+      snaps.push_back({e.path(), v, false});
+    } else if (ParseEpochName(name, "arena-", ".garn", &v)) {
+      arenas.push_back({e.path(), v, false});
+    }
+  }
+  if (ec) {
+    return Status::NotFound("no snapshot directory at " + dir_);
+  }
+  std::vector<uint8_t> buf;
+  for (Candidate& c : snaps) {
+    ParsedSnapshot parsed;
+    c.valid = ReadWholeFile(c.path, &buf) && ValidateAndParse(buf, &parsed);
+  }
+  for (Candidate& c : arenas) {
+    c.valid = ArenaFile::Open(c.path.string()).ok();
+  }
+
+  GcStats out;
+  const auto sweep = [&out](std::vector<Candidate>& cands, size_t keep,
+                            size_t* removed) {
+    // Newest first; a file is reclaimed only when a newer valid epoch
+    // exists and it is not one of the `keep` newest valid files — so
+    // the newest valid epoch always survives, and damaged files newer
+    // than it are left alone (they may matter to a post-mortem, and
+    // recovery rejects them anyway).
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.version > b.version;
+              });
+    bool have_newest_valid = false;
+    uint64_t newest_valid = 0;
+    for (const Candidate& c : cands) {
+      if (c.valid) {
+        newest_valid = c.version;
+        have_newest_valid = true;
+        break;
+      }
+    }
+    size_t valid_seen = 0;
+    for (const Candidate& c : cands) {
+      if (c.valid) ++valid_seen;
+      const bool reclaim = have_newest_valid && c.version < newest_valid &&
+                           !(c.valid && valid_seen <= keep);
+      if (reclaim) {
+        std::error_code rm_ec;
+        if (fs::remove(c.path, rm_ec) && !rm_ec) {
+          ++*removed;
+          continue;
+        }
+      }
+      ++out.kept;
+    }
+  };
+  sweep(snaps, keep_last_n, &out.removed_snapshots);
+  sweep(arenas, keep_last_n, &out.removed_arenas);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "dataset/dataset.h"
@@ -39,7 +40,8 @@ class FlatRTree;
 // Recovery scans the directory, validates every candidate (magic,
 // header CRC, section bounds + CRCs, footer), and restores the newest
 // valid epoch; torn and corrupt files are skipped and counted, never
-// trusted. Feed the result to GirEngine::Restore.
+// trusted. GirEngine::Open(FromSnapshotDir) runs recovery and restore
+// in one step.
 constexpr uint32_t kSnapshotMagic = 0x504E5347;   // "GSNP"
 constexpr uint32_t kSnapshotFooter = 0x47534E50;  // "PNSG"
 constexpr uint32_t kSnapshotFormat = 1;
@@ -114,6 +116,41 @@ class SnapshotStore {
   Result<ArenaPick> RecoverLatestArena() const;
 
   static std::string ArenaFileName(uint64_t version);
+
+  // ----- epoch shipping (replica propagation) -----
+  // Sorted list of the arena epoch versions named under dir(), by
+  // filename only — no validation, so it is cheap enough to poll. A
+  // torn file still lists; shipping and open both re-validate.
+  std::vector<uint64_t> ListArenaVersions() const;
+
+  // Copies the arena file for `version` out of `src` into this store's
+  // directory, with the same temp + fsync + atomic-rename discipline —
+  // and the same injected-fault surface — as WriteArena. This is the
+  // replication transport: a ship can land torn or corrupted on the
+  // receiving replica, and only the open-time checksum can tell, so
+  // the receiver must treat every shipped file as untrusted input.
+  // NotFound when src has no file for `version`.
+  Result<WriteStats> ShipArenaFrom(const SnapshotStore& src, uint64_t version);
+
+  // ----- epoch retention / GC -----
+  struct GcStats {
+    size_t removed_snapshots = 0;
+    size_t removed_arenas = 0;
+    size_t kept = 0;  // files surviving, both formats
+  };
+
+  // Keep-last-N retention, applied independently to each format
+  // (snapshot-*.gsnp and arena-*.garn): a file is deleted only when it
+  // is strictly older than its format's newest *valid* epoch AND not
+  // among that format's N newest valid files. The newest valid epoch
+  // is therefore never deleted — even with keep_last_n == 1 — and a
+  // directory whose newest files are all damaged keeps every valid
+  // older epoch (GC never widens a data-loss window). Damaged files
+  // older than the newest valid one are reclaimed too: they can never
+  // win recovery. Safe to run concurrently with recovery: readers that
+  // lose a file mid-scan just count it rejected and fall back to a
+  // newer surviving epoch. keep_last_n == 0 is InvalidArgument.
+  Result<GcStats> GarbageCollect(size_t keep_last_n);
 
  private:
   std::string dir_;

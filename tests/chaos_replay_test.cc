@@ -243,13 +243,10 @@ TEST(ChaosReplayTest, PostChaosStateSurvivesCrashAndRecovery) {
   // "Crash", recover, and serve: the restored engine answers every
   // probe bit-identically — including the simulated I/O charged.
   DiskManager disk2;
-  auto rec = store.RecoverLatest(&disk2);
-  ASSERT_TRUE(rec.ok()) << rec.status().message();
-  EXPECT_EQ(rec->version, engine->dataset_version());
-  auto restored = GirEngine::Restore(
-      std::move(rec->dataset), std::move(*rec->tree), rec->version, &disk2,
-      MakeScoring("Linear", trace->config.dim));
+  auto restored = OpenEngineOrDie(EngineConfig::FromSnapshotDir(
+      dir, &disk2, MakeScoring("Linear", trace->config.dim)));
   ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->dataset_version(), engine->dataset_version());
   Rng rng(31);
   for (int probe = 0; probe < 10; ++probe) {
     Vec w(trace->config.dim);

@@ -341,5 +341,98 @@ TEST(ErrorPathTest, DeadlineBudgetSuppressesRetries) {
   }
 }
 
+// ----- API-boundary validation (ExecPolicy / EngineConfig) -----
+// Malformed knobs fail fast and by name with kInvalidArgument, before
+// any query runs: a NaN deadline would silently disable deadline
+// accounting, a zero group width can make no shared-traversal
+// progress, and a "negative" retry budget arrives as a huge size_t.
+
+TEST(PolicyValidationTest, MalformedExecPolicyIsInvalidArgument) {
+  Dataset data = FreshData();
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(EngineConfig::FromDataset(
+      &data, &disk, MakeScoring("Linear", kDim)));
+  BatchEngine batch(engine.get(), BatchOptions{});
+  const auto weights = SpreadWeights(2);
+
+  const auto expect_invalid = [&](const ExecPolicy& policy) {
+    auto result = batch.ComputeBatch(weights, kK, Phase2Method::kFP, policy);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  };
+
+  ExecPolicy p;
+  p.deadline_ms = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.deadline_ms = -5.0;
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.retry_backoff_ms = -0.5;
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.retry_backoff_ms = std::numeric_limits<double>::infinity();
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.hedge_delay_ms = -1.0;
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.shared_traversal = true;
+  p.group_width = 0;
+  expect_invalid(p);
+  p = ExecPolicy{};
+  p.max_retries = static_cast<size_t>(-3);  // careless signed conversion
+  expect_invalid(p);
+
+  // The documented baseline passes, and so does an unshared zero
+  // width (the knob is inert without shared traversal).
+  EXPECT_TRUE(ValidateExecPolicy(ExecPolicy{}).ok());
+  p = ExecPolicy{};
+  p.group_width = 0;
+  auto ok = batch.ComputeBatch(weights, kK, Phase2Method::kFP, p);
+  ASSERT_TRUE(ok.ok());
+}
+
+TEST(PolicyValidationTest, EngineConfigFileSourcesNeedAPath) {
+  DiskManager disk;
+  for (auto make : {&EngineConfig::FromCsv, &EngineConfig::FromSnapshotDir,
+                    &EngineConfig::FromArena}) {
+    auto engine = GirEngine::Open(
+        make("", &disk, MakeScoring("Linear", kDim), GirEngineOptions{}));
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PolicyValidationTest, PinnedEpochBehindEngineDegradesToUnavailable) {
+  Dataset data = FreshData();
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(EngineConfig::FromDataset(
+      &data, &disk, MakeScoring("Linear", kDim)));
+  BatchEngine batch(engine.get(), BatchOptions{});
+  const auto weights = SpreadWeights(3);
+
+  // The engine is at epoch 0; a reply pinned to epoch 3 cannot be
+  // served without time travel — explicit kUnavailable items, never a
+  // stale answer.
+  ExecPolicy pinned;
+  pinned.pin_epoch = 3;
+  auto result = batch.ComputeBatch(weights, kK, Phase2Method::kFP, pinned);
+  ASSERT_TRUE(result.ok());
+  for (const BatchItem& item : result->items) {
+    EXPECT_EQ(item.status.code(), StatusCode::kUnavailable);
+  }
+
+  // Advance past the pin; the same policy now serves normally.
+  ASSERT_TRUE(engine->ApplyUpdates(UpdateBatch{{{0.4, 0.4, 0.4}}, {}}).ok());
+  ASSERT_TRUE(engine->ApplyUpdates(UpdateBatch{{{0.5, 0.2, 0.6}}, {}}).ok());
+  ASSERT_TRUE(engine->ApplyUpdates(UpdateBatch{{{0.3, 0.7, 0.1}}, {}}).ok());
+  result = batch.ComputeBatch(weights, kK, Phase2Method::kFP, pinned);
+  ASSERT_TRUE(result.ok());
+  for (const BatchItem& item : result->items) {
+    EXPECT_TRUE(item.status.ok()) << item.status.message();
+  }
+}
+
 }  // namespace
 }  // namespace gir

@@ -32,8 +32,8 @@ class ToolsFixture : public ::testing::Test {
   void SetUp() override {
     Rng rng(404);
     data_ = GenerateIndependent(500, 3, rng);
-    engine_ = std::make_unique<GirEngine>(&data_, &disk_,
-                                          MakeScoring("Linear", 3));
+    engine_ = OpenEngineOrDie(
+        EngineConfig::FromDataset(&data_, &disk_, MakeScoring("Linear", 3)));
     w_ = {0.6, 0.5, 0.7};
     Result<GirComputation> gir =
         engine_->ComputeGir(w_, 8, Phase2Method::kFP);

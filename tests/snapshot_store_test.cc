@@ -5,11 +5,13 @@
 // by checksum instead of trusted.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dataset/generators.h"
@@ -91,11 +93,11 @@ TEST(SnapshotStoreTest, RoundTripIsBitIdentical) {
   EXPECT_EQ(*img_before, *img_after);
 
   // And so a restored engine answers queries bit-identically, down to
-  // the simulated I/O charged.
-  auto restored =
-      GirEngine::Restore(std::move(rec->dataset), std::move(*rec->tree),
-                         rec->version, &disk2,
-                         MakeScoring("Linear", engine->dataset().dim()));
+  // the simulated I/O charged. Open runs its own recovery scan on a
+  // fresh disk so the page image loads exactly once per DiskManager.
+  DiskManager disk3;
+  auto restored = OpenEngineOrDie(EngineConfig::FromSnapshotDir(
+      store.dir(), &disk3, MakeScoring("Linear", engine->dataset().dim())));
   ASSERT_NE(restored, nullptr);
   EXPECT_EQ(restored->dataset_version(), 1u);
   const Vec w = {0.5, 0.3, 0.2};
@@ -227,12 +229,10 @@ TEST(SnapshotStoreTest, RestoredEngineContinuesTheEpochSequence) {
       store.WriteSnapshot(engine->dataset(), engine->tree(), 2).ok());
 
   DiskManager disk2;
-  auto rec = store.RecoverLatest(&disk2);
-  ASSERT_TRUE(rec.ok());
-  auto restored = GirEngine::Restore(
-      std::move(rec->dataset), std::move(*rec->tree), rec->version, &disk2,
-      MakeScoring("Linear", engine->dataset().dim()));
+  auto restored = OpenEngineOrDie(EngineConfig::FromSnapshotDir(
+      store.dir(), &disk2, MakeScoring("Linear", engine->dataset().dim())));
   ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->dataset_version(), 2u);
 
   // The next update publishes epoch 3, exactly as the pre-crash engine
   // would have.
@@ -255,6 +255,209 @@ TEST(SnapshotStoreTest, RestoredEngineContinuesTheEpochSequence) {
   EXPECT_EQ(a->topk.result, b->topk.result);
   EXPECT_EQ(a->topk.scores, b->topk.scores);
   EXPECT_EQ(a->topk.io.reads, b->topk.io.reads);
+}
+
+// Keep-last-N retention reclaims old epochs per format, never the
+// newest valid one — even at keep_last_n == 1 — and keep_last_n == 0
+// is refused outright.
+TEST(SnapshotStoreTest, GarbageCollectKeepsLastNPerFormat) {
+  Dataset data = FreshData(200);
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
+  SnapshotStore store(FreshDir("snap_gc"));
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(store.WriteSnapshot(engine->dataset(), engine->tree(), v).ok());
+    ASSERT_TRUE(store.WriteArena(engine->flat_tree(), v).ok());
+  }
+
+  auto refused = store.GarbageCollect(0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+
+  auto gc = store.GarbageCollect(2);
+  ASSERT_TRUE(gc.ok()) << gc.status().message();
+  EXPECT_EQ(gc->removed_snapshots, 3u);
+  EXPECT_EQ(gc->removed_arenas, 3u);
+  EXPECT_EQ(gc->kept, 4u);
+  for (uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_FALSE(std::filesystem::exists(
+        std::filesystem::path(store.dir()) / SnapshotStore::FileName(v)));
+    EXPECT_FALSE(std::filesystem::exists(
+        std::filesystem::path(store.dir()) / SnapshotStore::ArenaFileName(v)));
+  }
+
+  // Both formats still recover their newest epoch after the sweep.
+  DiskManager disk2;
+  auto rec = store.RecoverLatest(&disk2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->version, 5u);
+  auto pick = store.RecoverLatestArena();
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->version, 5u);
+
+  // keep_last_n == 1 trims to exactly the newest valid epoch of each
+  // format, and an idempotent re-run removes nothing further.
+  auto gc1 = store.GarbageCollect(1);
+  ASSERT_TRUE(gc1.ok());
+  EXPECT_EQ(gc1->removed_snapshots, 1u);
+  EXPECT_EQ(gc1->removed_arenas, 1u);
+  auto gc_again = store.GarbageCollect(1);
+  ASSERT_TRUE(gc_again.ok());
+  EXPECT_EQ(gc_again->removed_snapshots, 0u);
+  EXPECT_EQ(gc_again->removed_arenas, 0u);
+  EXPECT_EQ(gc_again->kept, 2u);
+  DiskManager disk3;
+  ASSERT_TRUE(store.RecoverLatest(&disk3).ok());
+}
+
+// A damaged file newer than the newest valid epoch does not count as
+// "newest" for retention: GC keeps every valid epoch it would
+// otherwise trim against it, and never reclaims the file recovery
+// still depends on.
+TEST(SnapshotStoreTest, GarbageCollectNeverWidensTheDataLossWindow) {
+  Dataset data = FreshData(200);
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
+  const std::string dir = FreshDir("snap_gc_torn");
+  SnapshotStore clean(dir);
+  ASSERT_TRUE(clean.WriteSnapshot(engine->dataset(), engine->tree(), 1).ok());
+  ASSERT_TRUE(clean.WriteSnapshot(engine->dataset(), engine->tree(), 2).ok());
+
+  FaultPlan plan;
+  plan.seed = 53;
+  plan.torn_write_rate = 1.0;
+  FaultInjector fi(plan);
+  SnapshotStore faulty(dir, &fi);
+  auto torn = faulty.WriteSnapshot(engine->dataset(), engine->tree(), 3);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_EQ(torn->injected, FaultInjector::WriteFault::kTorn);
+
+  auto gc = clean.GarbageCollect(1);
+  ASSERT_TRUE(gc.ok());
+  // v1 (valid, older than newest valid v2, beyond keep=1) goes; v2 is
+  // the newest valid and stays; torn v3 is newer than v2 and stays.
+  EXPECT_EQ(gc->removed_snapshots, 1u);
+  EXPECT_EQ(gc->kept, 2u);
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) /
+                                      SnapshotStore::FileName(2)));
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) /
+                                      SnapshotStore::FileName(3)));
+
+  DiskManager disk2;
+  auto rec = clean.RecoverLatest(&disk2);
+  ASSERT_TRUE(rec.ok()) << rec.status().message();
+  EXPECT_EQ(rec->version, 2u);
+  EXPECT_EQ(rec->rejected, 1u);
+}
+
+// GC racing recovery: a writer keeps publishing epochs and trimming to
+// keep-last-N while a reader loops full recovery scans. Every recovery
+// lands on a valid epoch (a file deleted underfoot is counted rejected
+// and a newer one wins) and the recovered version never moves backward.
+TEST(SnapshotStoreTest, GarbageCollectRacingRecoveryAlwaysServesAnEpoch) {
+  Dataset data = FreshData(120);
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
+  const std::string dir = FreshDir("snap_gc_race");
+  constexpr uint64_t kEpochs = 24;
+
+  std::atomic<uint64_t> published{0};
+  std::thread writer([&] {
+    SnapshotStore store(dir);
+    for (uint64_t v = 1; v <= kEpochs; ++v) {
+      auto wrote = store.WriteSnapshot(engine->dataset(), engine->tree(), v);
+      EXPECT_TRUE(wrote.ok()) << wrote.status().message();
+      published.store(v, std::memory_order_release);
+      auto gc = store.GarbageCollect(3);
+      EXPECT_TRUE(gc.ok()) << gc.status().message();
+    }
+  });
+
+  SnapshotStore reader(dir);
+  while (published.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  uint64_t last_seen = 0;
+  size_t recoveries = 0;
+  while (published.load(std::memory_order_acquire) < kEpochs) {
+    DiskManager scratch;
+    auto rec = reader.RecoverLatest(&scratch);
+    ASSERT_TRUE(rec.ok()) << rec.status().message();
+    EXPECT_GE(rec->version, last_seen);
+    last_seen = rec->version;
+    ++recoveries;
+  }
+  writer.join();
+
+  EXPECT_GT(recoveries, 0u);
+  DiskManager disk2;
+  auto final_rec = reader.RecoverLatest(&disk2);
+  ASSERT_TRUE(final_rec.ok());
+  EXPECT_EQ(final_rec->version, kEpochs);
+  ExpectSameDataset(engine->dataset(), *final_rec->dataset);
+}
+
+// A directory holding both formats: each recovery path scans only its
+// own format, so the newest valid epoch wins independently per format
+// — arenas do not shadow snapshots or vice versa.
+TEST(SnapshotStoreTest, MixedFormatDirectoryRecoversNewestValidPerFormat) {
+  Dataset data = FreshData(200);
+  DiskManager disk;
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", data.dim())));
+  const std::string dir = FreshDir("snap_mixed");
+  SnapshotStore store(dir);
+  for (uint64_t v : {1u, 2u, 3u}) {
+    ASSERT_TRUE(store.WriteSnapshot(engine->dataset(), engine->tree(), v).ok());
+  }
+  for (uint64_t v : {2u, 4u}) {
+    ASSERT_TRUE(store.WriteArena(engine->flat_tree(), v).ok());
+  }
+
+  DiskManager disk2;
+  auto rec = store.RecoverLatest(&disk2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->version, 3u);
+  EXPECT_EQ(rec->scanned, 3u);  // arena files are not snapshot candidates
+
+  auto pick = store.RecoverLatestArena();
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->version, 4u);
+  EXPECT_EQ(pick->scanned, 2u);  // snapshot files are not arena candidates
+
+  // Tearing the newest arena only moves the arena pick back to its
+  // older valid epoch; snapshot recovery is untouched.
+  FaultPlan plan;
+  plan.seed = 59;
+  plan.torn_write_rate = 1.0;
+  FaultInjector fi(plan);
+  SnapshotStore faulty(dir, &fi);
+  auto torn = faulty.WriteArena(engine->flat_tree(), 5);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_EQ(torn->injected, FaultInjector::WriteFault::kTorn);
+
+  auto pick2 = store.RecoverLatestArena();
+  ASSERT_TRUE(pick2.ok());
+  EXPECT_EQ(pick2->version, 4u);
+  EXPECT_EQ(pick2->rejected, 1u);
+  DiskManager disk3;
+  auto rec2 = store.RecoverLatest(&disk3);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->version, 3u);
+  EXPECT_EQ(rec2->rejected, 0u);
+
+  // The engine-level open paths agree with the store-level picks.
+  DiskManager disk4;
+  auto from_snap = OpenEngineOrDie(EngineConfig::FromSnapshotDir(
+      dir, &disk4, MakeScoring("Linear", data.dim())));
+  EXPECT_EQ(from_snap->dataset_version(), 3u);
+  DiskManager disk5;
+  auto from_arena = OpenEngineOrDie(EngineConfig::FromArena(
+      dir, &disk5, MakeScoring("Linear", data.dim())));
+  EXPECT_EQ(from_arena->dataset_version(), 4u);
 }
 
 }  // namespace
