@@ -171,6 +171,12 @@ Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
     // confusing NotFound against the working directory.
     return Status::InvalidArgument("EngineConfig file source needs a path");
   }
+  if (!config.wal_dir.empty() &&
+      config.source == EngineConfig::Source::kDataset) {
+    return Status::InvalidArgument(
+        "a WAL needs an updatable engine; kDataset (const) cannot log "
+        "updates");
+  }
   switch (config.source) {
     case EngineConfig::Source::kDataset: {
       if (config.dataset == nullptr) {
@@ -185,9 +191,17 @@ Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
         return Status::InvalidArgument(
             "kMutableDataset source needs a mutable dataset");
       }
-      return std::unique_ptr<GirEngine>(new GirEngine(
+      std::unique_ptr<GirEngine> engine(new GirEngine(
           config.mutable_dataset, config.mutable_dataset, config.disk,
           std::move(config.scoring), config.options));
+      if (!config.wal_dir.empty()) {
+        // Caller-supplied dataset: nothing to replay against (the log's
+        // history need not match it); start logging at the current
+        // epoch.
+        Status attached = engine->AttachWal(config, /*replay=*/false);
+        if (!attached.ok()) return attached;
+      }
+      return engine;
     }
     case EngineConfig::Source::kCsv: {
       Result<Dataset> loaded = LoadCsvDataset(config.path);
@@ -197,18 +211,30 @@ Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
           new GirEngine(owned.get(), owned.get(), config.disk,
                         std::move(config.scoring), config.options));
       engine->owned_dataset_ = std::move(owned);
+      if (!config.wal_dir.empty()) {
+        Status attached = engine->AttachWal(config, /*replay=*/false);
+        if (!attached.ok()) return attached;
+      }
       return engine;
     }
     case EngineConfig::Source::kSnapshotDir: {
       SnapshotStore store(config.path);
       Result<SnapshotStore::Recovered> rec = store.RecoverLatest(config.disk);
       if (!rec.ok()) return rec.status();
-      return std::unique_ptr<GirEngine>(new GirEngine(
+      std::unique_ptr<GirEngine> engine(new GirEngine(
           std::move(rec->dataset), std::move(*rec->tree), rec->version,
           config.disk, std::move(config.scoring), config.options));
+      if (!config.wal_dir.empty()) {
+        // Two-phase recovery: the snapshot restored the newest durable
+        // epoch; now re-apply every committed WAL batch past it.
+        Status attached = engine->AttachWal(config, /*replay=*/true);
+        if (!attached.ok()) return attached;
+      }
+      return engine;
     }
     case EngineConfig::Source::kArena: {
-      Result<ArenaEpoch> epoch = Status::Internal("unreachable");
+      Result<std::shared_ptr<const ArenaFile>> arena =
+          Status::Internal("unreachable");
       if (IsDirectory(config.path)) {
         // Directory source: the pick hands back the winner's validated
         // mapping, so the engine builds over it without a second
@@ -216,17 +242,126 @@ Result<std::unique_ptr<GirEngine>> GirEngine::Open(EngineConfig config) {
         SnapshotStore store(config.path);
         Result<SnapshotStore::ArenaPick> pick = store.RecoverLatestArena();
         if (!pick.ok()) return pick.status();
-        epoch = LoadArenaEpoch(std::move(pick->file), config.disk);
+        arena = std::move(pick->file);
       } else {
-        epoch = LoadArenaEpoch(config.path, config.disk);
+        arena = ArenaFile::Open(config.path);
       }
+      if (!arena.ok()) return arena.status();
+
+      if (!config.wal_dir.empty()) {
+        // Two-phase recovery, arena flavour: a committed WAL tail past
+        // the arena epoch forces the updatable rebuild path — replayed
+        // batches mutate a master rebuilt from the arena rows. Results
+        // are identical to the pre-crash engine (the update-vs-rebuild
+        // bit-identity property); with no tail the zero-copy mmap fast
+        // path below still applies.
+        WalStore probe(config.wal_dir, config.wal_injector);
+        Result<WalStore::ReplayLog> log =
+            probe.ReadCommitted((*arena)->version());
+        if (!log.ok()) return log.status();
+        if (!log->records.empty()) {
+          Result<std::unique_ptr<Dataset>> ds = (*arena)->BuildDataset();
+          if (!ds.ok()) return ds.status();
+          const uint64_t base_version = (*arena)->version();
+          RTree tree = RTree::BulkLoad(ds->get(), config.disk);
+          std::unique_ptr<GirEngine> engine(new GirEngine(
+              std::move(*ds), std::move(tree), base_version, config.disk,
+              std::move(config.scoring), config.options));
+          Status attached = engine->AttachWal(config, /*replay=*/true);
+          if (!attached.ok()) return attached;
+          return engine;
+        }
+      }
+
+      Result<ArenaEpoch> epoch = LoadArenaEpoch(std::move(*arena), config.disk);
       if (!epoch.ok()) return epoch.status();
-      return std::unique_ptr<GirEngine>(new GirEngine(
+      std::unique_ptr<GirEngine> engine(new GirEngine(
           std::move(epoch->dataset), std::move(epoch->flat), epoch->version,
           config.disk, std::move(config.scoring), config.options));
+      if (!config.wal_dir.empty()) {
+        // Read-only mmap engine: expose the store (for delta shipping /
+        // inspection) but no writer — arena engines take no updates.
+        engine->wal_store_ = std::make_unique<WalStore>(config.wal_dir,
+                                                        config.wal_injector);
+        engine->wal_recovery_.recovered_epoch = epoch->version;
+        engine->wal_recovery_.replayed_to = epoch->version;
+      }
+      return engine;
     }
   }
   return Status::InvalidArgument("unknown EngineConfig source");
+}
+
+Status GirEngine::AttachWal(const EngineConfig& config, bool replay) {
+  wal_store_ =
+      std::make_unique<WalStore>(config.wal_dir, config.wal_injector);
+  const uint64_t dim = dataset().dim();
+  wal_recovery_.recovered_epoch = dataset_version();
+  wal_recovery_.replayed_to = dataset_version();
+  if (replay) {
+    Result<WalStore::ReplayLog> log =
+        wal_store_->ReadCommitted(dataset_version());
+    if (!log.ok()) return log.status();
+    if (log->wal_dim != 0 && log->wal_dim != dim) {
+      return Status::DataLoss("wal dimension " + std::to_string(log->wal_dim) +
+                              " does not match dataset dimension " +
+                              std::to_string(dim));
+    }
+    wal_recovery_.overlap_skipped = log->overlap_skipped;
+    wal_recovery_.torn_truncated = log->torn_truncated;
+    wal_recovery_.gap_dropped = log->gap_dropped;
+    for (const WalStore::ReplayRecord& rec : log->records) {
+      // Replay repeats the exact pre-crash mutation sequence — same
+      // batches, same order, same epoch stamps — so the resulting
+      // master (and its refrozen snapshots) is bit-identical to the
+      // engine that originally acknowledged them. No lock: the engine
+      // is not published yet.
+      Result<UpdateStats> applied =
+          ApplyUpdatesLocked(rec.batch, nullptr, /*log_to_wal=*/false);
+      if (!applied.ok()) {
+        return Status::DataLoss(
+            "wal replay failed at epoch " + std::to_string(rec.epoch) + ": " +
+            applied.status().message());
+      }
+      ++wal_recovery_.replayed_batches;
+    }
+    wal_recovery_.replayed_to = dataset_version();
+  }
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(
+      wal_store_.get(), dataset_version(), dim, config.wal);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  return Status::Ok();
+}
+
+Result<GirEngine::CheckpointStats> GirEngine::Checkpoint(SnapshotStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("Checkpoint needs a SnapshotStore");
+  }
+  std::lock_guard<std::mutex> lock(update_mu_);
+  CheckpointStats out;
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  out.version = snap->version;
+  Result<SnapshotStore::WriteStats> wrote =
+      store->WriteArena(snap->flat, snap->version);
+  if (!wrote.ok()) return wrote.status();
+  out.arena_path = wrote->path;
+  out.arena_bytes = wrote->bytes;
+  if (wal_ != nullptr) {
+    // Only a checkpoint that *validates* may shrink the log: an
+    // injected (or real) torn publish returns Ok above exactly like a
+    // crash would, and truncating against it would widen the data-loss
+    // window the WAL exists to close.
+    if (ArenaFile::Open(wrote->path).ok()) {
+      Status rotated = wal_->Rotate(snap->version);
+      if (!rotated.ok()) return rotated;
+      Result<WalStore::TruncateStats> cut = wal_store_->Truncate(snap->version);
+      if (!cut.ok()) return cut.status();
+      out.wal_segments_removed = cut->removed_segments;
+      out.wal_truncated = true;
+    }
+  }
+  return out;
 }
 
 Result<uint64_t> GirEngine::AdvanceToArena(const std::string& path) {
@@ -423,8 +558,16 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
         "engine is read-only; updates need the Dataset* constructor");
   }
   std::lock_guard<std::mutex> lock(update_mu_);
+  return ApplyUpdatesLocked(batch, cache, /*log_to_wal=*/true);
+}
 
-  // Validate the whole batch before mutating anything.
+Result<UpdateStats> GirEngine::ApplyUpdatesLocked(const UpdateBatch& batch,
+                                                  ShardedGirCache* cache,
+                                                  bool log_to_wal) {
+  // Validate the whole batch — including the index invariant that every
+  // live delete id is actually present in the master tree — before
+  // logging or mutating anything: a failed batch leaves dataset, tree
+  // and WAL untouched.
   const size_t dim = dataset_->dim();
   for (const Vec& p : batch.inserts) {
     if (p.size() != dim) {
@@ -448,11 +591,28 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
     if (!delete_set.insert(id).second) {
       return Status::InvalidArgument("duplicate delete id in batch");
     }
+    if (!tree_->Contains(id)) {
+      return Status::Internal("live record missing from the R*-tree");
+    }
   }
   UpdateStats stats;
   Stopwatch sw;
+  const uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
 
-  // 1. Mutate the master index + dataset (deletes before inserts).
+  // 1. Make the batch durable before touching any state. This is the
+  // ack point: once the group commit covers the record, a crash at any
+  // later step replays the batch on recovery; if the commit fails, the
+  // caller sees the error with the engine exactly as it was.
+  if (log_to_wal && wal_ != nullptr) {
+    Status logged = wal_->AppendDurable(batch, new_version);
+    if (!logged.ok()) return logged;
+    stats.wal_logged = true;
+    stats.wal_ms = sw.ElapsedMillis();
+    sw.Restart();
+  }
+
+  // 2. Mutate the master index + dataset (deletes before inserts).
+  // The Contains probe above makes the Delete below infallible.
   for (RecordId id : batch.deletes) {
     if (!tree_->Delete(id)) {
       return Status::Internal("live record missing from the R*-tree");
@@ -468,17 +628,16 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
   }
   stats.apply_ms = sw.ElapsedMillis();
 
-  // 2. Refreeze into a fresh epoch: an immutable dataset image plus a
+  // 3. Refreeze into a fresh epoch: an immutable dataset image plus a
   // flat arena bound to it. Readers of older epochs are untouched.
   sw.Restart();
   auto snap = std::make_shared<Snapshot>();
   snap->dataset = std::make_shared<const Dataset>(*mutable_dataset_);
   snap->flat = FlatRTree::Freeze(*tree_, snap->dataset.get());
-  const uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
   snap->version = new_version;
   stats.refreeze_ms = sw.ElapsedMillis();
 
-  // 3. Incremental cache invalidation, before the epoch flips: doomed
+  // 4. Incremental cache invalidation, before the epoch flips: doomed
   // entries disappear while the old epoch is still current (probes just
   // miss and recompute), and survivors become servable exactly when the
   // version bumps below.
@@ -500,7 +659,7 @@ Result<UpdateStats> GirEngine::ApplyUpdates(const UpdateBatch& batch,
   }
   stats.invalidate_ms = sw.ElapsedMillis();
 
-  // 4. Publish the epoch.
+  // 5. Publish the epoch.
   std::atomic_store_explicit(&snapshot_,
                              std::shared_ptr<const Snapshot>(std::move(snap)),
                              std::memory_order_release);

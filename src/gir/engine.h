@@ -11,14 +11,17 @@
 #include "common/result.h"
 #include "gir/fpnd.h"
 #include "gir/gir_region.h"
+#include "gir/update_batch.h"
 #include "index/flat_rtree.h"
 #include "index/rtree.h"
 #include "storage/arena_file.h"
+#include "storage/wal.h"
 #include "topk/brs.h"
 
 namespace gir {
 
 class ShardedGirCache;
+class SnapshotStore;
 
 // Phase-2 algorithm selector (paper §5-§6).
 enum class Phase2Method {
@@ -68,20 +71,15 @@ struct GirComputation {
   uint64_t snapshot_version = 0;
 };
 
-// One batch of mutations for GirEngine::ApplyUpdates. Deletes are
-// applied before inserts; records are deleted by id (ids are stable
-// tombstones, never reused) and inserted points must already live in
-// the normalized [0,1]^d domain of the dataset.
-struct UpdateBatch {
-  std::vector<Vec> inserts;
-  std::vector<RecordId> deletes;
-};
+// UpdateBatch lives in gir/update_batch.h (shared with the WAL).
 
 // Outcome and cost breakdown of one ApplyUpdates call.
 struct UpdateStats {
   size_t applied_inserts = 0;
   size_t applied_deletes = 0;
   uint64_t version = 0;        // epoch published by this batch
+  bool wal_logged = false;     // batch is fsync-durable in the WAL
+  double wal_ms = 0.0;         // append + group-commit wait
   double apply_ms = 0.0;       // R*-tree + dataset mutation
   double refreeze_ms = 0.0;    // dataset copy + FlatRTree::Freeze
   double invalidate_ms = 0.0;  // incremental cache invalidation
@@ -147,6 +145,30 @@ struct EngineConfig {
   DiskManager* disk = nullptr;         // required, all sources
   std::unique_ptr<ScoringFunction> scoring;  // required, all sources
   GirEngineOptions options;
+
+  // ----- durable update log (optional) -----
+  // Non-empty: ApplyUpdates appends each batch to an epoch-segmented
+  // WAL under this directory and acknowledges only after the record is
+  // fsync-durable (see storage/wal.h). For kSnapshotDir and kArena
+  // sources, Open additionally replays every committed WAL batch past
+  // the recovered epoch (two-phase recovery); other sources attach a
+  // fresh log at the current epoch without replaying — their dataset
+  // is caller-supplied and need not match any logged history, so the
+  // directory should be fresh or recovered-from.
+  std::string wal_dir;
+  WalOptions wal;                        // group-commit knobs
+  FaultInjector* wal_injector = nullptr; // non-owning; may be null
+
+  // Chains onto a factory:
+  //   GirEngine::Open(EngineConfig::FromSnapshotDir(dir, &disk, scoring)
+  //                       .WithWal(wal_dir));
+  EngineConfig&& WithWal(std::string dir, WalOptions wal_options = {},
+                         FaultInjector* injector = nullptr) && {
+    wal_dir = std::move(dir);
+    wal = wal_options;
+    wal_injector = injector;
+    return std::move(*this);
+  }
 
   static EngineConfig FromDataset(const Dataset* dataset, DiskManager* disk,
                                   std::unique_ptr<ScoringFunction> scoring,
@@ -291,25 +313,74 @@ class GirEngine {
                                         Phase2Method method) const;
 
   // Applies one update batch and publishes a new epoch snapshot:
-  //   1. mutate — deletes leave the R*-tree (condense + reinsert) and
+  //   1. validate — the whole batch, including that every delete id is
+  //      live in the dataset AND present in the master tree, before a
+  //      single mutation. A failed batch leaves dataset, tree and WAL
+  //      untouched (all-or-nothing).
+  //   2. log — with a WAL attached (EngineConfig::WithWal), the batch
+  //      is appended and group-committed; the call fails without
+  //      mutating anything if the record cannot be made durable. This
+  //      is the ack point: a batch this method returns Ok for survives
+  //      any crash from here on.
+  //   3. mutate — deletes leave the R*-tree (condense + reinsert) and
   //      tombstone their dataset slot; inserts append and R*-insert.
-  //   2. refreeze — the updated tree is frozen into a fresh FlatRTree
+  //   4. refreeze — the updated tree is frozen into a fresh FlatRTree
   //      arena bound to an immutable copy of the dataset.
-  //   3. invalidate — when `cache` is non-null, cached GIRs are
+  //   5. invalidate — when `cache` is non-null, cached GIRs are
   //      incrementally invalidated with the point-vs-region max-score
   //      LP test (see ShardedGirCache::InvalidateForUpdates): only
   //      regions the batch can actually pierce are evicted, survivors
   //      are re-stamped to the new epoch.
-  //   4. publish — the snapshot pointer is swapped atomically and
+  //   6. publish — the snapshot pointer is swapped atomically and
   //      dataset_version() starts returning the new epoch.
   // Concurrent readers are never blocked; writers are serialized.
   // Returns InvalidArgument (without mutating) on malformed batches:
   // wrong-dimension or out-of-cube inserts, dead/out-of-range/duplicate
-  // delete ids. An Internal error (a live record missing from the
-  // master tree) signals a broken index invariant; the engine state is
-  // unspecified after it.
+  // delete ids; Internal (also without mutating) when a live record is
+  // missing from the master tree (a broken index invariant).
   Result<UpdateStats> ApplyUpdates(const UpdateBatch& batch,
                                    ShardedGirCache* cache = nullptr);
+
+  // ----- durability (WAL-attached engines) -----
+
+  // What two-phase recovery did when this engine was opened with a WAL
+  // (zeros otherwise / when nothing needed replay).
+  struct WalRecoveryStats {
+    uint64_t recovered_epoch = 0;   // epoch phase 1 restored
+    uint64_t replayed_to = 0;       // epoch after WAL replay
+    size_t replayed_batches = 0;
+    size_t overlap_skipped = 0;     // idempotence skips during replay
+    size_t torn_truncated = 0;      // segments cut at a damaged record
+    size_t gap_dropped = 0;
+  };
+  const WalRecoveryStats& wal_recovery() const { return wal_recovery_; }
+
+  // The attached log (null without WithWal). Replicas read the leader's
+  // store to ship WAL deltas instead of full arenas.
+  const WalStore* wal_store() const { return wal_store_.get(); }
+  bool has_wal() const { return wal_ != nullptr; }
+  // Append/fsync counters of the attached writer (zeros without one).
+  WalWriter::Stats wal_writer_stats() const {
+    return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
+  }
+
+  struct CheckpointStats {
+    std::string arena_path;          // published arena file
+    uint64_t version = 0;            // epoch the checkpoint covers
+    uint64_t arena_bytes = 0;
+    size_t wal_segments_removed = 0;
+    bool wal_truncated = false;      // false when the arena failed to
+                                     // validate (e.g. injected damage)
+  };
+
+  // Publishes the current epoch as an arena file in `store` and — when
+  // a WAL is attached — rotates the log onto a fresh segment based at
+  // that epoch and truncates segments the checkpoint made obsolete.
+  // The truncation only happens after the just-published arena file
+  // validates end to end (ArenaFile::Open): a torn checkpoint must not
+  // widen the data-loss window, so on damage the WAL keeps everything
+  // and wal_truncated comes back false. Serialized with ApplyUpdates.
+  Result<CheckpointStats> Checkpoint(SnapshotStore* store);
 
   // Arena-backed engines only (Open with a kArena source): swaps the
   // served epoch to the arena file at `path` — mmap the new file,
@@ -393,6 +464,18 @@ class GirEngine {
                                  Phase2Method method, bool order_sensitive)
       const;
 
+  // Body of ApplyUpdates; requires update_mu_. Replay passes
+  // log_to_wal = false (the records being applied came *from* the log).
+  Result<UpdateStats> ApplyUpdatesLocked(const UpdateBatch& batch,
+                                         ShardedGirCache* cache,
+                                         bool log_to_wal);
+
+  // Attaches the WAL named by `config` to a freshly-opened updatable
+  // engine: replays committed records past the engine's epoch when
+  // `replay` is set, then opens the writer on a segment based at the
+  // final epoch. Factored out of Open.
+  Status AttachWal(const EngineConfig& config, bool replay);
+
   // Shared tail of Compute and ComputeGirWithTopK: Phase 1 + Phase 2 +
   // intersection over an explicit epoch, consuming a finished top-k.
   Result<GirComputation> FinishGir(const FlatRTree& flat, uint64_t version,
@@ -417,6 +500,10 @@ class GirEngine {
   std::shared_ptr<const Snapshot> snapshot_;  // atomic publish point
   std::atomic<uint64_t> version_{0};
   std::mutex update_mu_;  // serializes ApplyUpdates writers
+  // Durable update log (EngineConfig::WithWal); both null without one.
+  std::unique_ptr<WalStore> wal_store_;
+  std::unique_ptr<WalWriter> wal_;
+  WalRecoveryStats wal_recovery_;
 };
 
 // Opens an engine or aborts with the error printed — the construction

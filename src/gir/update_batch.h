@@ -1,0 +1,25 @@
+#ifndef GIR_GIR_UPDATE_BATCH_H_
+#define GIR_GIR_UPDATE_BATCH_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace gir {
+
+// One batch of mutations for GirEngine::ApplyUpdates. Deletes are
+// applied before inserts; records are deleted by id (ids are stable
+// tombstones, never reused) and inserted points must already live in
+// the normalized [0,1]^d domain of the dataset.
+//
+// Lives in its own header (rather than gir/engine.h) because the
+// write-ahead log frames serialized UpdateBatches and the engine embeds
+// WAL configuration — both sides need the type without a cycle.
+struct UpdateBatch {
+  std::vector<Vec> inserts;
+  std::vector<RecordId> deletes;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GIR_UPDATE_BATCH_H_

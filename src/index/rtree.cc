@@ -209,6 +209,13 @@ void RTree::CondenseTree(std::vector<PageId> path) {
   }
 }
 
+bool RTree::Contains(RecordId id) const {
+  if (root_ == kInvalidPage) return false;
+  const Mbb point = Mbb::OfPoint(dataset_->Get(id));
+  std::vector<PageId> path;
+  return FindLeaf(root_, point, id, &path);
+}
+
 bool RTree::Delete(RecordId id) {
   if (root_ == kInvalidPage) return false;
   const Mbb point = Mbb::OfPoint(dataset_->Get(id));

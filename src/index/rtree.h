@@ -61,6 +61,12 @@ class RTree {
   // is not in the tree.
   bool Delete(RecordId id);
 
+  // True when the record is present in a leaf (same FindLeaf walk as
+  // Delete, no mutation). ApplyUpdates probes every delete id with this
+  // *before* mutating anything, so a broken index invariant rejects the
+  // whole batch instead of leaving earlier deletes applied.
+  bool Contains(RecordId id) const;
+
   // Sort-Tile-Recursive bulk load of the live records of the dataset
   // (tombstoned records are skipped).
   static RTree BulkLoad(const Dataset* dataset, DiskManager* disk,

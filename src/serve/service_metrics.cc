@@ -109,6 +109,20 @@ void MetricsBuilder::RecordRecovery(double ms) {
   metrics_.recovery_ms += ms;
 }
 
+void MetricsBuilder::RecordWalCommit(uint64_t appends,
+                                     uint64_t group_commits) {
+  metrics_.wal_appends += appends;
+  metrics_.wal_group_commits += group_commits;
+}
+
+void MetricsBuilder::RecordWalReplay(uint64_t batches) {
+  metrics_.wal_replayed_batches += batches;
+}
+
+void MetricsBuilder::RecordWalTruncate(uint64_t segments) {
+  metrics_.wal_truncated_segments += segments;
+}
+
 void MetricsBuilder::RecordBatch(size_t occupancy, size_t width) {
   if (occupancy == 0) return;
   ++metrics_.batches;
@@ -193,6 +207,10 @@ std::string MetricsJson(const ServiceMetrics& m) {
   count("prefetch_issued", m.prefetch_issued);
   count("prefetch_hits", m.prefetch_hits);
   count("prefetch_misses", m.prefetch_misses);
+  count("wal_appends", m.wal_appends);
+  count("wal_group_commits", m.wal_group_commits);
+  count("wal_replayed_batches", m.wal_replayed_batches);
+  count("wal_truncated_segments", m.wal_truncated_segments);
   field("availability", m.Availability());
   out += ", \"occupancy_histogram\": [";
   for (size_t b = 0; b < m.occupancy_histogram.size(); ++b) {

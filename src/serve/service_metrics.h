@@ -98,6 +98,16 @@ struct ServiceMetrics {
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_misses = 0;
 
+  // ----- write-ahead log (zero when the engine runs without a WAL) --
+  // Appends are acknowledged batches; group commits are the fsyncs that
+  // made them durable (appends / group_commits is the amortization the
+  // group-commit window bought). Replayed batches count recovery work;
+  // truncated segments count checkpoint reclamation.
+  uint64_t wal_appends = 0;
+  uint64_t wal_group_commits = 0;
+  uint64_t wal_replayed_batches = 0;
+  uint64_t wal_truncated_segments = 0;
+
   double ShedRate() const {
     return requests == 0
                ? 0.0
@@ -132,6 +142,13 @@ class MetricsBuilder {
   void RecordPrefetch(uint64_t issued, uint64_t hits, uint64_t misses);
   // One snapshot recovery taking `ms` of service time.
   void RecordRecovery(double ms);
+  // WAL accounting: durable appends vs. the group commits (fsyncs) that
+  // covered them. Typically fed from WalWriter::Stats deltas.
+  void RecordWalCommit(uint64_t appends, uint64_t group_commits);
+  // Batches re-applied from the WAL during recovery.
+  void RecordWalReplay(uint64_t batches);
+  // Segments reclaimed by a checkpoint truncation.
+  void RecordWalTruncate(uint64_t segments);
 
   const SlidingWindow& window() const { return window_; }
   ServiceMetrics Finalize();

@@ -34,6 +34,11 @@ double FaultInjector::ShapeDraw(uint64_t op, uint64_t salt) const {
   return Draw(Site::kSnapshotWrite, op, 0x100 + salt);
 }
 
+double FaultInjector::ShapeDrawAt(Site site, uint64_t op,
+                                  uint64_t salt) const {
+  return Draw(site, op, 0x100 + salt);
+}
+
 bool FaultInjector::CommitFault(Site site, uint64_t op, int kind) {
   // Budget check-and-commit: oversubscription beyond max_faults backs
   // out, so the total never exceeds the plan.
@@ -91,14 +96,68 @@ FaultInjector::WriteDecision FaultInjector::OnSnapshotWrite() {
   return d;
 }
 
+FaultInjector::WriteDecision FaultInjector::OnWalAppend() {
+  WriteDecision d;
+  d.op = ops_[2].fetch_add(1, std::memory_order_relaxed);
+  if (d.op < plan_.skip_ops) return d;
+  if (plan_.wal_torn_rate > 0.0 &&
+      Draw(Site::kWalAppend, d.op, 0) < plan_.wal_torn_rate &&
+      CommitFault(Site::kWalAppend, d.op, 1)) {
+    wal_torn_appends_.fetch_add(1, std::memory_order_relaxed);
+    d.fault = WriteFault::kTorn;
+    return d;
+  }
+  if (plan_.wal_corrupt_rate > 0.0 &&
+      Draw(Site::kWalAppend, d.op, 1) < plan_.wal_corrupt_rate &&
+      CommitFault(Site::kWalAppend, d.op, 2)) {
+    wal_corrupt_appends_.fetch_add(1, std::memory_order_relaxed);
+    d.fault = WriteFault::kCorrupt;
+    return d;
+  }
+  if (plan_.wal_latency_rate > 0.0 &&
+      Draw(Site::kWalAppend, d.op, 2) < plan_.wal_latency_rate &&
+      CommitFault(Site::kWalAppend, d.op, 3)) {
+    latency_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (plan_.latency_spike_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan_.latency_spike_ms));
+    }
+  }
+  return d;
+}
+
+Status FaultInjector::OnWalFsync() {
+  const uint64_t op = ops_[3].fetch_add(1, std::memory_order_relaxed);
+  if (op < plan_.skip_ops) return Status::Ok();
+  if (plan_.wal_fsync_error_rate > 0.0 &&
+      Draw(Site::kWalFsync, op, 0) < plan_.wal_fsync_error_rate &&
+      CommitFault(Site::kWalFsync, op, 0)) {
+    wal_fsync_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected fsync failure at wal commit op " +
+                               std::to_string(op));
+  }
+  if (plan_.wal_latency_rate > 0.0 &&
+      Draw(Site::kWalFsync, op, 1) < plan_.wal_latency_rate &&
+      CommitFault(Site::kWalFsync, op, 1)) {
+    latency_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (plan_.latency_spike_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan_.latency_spike_ms));
+    }
+  }
+  return Status::Ok();
+}
+
 void FaultInjector::Reset() {
-  ops_[0].store(0, std::memory_order_relaxed);
-  ops_[1].store(0, std::memory_order_relaxed);
+  for (auto& op : ops_) op.store(0, std::memory_order_relaxed);
   faults_.store(0, std::memory_order_relaxed);
   read_faults_.store(0, std::memory_order_relaxed);
   latency_faults_.store(0, std::memory_order_relaxed);
   torn_writes_.store(0, std::memory_order_relaxed);
   corrupt_writes_.store(0, std::memory_order_relaxed);
+  wal_torn_appends_.store(0, std::memory_order_relaxed);
+  wal_corrupt_appends_.store(0, std::memory_order_relaxed);
+  wal_fsync_errors_.store(0, std::memory_order_relaxed);
   fingerprint_.store(0, std::memory_order_relaxed);
 }
 

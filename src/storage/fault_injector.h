@@ -37,6 +37,21 @@ struct FaultPlan {
   // inside a section); only the CRC can tell.
   double corrupt_rate = 0.0;
 
+  // ----- WAL appends / fsyncs (WalWriter) -----
+  // Probability an append reaches the segment only as a torn prefix
+  // (process died mid-write; the tail is garbage replay must truncate).
+  double wal_torn_rate = 0.0;
+  // Probability one byte of the appended record is flipped on the way
+  // to the platter (bit rot the record CRC must catch at replay).
+  double wal_corrupt_rate = 0.0;
+  // Probability a group-commit fsync fails with EIO. The writer rolls
+  // the unsynced tail back and refuses the ack — EIO on commit must
+  // never acknowledge.
+  double wal_fsync_error_rate = 0.0;
+  // Probability an append or fsync stalls for latency_spike_ms (slow
+  // device under the commit path; inflates ack latency, nothing else).
+  double wal_latency_rate = 0.0;
+
   // ----- scope -----
   // Never fault the first N ops of each site (lets a harness warm up /
   // bulk-load clean before the schedule starts).
@@ -51,7 +66,12 @@ struct FaultPlan {
 // schedule from op 0 (e.g. between chaos repetitions).
 class FaultInjector {
  public:
-  enum class Site : int { kPageRead = 0, kSnapshotWrite = 1 };
+  enum class Site : int {
+    kPageRead = 0,
+    kSnapshotWrite = 1,
+    kWalAppend = 2,
+    kWalFsync = 3,
+  };
   enum class WriteFault : int { kNone = 0, kTorn = 1, kCorrupt = 2 };
 
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
@@ -71,9 +91,22 @@ class FaultInjector {
   };
   WriteDecision OnSnapshotWrite();
 
+  // Consulted by WalWriter once per record append. Same WriteDecision
+  // contract as OnSnapshotWrite: feed `op` to ShapeDrawAt to derive the
+  // tear point / flipped byte. A latency fault stalls inline and still
+  // returns kNone.
+  WriteDecision OnWalAppend();
+
+  // Consulted by WalWriter once per group-commit fsync. Returns Ok
+  // (possibly after a latency stall) or kUnavailable (injected EIO).
+  Status OnWalFsync();
+
   // Deterministic uniform draw in [0, 1) for shaping a committed fault
   // (where to tear, which byte to flip). Pure in (seed, op, salt).
+  // Snapshot-write flavour, kept for the PR7 call sites.
   double ShapeDraw(uint64_t op, uint64_t salt) const;
+  // Site-aware flavour for the WAL (and any future write site).
+  double ShapeDrawAt(Site site, uint64_t op, uint64_t salt) const;
 
   // ----- accounting -----
   uint64_t read_ops() const { return ops_[0].load(); }
@@ -82,6 +115,11 @@ class FaultInjector {
   uint64_t latency_faults() const { return latency_faults_.load(); }
   uint64_t torn_writes() const { return torn_writes_.load(); }
   uint64_t corrupt_writes() const { return corrupt_writes_.load(); }
+  uint64_t wal_append_ops() const { return ops_[2].load(); }
+  uint64_t wal_fsync_ops() const { return ops_[3].load(); }
+  uint64_t wal_torn_appends() const { return wal_torn_appends_.load(); }
+  uint64_t wal_corrupt_appends() const { return wal_corrupt_appends_.load(); }
+  uint64_t wal_fsync_errors() const { return wal_fsync_errors_.load(); }
   uint64_t total_faults() const { return faults_.load(); }
   // Order-insensitive accumulation (XOR) of every committed fault's
   // (site, op, kind) hash: two runs injected the same fault schedule
@@ -97,12 +135,15 @@ class FaultInjector {
   bool CommitFault(Site site, uint64_t op, int kind);
 
   FaultPlan plan_;
-  std::atomic<uint64_t> ops_[2] = {{0}, {0}};
+  std::atomic<uint64_t> ops_[4] = {{0}, {0}, {0}, {0}};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> read_faults_{0};
   std::atomic<uint64_t> latency_faults_{0};
   std::atomic<uint64_t> torn_writes_{0};
   std::atomic<uint64_t> corrupt_writes_{0};
+  std::atomic<uint64_t> wal_torn_appends_{0};
+  std::atomic<uint64_t> wal_corrupt_appends_{0};
+  std::atomic<uint64_t> wal_fsync_errors_{0};
   std::atomic<uint64_t> fingerprint_{0};
 };
 

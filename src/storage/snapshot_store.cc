@@ -249,7 +249,12 @@ Status PublishAtomically(const std::string& dir, const fs::path& final_path,
       ::close(fd);
       return Status::Internal("fsync failed on " + tmp_path.string());
     }
-    ::close(fd);
+    // A failed close can be the first report of a deferred write error
+    // (NFS, some local filesystems flush on close): the publish did not
+    // happen, and pretending otherwise would acknowledge lost data.
+    if (::close(fd) != 0) {
+      return Status::Internal("close failed on " + tmp_path.string());
+    }
   }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
@@ -257,10 +262,17 @@ Status PublishAtomically(const std::string& dir, const fs::path& final_path,
     return Status::Internal("rename to " + final_path.string() +
                             " failed: " + ec.message());
   }
+  // The rename itself is only durable once the directory entry is: a
+  // dir-fsync failure means the publish may vanish on power loss, so it
+  // fails the write instead of being best-effort.
   const int dfd = ::open(dir.c_str(), O_RDONLY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  if (dfd < 0) {
+    return Status::Internal("cannot open dir " + dir + " for fsync");
+  }
+  const bool dir_synced = ::fsync(dfd) == 0;
+  const bool dir_closed = ::close(dfd) == 0;
+  if (!dir_synced || !dir_closed) {
+    return Status::Internal("directory fsync failed on " + dir);
   }
   return Status::Ok();
 }

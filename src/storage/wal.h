@@ -1,0 +1,237 @@
+#ifndef GIR_STORAGE_WAL_H_
+#define GIR_STORAGE_WAL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gir/update_batch.h"
+#include "storage/fault_injector.h"
+
+namespace gir {
+
+// Epoch-segmented write-ahead log for GirEngine update batches.
+//
+// An acknowledged ApplyUpdates batch must survive a crash even when no
+// snapshot/arena epoch was published afterwards. The engine appends the
+// serialized batch here and waits for it to be fsync-durable *before*
+// mutating the master or publishing the refrozen epoch; recovery then
+// becomes two-phase — restore the newest valid snapshot/arena epoch,
+// replay every committed WAL record past it.
+//
+// Segment layout (little-endian), one file per checkpoint interval,
+// named wal-<base>.gwal where records inside cover epochs > base:
+//   header:  u32 magic 'GWAL' | u32 format | u64 base epoch | u64 dim
+//            | u32 crc(header bytes above)
+//   record:  u32 crc(payload) | u64 payload length | payload
+//            | u32 commit magic 'TMCW'
+//   payload: u64 epoch | u64 #inserts | #inserts * dim f64
+//            | u64 #deletes | #deletes * i64 record ids
+//
+// A record is committed iff it is fully framed, its CRC matches and the
+// trailing commit marker is present; replay truncates the tail at the
+// first record that is not (a torn append is exactly a crash mid-write,
+// so nothing after it can have been acknowledged). Replay is idempotent
+// via the epoch stamps: records at or below the recovered epoch are
+// skipped, re-shipped segment overlap is skipped the same way.
+constexpr uint32_t kWalMagic = 0x4C415747;        // "GWAL"
+constexpr uint32_t kWalCommitMagic = 0x57434D54;  // "TMCW"
+constexpr uint32_t kWalFormat = 1;
+
+// Group-commit knobs for WalWriter. The defaults sync on every ack
+// (window 0): a lone writer pays one fsync per batch, concurrent
+// writers still share the leader's fsync. A positive window trades ack
+// latency for fewer fsyncs; group_bytes caps how much unsynced data the
+// window may accumulate before the leader stops waiting.
+struct WalOptions {
+  double group_window_ms = 0.0;
+  uint64_t group_bytes = 256 * 1024;
+};
+
+// Directory-level view of a WAL: segment enumeration, committed-record
+// replay with torn-tail truncation, checkpoint truncation and the
+// replication transport. All methods are safe to call concurrently
+// with an open WalWriter on the *active* (highest-base) segment except
+// Truncate, which the engine serializes with its writer.
+class WalStore {
+ public:
+  // `dir` is created on first use if absent. The optional injector
+  // (non-owning; may be null) shapes shipped-segment damage exactly
+  // like SnapshotStore::ShipArenaFrom does for arenas.
+  explicit WalStore(std::string dir, FaultInjector* injector = nullptr)
+      : dir_(std::move(dir)), injector_(injector) {}
+
+  const std::string& dir() const { return dir_; }
+  FaultInjector* injector() const { return injector_; }
+
+  static std::string SegmentFileName(uint64_t base_epoch);
+
+  // Sorted base epochs of every wal-*.gwal under dir(), by filename
+  // only — no validation (replay and shipping re-validate).
+  std::vector<uint64_t> ListSegmentBases() const;
+
+  struct ReplayRecord {
+    uint64_t epoch = 0;
+    UpdateBatch batch;
+  };
+
+  struct ReplayLog {
+    // Committed records with epoch > after_epoch, contiguous from
+    // after_epoch + 1 — exactly the batches recovery must re-apply.
+    std::vector<ReplayRecord> records;
+    uint64_t tail_epoch = 0;        // last replayable epoch
+    size_t segments_scanned = 0;
+    size_t committed_seen = 0;      // committed records across segments
+    size_t overlap_skipped = 0;     // idempotence: epoch <= current tail
+    size_t torn_truncated = 0;      // segments cut at a damaged record
+    size_t gap_dropped = 0;         // committed records past an epoch gap
+    uint64_t wal_dim = 0;           // dim stamped in the segment headers
+  };
+
+  // Scans segments in base order and collects every committed batch
+  // past `after_epoch`. Damage (bad header, bad CRC, missing commit
+  // marker, short frame) truncates that segment's tail; an epoch gap
+  // (e.g. a missing middle segment) stops replay at the gap — records
+  // beyond it can never be applied consistently and are counted
+  // gap_dropped. Never errors on damage: damage is data recovery must
+  // survive, not an I/O failure. Ok with zero records when dir() is
+  // empty or holds nothing past after_epoch.
+  Result<ReplayLog> ReadCommitted(uint64_t after_epoch) const;
+
+  struct TruncateStats {
+    size_t removed_segments = 0;
+    size_t kept_segments = 0;
+  };
+
+  // Checkpoint GC: removes every segment whose records are all covered
+  // by a durable epoch snapshot/arena at `durable_epoch` — i.e. whose
+  // successor segment's base is <= durable_epoch. The highest-base
+  // segment is never removed (it is the active tail), mirroring the
+  // SnapshotStore::GarbageCollect discipline of never widening a
+  // data-loss window.
+  Result<TruncateStats> Truncate(uint64_t durable_epoch);
+
+  struct ShipStats {
+    std::string path;
+    uint64_t bytes = 0;
+    FaultInjector::WriteFault injected = FaultInjector::WriteFault::kNone;
+  };
+
+  // Copies the segment with `base_epoch` out of `src` into this store's
+  // directory with the same temp + fsync + atomic-rename discipline —
+  // and the same injected-fault surface — as arena shipping. A shipped
+  // segment can land torn or corrupted; only record CRCs at replay can
+  // tell, so the receiver treats every shipped segment as untrusted.
+  Result<ShipStats> ShipSegmentFrom(const WalStore& src, uint64_t base_epoch);
+
+ private:
+  std::string dir_;
+  FaultInjector* injector_;
+};
+
+// Append side of the WAL: one writer per engine, one open segment.
+// Append() frames and writes the record (returning a commit ticket);
+// WaitDurable(ticket) blocks until a group-commit fsync covers it.
+// Thread-safe; concurrent WaitDurable callers elect a leader that
+// fsyncs once for every record appended so far.
+//
+// Fault model: an injected torn/corrupt append leaves the damage on
+// disk and poisons the writer — the process is considered crashed
+// mid-write, every later call fails, and only recovery (which truncates
+// the damaged tail) can continue. An injected or real fsync failure
+// rolls the unsynced tail back (ftruncate to the last durable offset)
+// before failing, so a batch whose ack failed is never replayed.
+class WalWriter {
+ public:
+  // Opens (creating/truncating) the segment for `base_epoch` under
+  // `store`. Truncating is safe: the engine rotates to a base only
+  // after that epoch is durable elsewhere, so an existing same-base
+  // segment can only hold a stale or torn tail. `dim` stamps the
+  // header; appends validate against it.
+  static Result<std::unique_ptr<WalWriter>> Open(WalStore* store,
+                                                 uint64_t base_epoch,
+                                                 uint64_t dim,
+                                                 WalOptions options = {});
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  uint64_t base_epoch() const { return base_epoch_; }
+  uint64_t dim() const { return dim_; }
+
+  // Frames and writes one record. Returns the commit ticket to pass to
+  // WaitDurable. Fails (without acking) on dimension mismatch, a write
+  // error, or an injected append fault.
+  Result<uint64_t> Append(const UpdateBatch& batch, uint64_t epoch);
+
+  // Blocks until every record with ticket <= `ticket` is fsync-durable.
+  Status WaitDurable(uint64_t ticket);
+
+  // Append + WaitDurable in one step — the engine's ack path.
+  Status AppendDurable(const UpdateBatch& batch, uint64_t epoch);
+
+  // Forces everything appended so far to disk (used before rotation).
+  Status Sync();
+
+  // Checkpoint rotation: syncs, closes the active segment and opens a
+  // fresh one based at `new_base_epoch`. The caller then truncates the
+  // store. Fails if new_base_epoch < base_epoch().
+  Status Rotate(uint64_t new_base_epoch);
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t fsyncs = 0;          // group commits actually issued
+    uint64_t appended_bytes = 0;
+    uint64_t rotations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  WalWriter(WalStore* store, uint64_t dim, WalOptions options)
+      : store_(store), dim_(dim), options_(options) {}
+
+  // Opens segment `base` (O_TRUNC), writes + fsyncs the header and
+  // fsyncs the directory. Requires mu_ (or pre-publication).
+  Status OpenSegmentLocked(uint64_t base);
+  // Issues one group-commit fsync covering everything appended so far.
+  // Requires mu_; drops it around the fsync itself.
+  Status LeaderSyncLocked(std::unique_lock<std::mutex>& lock);
+
+  WalStore* store_;
+  const uint64_t dim_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  uint64_t base_epoch_ = 0;
+  std::string segment_path_;
+  // Commit tickets: next_ticket_ - 1 is the last appended record,
+  // durable_ticket_ the last one an fsync covers.
+  uint64_t next_ticket_ = 1;
+  uint64_t last_ticket_ = 0;
+  uint64_t durable_ticket_ = 0;
+  bool sync_inflight_ = false;
+  uint64_t file_offset_ = 0;     // bytes written to the segment
+  uint64_t durable_offset_ = 0;  // bytes covered by the last good fsync
+  std::chrono::steady_clock::time_point oldest_unsynced_;
+  // First unrecoverable failure (torn/corrupt append = simulated crash,
+  // failed fsync rollback); every later call returns it.
+  Status poison_ = Status::Ok();
+
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_STORAGE_WAL_H_

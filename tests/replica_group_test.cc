@@ -119,6 +119,156 @@ ReplicaGroupConfig ThreeReplicas(const std::string& base) {
   return config;
 }
 
+// A leader whose updates are WAL-logged, for the delta-shipping tests:
+// arenas are still published per epoch (the fallback transport), but
+// the WAL segments are what close replicas catch up from.
+struct WalLeader {
+  Dataset data;
+  DiskManager disk;
+  std::string wal_dir;
+  std::unique_ptr<GirEngine> engine;
+  std::string dir;
+  SnapshotStore store;
+  Rng rng{606};
+  uint64_t published = 0;
+
+  explicit WalLeader(const std::string& name, size_t n = 400)
+      : data([&] {
+          Rng data_rng(404);
+          auto d = GenerateByName("IND", n, kDim, data_rng);
+          EXPECT_TRUE(d.ok());
+          return std::move(*d);
+        }()),
+        wal_dir(FreshDir(name + "_wal")),
+        engine(OpenEngineOrDie(
+            EngineConfig::FromDataset(&data, &disk,
+                                      MakeScoring("Linear", kDim))
+                .WithWal(wal_dir))),
+        dir(FreshDir(name)),
+        store(dir) {
+    EXPECT_TRUE(store.WriteArena(engine->flat_tree(), 0).ok());
+  }
+
+  uint64_t PublishEpoch() {
+    UpdateBatch batch;
+    for (int i = 0; i < 3; ++i) {
+      Vec v(kDim);
+      for (double& x : v) x = 0.05 + 0.9 * rng.Uniform();
+      batch.inserts.push_back(std::move(v));
+    }
+    batch.deletes = {static_cast<RecordId>(7 * (published + 1))};
+    auto up = engine->ApplyUpdates(batch);
+    EXPECT_TRUE(up.ok()) << up.status().message();
+    EXPECT_TRUE(up->wal_logged);
+    EXPECT_TRUE(store.WriteArena(engine->flat_tree(), up->version).ok());
+    published = up->version;
+    return up->version;
+  }
+};
+
+TEST(ReplicaGroupTest, WalDeltaShipAdvancesReplicasToLeaderResults) {
+  TierGuard guard;
+  WalLeader leader("rg_delta_leader");
+  auto group = ReplicaGroup::Open(ThreeReplicas("rg_delta"), leader.store);
+  ASSERT_TRUE(group.ok()) << group.status().message();
+  EpochShipper shipper(&leader.store, group->get(),
+                       leader.engine->wal_store(), /*max_delta_lag=*/4);
+
+  leader.PublishEpoch();
+  const uint64_t v2 = leader.PublishEpoch();
+  auto report = shipper.ShipLatest();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->leader_epoch, v2);
+  EXPECT_EQ(report->shipped, 3u);
+  EXPECT_EQ(report->delta_shipped, 3u);  // lag 2 <= 4: all via WAL
+  EXPECT_EQ(report->full_shipped, 0u);
+  EXPECT_EQ(report->delta_fallbacks, 0u);
+  EXPECT_EQ((*group)->MinEpoch(), v2);
+
+  // Every replica answers exactly like the leader at the same epoch —
+  // the update-vs-rebuild property the delta transport leans on.
+  for (const Vec& w : SpreadWeights(10)) {
+    auto want = leader.engine->ComputeGir(w, kK, Phase2Method::kFP);
+    ASSERT_TRUE(want.ok());
+    for (size_t i = 0; i < (*group)->size(); ++i) {
+      auto got = (*group)->replica(i)->Compute(w, kK, Phase2Method::kFP);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(got->topk.result, want->topk.result) << "replica " << i;
+      EXPECT_EQ(got->topk.scores, want->topk.scores) << "replica " << i;
+      EXPECT_EQ(got->snapshot_version, v2);
+    }
+  }
+
+  // Idempotent follow-up: everyone is current, nothing ships.
+  report = shipper.ShipLatest();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->up_to_date, 3u);
+  EXPECT_EQ(report->shipped, 0u);
+}
+
+TEST(ReplicaGroupTest, WalDeltaFallsBackToFullShipOnLagOrDamage) {
+  WalLeader leader("rg_delta_fb_leader");
+
+  ReplicaGroupConfig config;
+  ReplicaConfig clean;
+  clean.dir = FreshDir("rg_delta_fb_r0");
+  config.replicas.push_back(clean);
+  ReplicaConfig flaky;
+  flaky.dir = FreshDir("rg_delta_fb_r1");
+  // The first WAL segment shipped to this replica lands corrupted; the
+  // record CRCs catch it at replay and the delta adopt must fail
+  // without advancing — then the full arena ship (clean) catches up.
+  flaky.fault_plan.seed = 91;
+  flaky.fault_plan.wal_corrupt_rate = 1.0;
+  flaky.fault_plan.max_faults = 1;
+  config.replicas.push_back(flaky);
+  config.scoring = LinearScoring();
+
+  auto group = ReplicaGroup::Open(config, leader.store);
+  ASSERT_TRUE(group.ok()) << group.status().message();
+
+  // Lag beyond the delta window: both replicas take the full ship.
+  EpochShipper narrow(&leader.store, group->get(),
+                      leader.engine->wal_store(), /*max_delta_lag=*/1);
+  leader.PublishEpoch();
+  const uint64_t v2 = leader.PublishEpoch();
+  auto report = narrow.ShipLatest();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->shipped, 2u);
+  EXPECT_EQ(report->delta_shipped, 0u);  // lag 2 > 1
+  EXPECT_EQ(report->full_shipped, 2u);
+  EXPECT_EQ((*group)->MinEpoch(), v2);
+
+  // Within the window: the clean replica advances by delta, the flaky
+  // one burns its injected fault on the shipped segment, falls back,
+  // and still lands on the leader epoch.
+  EpochShipper wide(&leader.store, group->get(),
+                    leader.engine->wal_store(), /*max_delta_lag=*/4);
+  const uint64_t v3 = leader.PublishEpoch();
+  report = wide.ShipLatest();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->leader_epoch, v3);
+  EXPECT_EQ(report->shipped, 2u);
+  EXPECT_EQ(report->delta_shipped, 1u);
+  EXPECT_EQ(report->delta_fallbacks, 1u);
+  EXPECT_EQ(report->full_shipped, 1u);
+  EXPECT_EQ(report->failed, 0u);
+  EXPECT_EQ((*group)->MinEpoch(), v3);
+  EXPECT_GE((*group)->replica(1)->open_failures(), 1u);
+
+  // Nobody serves lies after the mixed transports.
+  for (const Vec& w : SpreadWeights(6)) {
+    auto want = leader.engine->ComputeGir(w, kK, Phase2Method::kFP);
+    ASSERT_TRUE(want.ok());
+    for (size_t i = 0; i < (*group)->size(); ++i) {
+      auto got = (*group)->replica(i)->Compute(w, kK, Phase2Method::kFP);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->topk.result, want->topk.result) << "replica " << i;
+      EXPECT_EQ(got->topk.scores, want->topk.scores) << "replica " << i;
+    }
+  }
+}
+
 TEST(ReplicaGroupTest, ReplicasServeShippedEpochBitIdenticalPerTier) {
   TierGuard guard;
   Leader leader("rg_bitident_leader");

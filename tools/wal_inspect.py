@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Inspect GIR write-ahead-log segments (wal-<epoch>.gwal) offline.
+
+Stdlib-only (struct + zlib.crc32 -- the segment CRCs are the reflected
+IEEE polynomial, so zlib's crc32 matches the engine's) so it runs in CI
+and on a bare box next to a crashed deployment. Walks each segment the
+same way engine recovery does: verify the header, then records in
+order, stopping at the first bad frame -- everything before the damage
+is the committed prefix recovery would replay, everything after is the
+torn tail it would truncate.
+
+Usage: wal_inspect.py [--records] [--json] <segment.gwal | wal-dir>...
+
+Exit codes: 0 every segment clean, 1 damage found (torn tail, corrupt
+record, bad header), 2 usage or I/O error.
+"""
+
+import json
+import os
+import struct
+import sys
+import zlib
+
+WAL_MAGIC = 0x4C415747  # "GWAL"
+WAL_COMMIT_MAGIC = 0x57434D54  # "TMCW"
+WAL_FORMAT = 1
+HEADER_BYTES = 4 + 4 + 8 + 8 + 4  # magic, format, base_epoch, dim, crc
+FRAME_PREFIX_BYTES = 4 + 8  # payload crc, payload length
+
+
+def inspect_segment(path):
+    """Parses one segment file into a dict (never raises on damage)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    seg = {
+        "path": path,
+        "bytes": len(data),
+        "header_ok": False,
+        "base_epoch": None,
+        "dim": None,
+        "records": [],
+        "committed_records": 0,
+        "tail": {"state": "clean", "damage_offset": None,
+                 "trailing_bytes": 0},
+    }
+
+    def damaged(state, offset):
+        seg["tail"] = {"state": state, "damage_offset": offset,
+                       "trailing_bytes": len(data) - offset}
+        return seg
+
+    if len(data) < HEADER_BYTES:
+        return damaged("bad-header", 0)
+    magic, fmt, base_epoch, dim, header_crc = struct.unpack_from(
+        "<IIQQI", data, 0)
+    if (magic != WAL_MAGIC or fmt != WAL_FORMAT
+            or header_crc != zlib.crc32(data[:HEADER_BYTES - 4])):
+        return damaged("bad-header", 0)
+    seg["header_ok"] = True
+    seg["base_epoch"] = base_epoch
+    seg["dim"] = dim
+
+    at = HEADER_BYTES
+    while at < len(data):
+        start = at
+        if len(data) - at < FRAME_PREFIX_BYTES:
+            return damaged("torn", start)
+        crc, length = struct.unpack_from("<IQ", data, at)
+        at += FRAME_PREFIX_BYTES
+        if length > len(data) - at or len(data) - at - length < 4:
+            return damaged("torn", start)
+        payload = data[at:at + length]
+        at += length
+        (commit,) = struct.unpack_from("<I", data, at)
+        at += 4
+        if commit != WAL_COMMIT_MAGIC or crc != zlib.crc32(payload):
+            return damaged("corrupt", start)
+        record = parse_payload(payload, dim)
+        if record is None:
+            return damaged("corrupt", start)
+        record["offset"] = start
+        record["frame_bytes"] = at - start
+        seg["records"].append(record)
+        seg["committed_records"] += 1
+    return seg
+
+
+def parse_payload(payload, dim):
+    """Decodes one record payload; None when its shape is inconsistent."""
+    if len(payload) < 16:
+        return None
+    epoch, n_inserts = struct.unpack_from("<QQ", payload, 0)
+    at = 16
+    rows = n_inserts * dim * 8
+    if len(payload) - at < rows + 8:
+        return None
+    at += rows
+    (n_deletes,) = struct.unpack_from("<Q", payload, at)
+    at += 8
+    if len(payload) - at != n_deletes * 8:
+        return None
+    return {"epoch": epoch, "inserts": n_inserts, "deletes": n_deletes}
+
+
+def collect_segments(paths):
+    """Expands directories into their wal-*.gwal files, sorted by name."""
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            names = sorted(n for n in os.listdir(path)
+                           if n.startswith("wal-") and n.endswith(".gwal"))
+            if not names:
+                raise FileNotFoundError(f"no wal-*.gwal segments in {path}")
+            out.extend(os.path.join(path, n) for n in names)
+        else:
+            out.append(path)
+    return out
+
+
+def print_human(segments, show_records):
+    for seg in segments:
+        tail = seg["tail"]
+        if not seg["header_ok"]:
+            print(f"{seg['path']}: BAD HEADER ({seg['bytes']} bytes)")
+            continue
+        line = (f"{seg['path']}: base_epoch={seg['base_epoch']} "
+                f"dim={seg['dim']} records={seg['committed_records']} "
+                f"bytes={seg['bytes']}")
+        if tail["state"] != "clean":
+            line += (f" [{tail['state'].upper()} at offset "
+                     f"{tail['damage_offset']}, "
+                     f"{tail['trailing_bytes']} bytes dropped]")
+        print(line)
+        if show_records:
+            for r in seg["records"]:
+                print(f"  @{r['offset']:>8} epoch={r['epoch']} "
+                      f"inserts={r['inserts']} deletes={r['deletes']} "
+                      f"({r['frame_bytes']} bytes)")
+
+
+def main(argv):
+    args = argv[1:]
+    as_json = "--json" in args
+    show_records = "--records" in args
+    paths = [a for a in args if a not in ("--json", "--records")]
+    if not paths or any(a.startswith("--") for a in paths):
+        print("usage: wal_inspect.py [--records] [--json] "
+              "<segment.gwal | wal-dir>...")
+        return 2
+
+    try:
+        files = collect_segments(paths)
+        segments = [inspect_segment(p) for p in files]
+    except OSError as err:
+        print(f"error: {err}")
+        return 2
+
+    damage = sum(1 for s in segments if s["tail"]["state"] != "clean")
+    committed = sum(s["committed_records"] for s in segments)
+    epochs = [r["epoch"] for s in segments for r in s["records"]]
+    summary = {
+        "segments": segments,
+        "committed_records": committed,
+        "committed_epoch_range": [min(epochs), max(epochs)] if epochs
+        else None,
+        "damaged_segments": damage,
+        "clean": damage == 0,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print_human(segments, show_records)
+        tail = (f"{len(segments)} segment(s), {committed} committed "
+                f"record(s)")
+        if epochs:
+            tail += f", epochs {min(epochs)}..{max(epochs)}"
+        tail += f", {damage} damaged"
+        print(tail)
+    return 1 if damage else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
