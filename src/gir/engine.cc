@@ -310,6 +310,17 @@ Status GirEngine::AttachWal(const EngineConfig& config, bool replay) {
     wal_recovery_.overlap_skipped = log->overlap_skipped;
     wal_recovery_.torn_truncated = log->torn_truncated;
     wal_recovery_.gap_dropped = log->gap_dropped;
+    // The scan only *logically* cut the damage; make the disk match
+    // before the writer opens. Leaving a torn tail in an older segment
+    // would end the NEXT recovery's scan early, hiding batches this
+    // engine is about to acknowledge into a newer segment — and the
+    // writer's O_TRUNC open would then destroy them. Stale higher-base
+    // segments from an abandoned timeline are removed the same way so
+    // a later replay can never interleave their records.
+    Result<WalStore::SanitizeStats> cleaned = wal_store_->Sanitize(*log);
+    if (!cleaned.ok()) return cleaned.status();
+    wal_recovery_.segments_truncated = cleaned->truncated_segments;
+    wal_recovery_.segments_removed = cleaned->removed_segments;
     for (const WalStore::ReplayRecord& rec : log->records) {
       // Replay repeats the exact pre-crash mutation sequence — same
       // batches, same order, same epoch stamps — so the resulting

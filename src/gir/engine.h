@@ -352,6 +352,8 @@ class GirEngine {
     size_t overlap_skipped = 0;     // idempotence skips during replay
     size_t torn_truncated = 0;      // segments cut at a damaged record
     size_t gap_dropped = 0;
+    size_t segments_truncated = 0;  // physical tail cuts (sanitize)
+    size_t segments_removed = 0;    // unreadable/stale segments deleted
   };
   const WalRecoveryStats& wal_recovery() const { return wal_recovery_; }
 

@@ -229,14 +229,17 @@ Result<WalStore::ReplayLog> WalStore::ReadCommitted(
   out.tail_epoch = after_epoch;
 
   std::vector<uint8_t> file;
-  bool stop = false;
   for (uint64_t base : ListSegmentBases()) {
-    if (stop) break;
     ++out.segments_scanned;
+    SegmentState seg;
+    seg.base = base;
     const fs::path path = fs::path(dir_) / SegmentFileName(base);
     if (!ReadWholeFile(path, &file) || file.size() < kWalHeaderBytes) {
+      // Not even a header: nothing inside is replayable or trustworthy.
       ++out.torn_truncated;
-      break;  // a damaged segment ends the replayable tail
+      seg.action = SegmentState::Action::kRemove;
+      out.segments.push_back(seg);
+      continue;
     }
     Cursor c{file.data(), file.size()};
     uint32_t magic = 0;
@@ -250,21 +253,29 @@ Result<WalStore::ReplayLog> WalStore::ReadCommitted(
         header_crc != Crc32(file.data(), kWalHeaderBytes - 4) ||
         header_base != base || dim == 0 ||
         (out.wal_dim != 0 && dim != out.wal_dim)) {
+      // A damaged, renamed or foreign-shape header: without a trusted
+      // dim no record inside can be parsed, so the whole segment goes.
       ++out.torn_truncated;
-      break;
+      seg.action = SegmentState::Action::kRemove;
+      out.segments.push_back(seg);
+      continue;
     }
     out.wal_dim = dim;
+    seg.keep_bytes = kWalHeaderBytes;
     while (c.at < file.size()) {
       uint32_t crc = 0;
       uint64_t len = 0;
       uint32_t commit = 0;
       ReplayRecord rec;
       // Any structural failure below is a torn or corrupt tail: the
-      // record was never fully committed, so nothing after it was
-      // acknowledged either. Truncate here.
+      // record was never fully committed, so nothing *in this segment*
+      // after it was acknowledged either (framing is not
+      // self-synchronizing). Truncate this segment here; later segments
+      // — e.g. one a post-recovery writer appended to — still replay
+      // while they stay epoch-contiguous.
       if (!c.U32(&crc) || !c.U64(&len) || len > file.size() - c.at) {
         ++out.torn_truncated;
-        stop = true;
+        seg.action = SegmentState::Action::kTruncate;
         break;
       }
       const uint8_t* payload = file.data() + c.at;
@@ -273,23 +284,73 @@ Result<WalStore::ReplayLog> WalStore::ReadCommitted(
           crc != Crc32(payload, static_cast<size_t>(len)) ||
           !ParsePayload(payload, static_cast<size_t>(len), dim, &rec)) {
         ++out.torn_truncated;
-        stop = true;
+        seg.action = SegmentState::Action::kTruncate;
         break;
       }
       ++out.committed_seen;
       if (rec.epoch <= out.tail_epoch) {
         ++out.overlap_skipped;  // idempotence: already covered
+        seg.keep_bytes = c.at;
         continue;
       }
       if (rec.epoch != out.tail_epoch + 1) {
-        // An epoch gap (e.g. a truncated-away middle segment): records
-        // beyond it can never be applied consistently.
+        // An epoch gap (e.g. a truncated-away middle segment, or a
+        // stale pre-recovery timeline): the record — and everything
+        // after it, since epochs only grow within a segment — can never
+        // be applied consistently, so the clean prefix ends before it.
         ++out.gap_dropped;
-        stop = true;
+        seg.action = SegmentState::Action::kTruncate;
         break;
       }
       out.tail_epoch = rec.epoch;
       out.records.push_back(std::move(rec));
+      seg.keep_bytes = c.at;
+    }
+    out.segments.push_back(seg);
+  }
+  return out;
+}
+
+Result<WalStore::SanitizeStats> WalStore::Sanitize(const ReplayLog& log) {
+  SanitizeStats out;
+  bool mutated = false;
+  for (const SegmentState& seg : log.segments) {
+    const fs::path path = fs::path(dir_) / SegmentFileName(seg.base);
+    if (seg.action == SegmentState::Action::kKeep) continue;
+    if (seg.action == SegmentState::Action::kRemove) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      if (ec) {
+        return Status::Internal("cannot remove wal segment " + path.string() +
+                                ": " + ec.message());
+      }
+      ++out.removed_segments;
+      mutated = true;
+      continue;
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) {
+      return Status::Internal("cannot open wal segment " + path.string() +
+                              " for tail truncation");
+    }
+    const bool cut = ::ftruncate(fd, static_cast<off_t>(seg.keep_bytes)) == 0;
+    const bool synced = cut && ::fsync(fd) == 0;
+    if (::close(fd) != 0 || !cut || !synced) {
+      return Status::Internal("cannot truncate wal segment " + path.string() +
+                              " to its clean prefix");
+    }
+    ++out.truncated_segments;
+    mutated = true;
+  }
+  if (mutated) {
+    const int dfd = ::open(dir_.c_str(), O_RDONLY);
+    if (dfd < 0) {
+      return Status::Internal("cannot open wal dir " + dir_ + " for fsync");
+    }
+    const bool dir_synced = ::fsync(dfd) == 0;
+    const bool dir_closed = ::close(dfd) == 0;
+    if (!dir_synced || !dir_closed) {
+      return Status::Internal("directory fsync failed on " + dir_);
     }
   }
   return out;
@@ -488,9 +549,12 @@ Result<uint64_t> WalWriter::Append(const UpdateBatch& batch, uint64_t epoch) {
   if (!written.ok()) {
     // A real write error: roll the partial frame back so the segment
     // tail stays clean, and fail the ack without poisoning — the
-    // device may work again on the next batch.
-    if (::ftruncate(fd_, static_cast<off_t>(file_offset_)) == 0) {
-      ::lseek(fd_, static_cast<off_t>(file_offset_), SEEK_SET);
+    // device may work again on the next batch. The lseek must succeed
+    // too: appending past a failed seek would leave a zero-filled hole
+    // that replay reads as a torn tail, hiding every record after it.
+    if (::ftruncate(fd_, static_cast<off_t>(file_offset_)) == 0 &&
+        ::lseek(fd_, static_cast<off_t>(file_offset_), SEEK_SET) ==
+            static_cast<off_t>(file_offset_)) {
       return written;
     }
     poison_ = Status::DataLoss("wal rollback failed after write error on " +
@@ -519,6 +583,13 @@ Result<uint64_t> WalWriter::Append(const UpdateBatch& batch, uint64_t epoch) {
   }
   ++appends_;
   appended_bytes_ += frame.size();
+  if (options_.group_window_ms > 0.0 && !sync_inflight_ &&
+      file_offset_ - durable_offset_ >= options_.group_bytes) {
+    // group_bytes caps the unsynced-data exposure: a leader parked in
+    // its commit window re-checks the threshold only when woken, so the
+    // append that crosses it must wake the leader.
+    cv_.notify_all();
+  }
   return ticket;
 }
 
@@ -548,8 +619,9 @@ Status WalWriter::LeaderSyncLocked(std::unique_lock<std::mutex>& lock) {
     // back so an unacknowledged batch is never replayed, then poison —
     // after a failed fsync the kernel may have dropped the dirty
     // pages, and nothing appended later could be trusted either.
-    if (::ftruncate(fd_, static_cast<off_t>(durable_offset_)) == 0) {
-      ::lseek(fd_, static_cast<off_t>(durable_offset_), SEEK_SET);
+    if (::ftruncate(fd_, static_cast<off_t>(durable_offset_)) == 0 &&
+        ::lseek(fd_, static_cast<off_t>(durable_offset_), SEEK_SET) ==
+            static_cast<off_t>(durable_offset_)) {
       file_offset_ = durable_offset_;
       poison_ = synced;
     } else {

@@ -80,6 +80,21 @@ class WalStore {
     UpdateBatch batch;
   };
 
+  // What recovery must do to one on-disk segment to make the log
+  // physically match the replayed history (see Sanitize):
+  //   kKeep      — every byte scanned clean; leave it alone.
+  //   kTruncate  — cut the file back to keep_bytes, the end of its last
+  //                clean record (torn/corrupt tail, or committed
+  //                records past an epoch gap that can never replay).
+  //   kRemove    — the header is unreadable, mismatched or from another
+  //                dataset shape; nothing inside can be trusted.
+  struct SegmentState {
+    enum class Action { kKeep, kTruncate, kRemove };
+    uint64_t base = 0;
+    Action action = Action::kKeep;
+    uint64_t keep_bytes = 0;        // clean-prefix length for kTruncate
+  };
+
   struct ReplayLog {
     // Committed records with epoch > after_epoch, contiguous from
     // after_epoch + 1 — exactly the batches recovery must re-apply.
@@ -91,17 +106,38 @@ class WalStore {
     size_t torn_truncated = 0;      // segments cut at a damaged record
     size_t gap_dropped = 0;         // committed records past an epoch gap
     uint64_t wal_dim = 0;           // dim stamped in the segment headers
+    // One entry per segment on disk, in base order — the sanitize plan.
+    std::vector<SegmentState> segments;
   };
 
   // Scans segments in base order and collects every committed batch
   // past `after_epoch`. Damage (bad header, bad CRC, missing commit
-  // marker, short frame) truncates that segment's tail; an epoch gap
-  // (e.g. a missing middle segment) stops replay at the gap — records
-  // beyond it can never be applied consistently and are counted
+  // marker, short frame) truncates that *segment's* tail; the scan then
+  // continues into later segments, whose records still apply only while
+  // they stay epoch-contiguous with the tail — this is what lets a
+  // segment opened by a post-recovery writer replay even though the
+  // pre-crash segment before it still carries its torn tail. Records
+  // past an epoch gap can never be applied consistently and are counted
   // gap_dropped. Never errors on damage: damage is data recovery must
   // survive, not an I/O failure. Ok with zero records when dir() is
-  // empty or holds nothing past after_epoch.
+  // empty or holds nothing past after_epoch. Read-only: the `segments`
+  // plan describes the cleanup, Sanitize performs it.
   Result<ReplayLog> ReadCommitted(uint64_t after_epoch) const;
+
+  struct SanitizeStats {
+    size_t truncated_segments = 0;
+    size_t removed_segments = 0;
+  };
+
+  // Physically applies a ReadCommitted sanitize plan: ftruncates each
+  // damaged segment back to its clean prefix and deletes segments whose
+  // content is unreadable or from a stale timeline. Recovery MUST run
+  // this before opening a writer — a logically-truncated-but-still-on-
+  // disk torn tail would otherwise end a later replay scan early,
+  // hiding (and then letting the writer destroy) acked records in
+  // newer segments. Idempotent; errors are real I/O failures and must
+  // abort recovery rather than leave the log unsanitized.
+  Result<SanitizeStats> Sanitize(const ReplayLog& log);
 
   struct TruncateStats {
     size_t removed_segments = 0;

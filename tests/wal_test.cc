@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -248,6 +249,75 @@ TEST(WalStoreTest, CorruptRecordTruncatesReplayAtTheDamage) {
   EXPECT_EQ(log->tail_epoch, 1u);
 }
 
+// A torn tail in an OLDER segment must not hide committed records in a
+// newer one: that is exactly the disk state after a recovery truncates
+// a tail and a fresh writer acknowledges batches into the next segment.
+// The scan truncates only the damaged segment and keeps going; Sanitize
+// then makes the disk match the plan so the next scan is clean.
+TEST(WalStoreTest, TornTailInAnOlderSegmentDoesNotHideNewerSegments) {
+  const std::string dir = FreshDir("wal_cross_segment");
+  WalStore store(dir);
+  {
+    auto writer = WalWriter::Open(&store, 0, /*dim=*/2);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t e = 1; e <= 2; ++e) {
+      UpdateBatch b;
+      b.inserts = {{0.1, 0.2}};
+      ASSERT_TRUE((*writer)->AppendDurable(b, e).ok());
+    }
+    ASSERT_TRUE((*writer)->Rotate(2).ok());
+    for (uint64_t e = 3; e <= 4; ++e) {
+      UpdateBatch b;
+      b.inserts = {{0.3, 0.4}};
+      ASSERT_TRUE((*writer)->AppendDurable(b, e).ok());
+    }
+  }
+  {
+    // Torn tail on the old segment (a half-written frame), plus a junk
+    // file that parses as a segment name but has no valid header.
+    std::ofstream torn(fs::path(dir) / WalStore::SegmentFileName(0),
+                       std::ios::binary | std::ios::app);
+    const char junk[11] = "truncated!";
+    torn.write(junk, 10);
+    torn.close();
+    std::ofstream rogue(fs::path(dir) / WalStore::SegmentFileName(1),
+                        std::ios::binary);
+    for (int i = 0; i < 8; ++i) rogue.write(junk, 10);
+    rogue.close();
+  }
+
+  auto log = store.ReadCommitted(0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->torn_truncated, 2u);  // wal-0's tail + the junk header
+  EXPECT_EQ(log->tail_epoch, 4u);
+  ASSERT_EQ(log->records.size(), 4u);
+  for (size_t r = 0; r < 4; ++r) EXPECT_EQ(log->records[r].epoch, r + 1);
+  ASSERT_EQ(log->segments.size(), 3u);
+  EXPECT_EQ(log->segments[0].action,
+            WalStore::SegmentState::Action::kTruncate);
+  EXPECT_EQ(log->segments[1].action, WalStore::SegmentState::Action::kRemove);
+  EXPECT_EQ(log->segments[2].action, WalStore::SegmentState::Action::kKeep);
+
+  auto cleaned = store.Sanitize(*log);
+  ASSERT_TRUE(cleaned.ok()) << cleaned.status().message();
+  EXPECT_EQ(cleaned->truncated_segments, 1u);
+  EXPECT_EQ(cleaned->removed_segments, 1u);
+  ASSERT_EQ(store.ListSegmentBases(), (std::vector<uint64_t>{0, 2}));
+
+  // The sanitized log replays identically and reports zero damage.
+  auto again = store.ReadCommitted(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->torn_truncated, 0u);
+  EXPECT_EQ(again->tail_epoch, 4u);
+  ASSERT_EQ(again->records.size(), 4u);
+
+  // Sanitizing a clean log is a no-op (recovery may re-run it).
+  auto noop = store.Sanitize(*again);
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->truncated_segments, 0u);
+  EXPECT_EQ(noop->removed_segments, 0u);
+}
+
 // ----- group commit -----
 
 TEST(WalWriterTest, GroupCommitSharesFsyncsAcrossConcurrentAppenders) {
@@ -298,6 +368,46 @@ TEST(WalWriterTest, GroupCommitSharesFsyncsAcrossConcurrentAppenders) {
   EXPECT_EQ(log->records.size(), kThreads * kPerThread);
   EXPECT_EQ(log->tail_epoch, kThreads * kPerThread);
   EXPECT_EQ(log->torn_truncated, 0u);
+}
+
+// group_bytes must cut a long commit window short: once the unsynced
+// bytes cross the threshold, a parked leader wakes and syncs instead of
+// sleeping out the window. The 10 s window here would fail the test by
+// timeout arithmetic alone if the threshold wakeup were lost.
+TEST(WalWriterTest, ByteThresholdCutsTheCommitWindowShort) {
+  WalStore store(FreshDir("wal_group_bytes"));
+  WalOptions options;
+  options.group_window_ms = 10000.0;
+  options.group_bytes = 100;  // each frame below is 56 bytes
+  auto writer = WalWriter::Open(&store, 0, /*dim=*/2, options);
+  ASSERT_TRUE(writer.ok());
+
+  UpdateBatch b;
+  b.inserts = {{0.5, 0.5}};
+  const auto start = std::chrono::steady_clock::now();
+  Result<uint64_t> t1 = (*writer)->Append(b, 1);
+  ASSERT_TRUE(t1.ok());
+  std::thread leader([&] {
+    // Parks in the window (56 < 100 unsynced bytes) until the second
+    // append trips the threshold.
+    EXPECT_TRUE((*writer)->WaitDurable(*t1).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Result<uint64_t> t2 = (*writer)->Append(b, 2);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE((*writer)->WaitDurable(*t2).ok());
+  leader.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 5000.0);  // far below the 10 s window
+  EXPECT_GE((*writer)->stats().fsyncs, 1u);
+  writer->reset();
+
+  auto log = store.ReadCommitted(0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->records.size(), 2u);
 }
 
 // ----- engine integration: ack durability, crash recovery -----
@@ -520,11 +630,68 @@ TEST(WalEngineTest, TornAppendFailsTheAckAndRecoveryTruncatesTheTail) {
   EXPECT_EQ(restored->dataset_version(), 2u);
   EXPECT_EQ(restored->wal_recovery().replayed_batches, 1u);
   EXPECT_EQ(restored->wal_recovery().torn_truncated, 1u);
+  // Recovery physically cut the torn tail off the segment, not just
+  // the in-memory replay.
+  EXPECT_EQ(restored->wal_recovery().segments_truncated, 1u);
   ExpectSameDataset(engine->dataset(), restored->dataset());
   // And the recovered engine accepts new acks again.
   auto up3 = restored->ApplyUpdates(MixedBatch(3, d));
   ASSERT_TRUE(up3.ok());
   EXPECT_EQ(up3->version, 3u);
+}
+
+// The double-crash sequence behind physical sanitization: a torn tail,
+// a recovery, an acked batch on the recovered engine (which lands in a
+// NEW segment), then a second crash. If recovery only truncated the
+// tail logically, the second scan would stop at the old segment's
+// damage, never reach the new segment, and the writer's O_TRUNC open
+// would destroy the acked batch — the ack guarantee demands it survive.
+TEST(WalEngineTest, AckedBatchAfterTornTailRecoverySurvivesASecondCrash) {
+  const size_t d = 3;
+  Dataset data = FreshData(240, d);
+  DiskManager disk;
+  const std::string snap_dir = FreshDir("wal_torn_twice_snap");
+  const std::string wal_dir = FreshDir("wal_torn_twice_wal");
+  FaultPlan plan;
+  plan.seed = 81;
+  plan.wal_torn_rate = 1.0;
+  plan.skip_ops = 2;  // two clean appends, then the torn one
+  FaultInjector fi(plan);
+  auto engine = OpenEngineOrDie(
+      EngineConfig::FromDataset(&data, &disk, MakeScoring("Linear", d))
+          .WithWal(wal_dir, WalOptions{}, &fi));
+  ASSERT_TRUE(engine->ApplyUpdates(MixedBatch(1, d)).ok());
+  SnapshotStore store(snap_dir);
+  ASSERT_TRUE(
+      store.WriteSnapshot(engine->dataset(), engine->tree(), 1).ok());
+  ASSERT_TRUE(engine->ApplyUpdates(MixedBatch(2, d)).ok());
+  ASSERT_FALSE(engine->ApplyUpdates(MixedBatch(3, d)).ok());  // torn
+
+  // Crash #1, recover, acknowledge one more batch on the restored
+  // engine — it goes to a fresh segment past the sanitized tail.
+  DiskManager disk2;
+  auto restored = OpenEngineOrDie(
+      EngineConfig::FromSnapshotDir(snap_dir, &disk2,
+                                    MakeScoring("Linear", d))
+          .WithWal(wal_dir));
+  EXPECT_EQ(restored->dataset_version(), 2u);
+  EXPECT_EQ(restored->wal_recovery().segments_truncated, 1u);
+  auto up3 = restored->ApplyUpdates(MixedBatch(3, d));
+  ASSERT_TRUE(up3.ok());
+  EXPECT_EQ(up3->version, 3u);
+
+  // Crash #2: the second recovery must replay across BOTH segments —
+  // the truncated pre-crash one and the post-recovery one.
+  DiskManager disk3;
+  auto again = OpenEngineOrDie(
+      EngineConfig::FromSnapshotDir(snap_dir, &disk3,
+                                    MakeScoring("Linear", d))
+          .WithWal(wal_dir));
+  EXPECT_EQ(again->dataset_version(), 3u);
+  EXPECT_EQ(again->wal_recovery().replayed_batches, 2u);  // epochs 2, 3
+  EXPECT_EQ(again->wal_recovery().torn_truncated, 0u);  // disk was clean
+  ExpectSameDataset(restored->dataset(), again->dataset());
+  ExpectBitIdenticalQueries(restored.get(), again.get(), d);
 }
 
 // ----- checkpoints and arena-based recovery -----
